@@ -1,0 +1,158 @@
+(* smrbench — command-line driver for every experiment in the paper.
+
+   Examples:
+     smrbench fig1                      # Figure 1, quick profile
+     smrbench fig7 --profile full       # Figure 7, longer cells
+     smrbench appendix --workload wo    # Appendix write-only grid
+     smrbench sweep --ds SkipList --workload rw --range 16384
+     smrbench longrun --scheme HP-BRCU --range 8192
+     smrbench table1 table2             # applicability/criteria tables *)
+
+open Cmdliner
+module W = Hpbrcu_workload
+
+let profile_of_string = function
+  | "quick" -> W.Figures.quick
+  | "full" -> W.Figures.full
+  | "sim" | "intel" -> W.Figures.sim
+  | s -> invalid_arg ("unknown profile: " ^ s)
+
+let profile_arg =
+  let doc = "Measurement profile: quick (default), full, or sim (fiber simulator; plays the second machine)." in
+  Arg.(value & opt string "quick" & info [ "profile"; "p" ] ~doc)
+
+let outdir_arg =
+  let doc = "Directory for CSV outputs." in
+  Arg.(value & opt string "results" & info [ "outdir" ] ~doc)
+
+let with_profile f profile outdir =
+  W.Report.outdir := outdir;
+  f (profile_of_string profile);
+  0
+
+let simple_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (with_profile f) $ profile_arg $ outdir_arg)
+
+let fig1_cmd = simple_cmd "fig1" "Figure 1: long-running reads, headline schemes" W.Figures.fig1
+let fig5_cmd = simple_cmd "fig5" "Figure 5: read-only thread sweeps" W.Figures.fig5
+let fig6_cmd = simple_cmd "fig6" "Figures 6/22: long-running reads, all schemes" W.Figures.fig6
+let fig7_cmd = simple_cmd "fig7" "Figure 7: write-heavy thread sweeps" W.Figures.fig7
+
+let appendix_cmd =
+  let workload_arg =
+    let doc = "Restrict to one workload (wo|rw|ri|ro)." in
+    Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~doc)
+  in
+  let ds_arg =
+    let doc = "Restrict to one data structure." in
+    Arg.(value & opt (some string) None & info [ "ds" ] ~doc)
+  in
+  let range_arg =
+    let doc = "Restrict to small or large key ranges." in
+    Arg.(value & opt (some string) None & info [ "range" ] ~doc)
+  in
+  let run profile outdir wl ds range =
+    W.Report.outdir := outdir;
+    let p = profile_of_string profile in
+    let workloads =
+      match wl with
+      | None -> [ W.Spec.Write_only; W.Spec.Read_write; W.Spec.Read_intensive; W.Spec.Read_only ]
+      | Some s -> [ W.Spec.workload_of_string s ]
+    in
+    let dss =
+      match ds with
+      | None -> Hpbrcu_core.Caps.all_ds
+      | Some s -> [ W.Matrix.ds_of_string s ]
+    in
+    let ranges =
+      match range with
+      | None -> [ `Small; `Large ]
+      | Some "small" -> [ `Small ]
+      | Some "large" -> [ `Large ]
+      | Some s -> invalid_arg ("unknown range: " ^ s)
+    in
+    W.Figures.appendix ~workloads ~dss ~ranges p;
+    0
+  in
+  Cmd.v
+    (Cmd.info "appendix" ~doc:"Appendix B/C grids (figures 8-36)")
+    Term.(const run $ profile_arg $ outdir_arg $ workload_arg $ ds_arg $ range_arg)
+
+let sweep_cmd =
+  let ds_arg =
+    Arg.(required & opt (some string) None & info [ "ds" ] ~doc:"Data structure.")
+  in
+  let wl_arg =
+    Arg.(value & opt string "rw" & info [ "workload"; "w" ] ~doc:"Workload (wo|rw|ri|ro).")
+  in
+  let range_arg =
+    Arg.(value & opt int 1024 & info [ "range" ] ~doc:"Key range.")
+  in
+  let run profile outdir ds wl range =
+    W.Report.outdir := outdir;
+    let p = profile_of_string profile in
+    W.Figures.sweep
+      ~title:(Printf.sprintf "sweep: %s %s range=%d" ds wl range)
+      ~file:(Printf.sprintf "sweep_%s_%s_%d" ds wl range)
+      p ~ds:(W.Matrix.ds_of_string ds)
+      ~workload:(W.Spec.workload_of_string wl)
+      ~key_range:range ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"One custom thread sweep")
+    Term.(const run $ profile_arg $ outdir_arg $ ds_arg $ wl_arg $ range_arg)
+
+let longrun_cmd =
+  let scheme_arg =
+    Arg.(value & opt (some string) None & info [ "scheme" ] ~doc:"Single scheme (default: Figure 1 set).")
+  in
+  let range_arg =
+    Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Single key range.")
+  in
+  let run profile outdir scheme range =
+    W.Report.outdir := outdir;
+    let p = profile_of_string profile in
+    let p =
+      match range with
+      | None -> p
+      | Some r -> { p with W.Figures.longrun_ranges = [ r ] }
+    in
+    (match scheme with
+    | None -> W.Figures.fig1 p
+    | Some s ->
+        W.Figures.longrun_tables
+          ~title:("long-running reads: " ^ s)
+          ~file:("longrun_" ^ s) p [ "NR"; s ]);
+    0
+  in
+  Cmd.v
+    (Cmd.info "longrun" ~doc:"Long-running-operation benchmark")
+    Term.(const run $ profile_arg $ outdir_arg $ scheme_arg $ range_arg)
+
+let table_cmd name pp =
+  Cmd.v
+    (Cmd.info name ~doc:("Print the paper's " ^ name))
+    Term.(
+      const (fun () ->
+          pp ();
+          0)
+      $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "smrbench" ~version:"1.0"
+       ~doc:"Regenerate the experiments of 'Expediting Hazard Pointers with Bounded RCU Critical Sections' (SPAA 2024)")
+    [
+      fig1_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      appendix_cmd;
+      sweep_cmd;
+      longrun_cmd;
+      table_cmd "table1" W.Figures.table1;
+      table_cmd "table2" W.Figures.table2;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,5 @@
+(* Print the paper's Table 1 (applicability) and Table 2 (robustness and
+   efficiency criteria) from the capability metadata. *)
+
+let () =
+  Fmt.pr "%a@.@.%a@." Hpbrcu_core.Caps.pp_table1 () Hpbrcu_core.Caps.pp_table2 ()

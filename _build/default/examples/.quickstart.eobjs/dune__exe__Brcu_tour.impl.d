@@ -1,0 +1,1 @@
+examples/brcu_tour.ml: Fmt Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Hpbrcu_schemes List

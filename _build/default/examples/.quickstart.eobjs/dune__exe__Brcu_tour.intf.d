@@ -1,0 +1,1 @@
+examples/brcu_tour.mli:

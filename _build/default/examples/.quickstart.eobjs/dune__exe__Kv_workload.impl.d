@@ -1,0 +1,1 @@
+examples/kv_workload.ml: Fmt Hpbrcu_core Hpbrcu_workload List

@@ -1,0 +1,1 @@
+examples/olap_scan.ml: Fmt Hpbrcu_alloc Hpbrcu_workload List

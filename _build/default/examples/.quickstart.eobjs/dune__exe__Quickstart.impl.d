@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hpbrcu_alloc Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes

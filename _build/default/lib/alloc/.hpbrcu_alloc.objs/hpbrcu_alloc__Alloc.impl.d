@@ -1,0 +1,1 @@
+lib/alloc/alloc.ml: Atomic Block Fmt Hpbrcu_runtime

@@ -1,0 +1,1 @@
+lib/alloc/block.ml: Atomic Fmt

@@ -1,0 +1,1 @@
+lib/alloc/pool.ml: Atomic Hpbrcu_runtime List

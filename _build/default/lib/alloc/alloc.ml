@@ -1,0 +1,109 @@
+(** The simulated allocator: counters, lifecycle enforcement, UAF detection.
+
+    This module is the measurement substrate for the paper's memory metric
+    ("peak number of retired yet unreclaimed blocks") and the executable
+    form of its safety theorems ("no use-after-free").  All reclamation
+    schemes route retirement and reclamation through here. *)
+
+exception Use_after_free of Block.t
+exception Double_retire of Block.t
+exception Double_reclaim of Block.t
+
+type stats = {
+  allocated : int;  (** blocks ever allocated *)
+  retired : int;  (** blocks ever retired *)
+  reclaimed : int;  (** blocks ever reclaimed *)
+  unreclaimed : int;  (** currently retired-but-not-reclaimed *)
+  peak_unreclaimed : int;  (** high-water mark of [unreclaimed] *)
+  uaf : int;  (** use-after-free accesses detected (counting mode) *)
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "alloc=%d retired=%d reclaimed=%d unreclaimed=%d peak=%d uaf=%d"
+    s.allocated s.retired s.reclaimed s.unreclaimed s.peak_unreclaimed s.uaf
+
+(* Global registry.  Experiments call [reset ()] between cells. *)
+let allocated = Atomic.make 0
+let retired = Atomic.make 0
+let reclaimed = Atomic.make 0
+let unreclaimed = Hpbrcu_runtime.Counter.make ()
+let uaf = Atomic.make 0
+
+(* In strict mode (the default; tests) violations raise; in counting mode
+   (benches) they only bump counters so a buggy configuration can still be
+   measured and reported. *)
+let strict = Atomic.make true
+
+let set_strict b = Atomic.set strict b
+
+let stats () =
+  {
+    allocated = Atomic.get allocated;
+    retired = Atomic.get retired;
+    reclaimed = Atomic.get reclaimed;
+    unreclaimed = Hpbrcu_runtime.Counter.get unreclaimed;
+    peak_unreclaimed = Hpbrcu_runtime.Counter.peak unreclaimed;
+    uaf = Atomic.get uaf;
+  }
+
+let reset () =
+  Atomic.set allocated 0;
+  Atomic.set retired 0;
+  Atomic.set reclaimed 0;
+  Hpbrcu_runtime.Counter.reset unreclaimed;
+  Atomic.set uaf 0
+
+(** Re-arm only the peak tracker (measure the peak of a window). *)
+let reset_peak () = Hpbrcu_runtime.Counter.reset_peak unreclaimed
+
+(** [block ()] allocates a fresh lifecycle header for a node. *)
+let block ?recyclable () =
+  Atomic.incr allocated;
+  Block.make ?recyclable ()
+
+(** [retire b] marks [b] retired: it has been unlinked and its reclamation
+    is now the scheme's responsibility.  Counted as "unreclaimed" until
+    {!reclaim}. *)
+let retire b =
+  if Block.transition b ~from:Live ~to_:Retired then begin
+    Atomic.incr retired;
+    Hpbrcu_runtime.Counter.incr unreclaimed
+  end
+  else if Atomic.get strict then raise (Double_retire b)
+  else Atomic.incr uaf
+
+(** [try_retire b] claims the retirement of [b]: returns [true] iff the
+    caller won the Live→Retired transition (and must now hand [b] to a
+    scheme with [~claimed:true]).  Used where several threads race to
+    detach the same region (e.g. NMTree chain pruning). *)
+let try_retire b =
+  if Block.transition b ~from:Block.Live ~to_:Block.Retired then begin
+    Atomic.incr retired;
+    Hpbrcu_runtime.Counter.incr unreclaimed;
+    true
+  end
+  else false
+
+(** [reclaim b] frees [b] in the simulation: any later access is a
+    use-after-free. *)
+let reclaim b =
+  if Block.transition b ~from:Retired ~to_:Reclaimed then begin
+    Atomic.incr reclaimed;
+    Hpbrcu_runtime.Counter.decr unreclaimed
+  end
+  else if Atomic.get strict then raise (Double_reclaim b)
+  else Atomic.incr uaf
+
+(** [check_access b] — called by scheme-mediated reads before a node's
+    fields may be used.  Detects access to reclaimed memory.  Blocks from a
+    recycling pool are exempt: VBR legitimately lets readers race with
+    reuse and catches staleness by version instead. *)
+let check_access b =
+  if Block.is_reclaimed b && not (Block.recyclable b) then
+    if Atomic.get strict then raise (Use_after_free b) else Atomic.incr uaf
+
+(** Raw counter for harness-side assertions. *)
+let current_unreclaimed () = Hpbrcu_runtime.Counter.get unreclaimed
+let peak_unreclaimed () = Hpbrcu_runtime.Counter.peak unreclaimed
+let uaf_count () = Atomic.get uaf

@@ -1,0 +1,80 @@
+(** Lifecycle headers for manually-reclaimed heap blocks.
+
+    OCaml's GC never exposes frees, so the paper's central objects —
+    "retired blocks", "reclaimed blocks", "use-after-free" — are modelled
+    explicitly: every node managed by a reclamation scheme embeds a
+    [Block.t] whose atomic [state] walks the lifecycle
+
+    {v  Live --retire--> Retired --reclaim--> Reclaimed --(pool)--> Live  v}
+
+    A scheme is correct iff no thread ever {e accesses} a [Reclaimed] block
+    (checked by {!Alloc.check_access} on every mediated read) and no block
+    is retired or reclaimed twice (checked by the transitions here).
+
+    The [version]/[birth_era] fields exist for VBR, whose whole design is to
+    reclaim instantly into a type-stable pool and detect stale readers by
+    version arithmetic rather than by blocking reuse. *)
+
+type state = Live | Retired | Reclaimed
+
+let state_to_int = function Live -> 0 | Retired -> 1 | Reclaimed -> 2
+let state_of_int = function 0 -> Live | 1 -> Retired | 2 -> Reclaimed | _ -> assert false
+
+let pp_state ppf s =
+  Fmt.string ppf (match s with Live -> "Live" | Retired -> "Retired" | Reclaimed -> "Reclaimed")
+
+type t = {
+  id : int;  (** unique allocation id (stable across pool reuse) *)
+  state : int Atomic.t;
+  version : int Atomic.t;
+      (** bumped each time the block is recycled through a pool; VBR's
+          stale-read detector *)
+  birth_era : int Atomic.t;  (** VBR: global era at (re)allocation *)
+  retire_era : int Atomic.t;  (** VBR: global era at retirement; -1 = live *)
+  recyclable : bool;
+      (** pool-managed blocks may legally be observed post-reclaim (VBR);
+          access checks skip them *)
+}
+
+let next_id = Atomic.make 0
+
+let make ?(recyclable = false) () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    state = Atomic.make (state_to_int Live);
+    version = Atomic.make 0;
+    birth_era = Atomic.make 0;
+    retire_era = Atomic.make (-1);
+    recyclable;
+  }
+
+let id t = t.id
+let state t = state_of_int (Atomic.get t.state)
+let version t = Atomic.get t.version
+let birth_era t = Atomic.get t.birth_era
+let retire_era t = Atomic.get t.retire_era
+let recyclable t = t.recyclable
+
+let is_live t = state t = Live
+let is_retired t = state t = Retired
+let is_reclaimed t = state t = Reclaimed
+
+(** Atomically transition [from -> to_]; returns [false] if the block was
+    not in [from] (e.g. a double retire). *)
+let transition t ~from ~to_ =
+  Atomic.compare_and_set t.state (state_to_int from) (state_to_int to_)
+
+(** Reset a recycled block to [Live], bumping its version.  Only the pool
+    calls this. *)
+let reanimate t ~era =
+  assert t.recyclable;
+  Atomic.incr t.version;
+  Atomic.set t.birth_era era;
+  Atomic.set t.retire_era (-1);
+  Atomic.set t.state (state_to_int Live)
+
+let mark_retire_era t ~era = Atomic.set t.retire_era era
+let set_birth_era t ~era = Atomic.set t.birth_era era
+
+let pp ppf t =
+  Fmt.pf ppf "block#%d[%a v%d]" t.id pp_state (state t) (version t)

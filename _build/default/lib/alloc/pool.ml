@@ -1,0 +1,49 @@
+(** Type-stable free pool (VBR's custom allocator).
+
+    VBR reclaims blocks {e immediately} into a per-type pool and relies on
+    version numbers to detect readers that raced with reuse.  The paper
+    notes VBR "benefits significantly from its customized memory allocator,
+    which does not return memory blocks to the operating system"; this pool
+    plays that role.  It is a Treiber stack over immutable list cells —
+    lock-free, and the cells themselves are ordinary GC'd values. *)
+
+type 'a t = { free : 'a list Atomic.t; recycled : int Atomic.t; fresh : int Atomic.t }
+
+let create () = { free = Atomic.make []; recycled = Atomic.make 0; fresh = Atomic.make 0 }
+
+let rec push t x =
+  let old = Atomic.get t.free in
+  if not (Atomic.compare_and_set t.free old (x :: old)) then begin
+    Hpbrcu_runtime.Sched.yield ();
+    push t x
+  end
+
+let rec pop t =
+  match Atomic.get t.free with
+  | [] -> None
+  | x :: rest as old ->
+      if Atomic.compare_and_set t.free old rest then Some x
+      else begin
+        Hpbrcu_runtime.Sched.yield ();
+        pop t
+      end
+
+(** [acquire t] returns a recycled node if one is available ([None] means
+    the caller must allocate fresh).  The caller is responsible for
+    reanimating the embedded {!Block.t} (the VBR scheme does this so the
+    era/version bookkeeping stays in one place). *)
+let acquire t =
+  match pop t with
+  | Some x ->
+      Atomic.incr t.recycled;
+      Some x
+  | None ->
+      Atomic.incr t.fresh;
+      None
+
+(** [release t x] returns [x] to the pool for reuse. *)
+let release t x = push t x
+
+let recycled t = Atomic.get t.recycled
+let fresh_allocs t = Atomic.get t.fresh
+let size t = List.length (Atomic.get t.free)

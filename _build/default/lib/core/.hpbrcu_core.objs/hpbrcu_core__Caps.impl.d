@@ -1,0 +1,1 @@
+lib/core/caps.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/core/link.ml: Atomic Fmt

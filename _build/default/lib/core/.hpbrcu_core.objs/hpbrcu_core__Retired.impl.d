@@ -1,0 +1,1 @@
+lib/core/retired.ml: Hpbrcu_alloc List

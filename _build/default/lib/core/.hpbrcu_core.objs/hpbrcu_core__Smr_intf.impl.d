@@ -1,0 +1,1 @@
+lib/core/smr_intf.ml: Caps Hpbrcu_alloc Link

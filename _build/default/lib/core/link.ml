@@ -1,0 +1,68 @@
+(** Tagged atomic links between nodes.
+
+    Lock-free lists and trees mark nodes for logical deletion by setting tag
+    bits inside the {e successor pointer} ("pointer tagging").  C/Rust steal
+    low pointer bits; in OCaml a link is an immutable record [(target, tag)]
+    stored in an [Atomic.t]:
+
+    - a link {e load} returns the record;
+    - a link {e CAS} compares the record by {b physical equality}, so the
+      expected value must be a record previously loaded from the same cell —
+      exactly the discipline tagged-pointer CAS imposes in C.
+
+    Because records are freshly allocated on every store, physical equality
+    also rules out ABA at the link level "for free" (the GC cannot reuse a
+    reachable record).  This is {e more} forgiving than real memory — which
+    is why VBR, the scheme whose purpose is surviving ABA under immediate
+    reuse, carries explicit version numbers in {!Hpbrcu_alloc.Block}: the
+    hazard it defends against is reintroduced deliberately by the allocator
+    pool, not by link cells. *)
+
+type 'a t = { target : 'a option; tag : int }
+
+type 'a cell = 'a t Atomic.t
+
+let make ?(tag = 0) target = { target; tag }
+
+(* A tag-0 null link; polymorphic because the record is a syntactic value. *)
+let null = { target = None; tag = 0 }
+
+let cell ?(tag = 0) target : 'a cell = Atomic.make { target; tag }
+let cell_of (l : 'a t) : 'a cell = Atomic.make l
+
+let target l = l.target
+let tag l = l.tag
+let is_null l = l.target = None
+let is_marked l = l.tag land 1 <> 0
+
+(** Same target, different tag (fresh record: safe to use as a CAS
+    desired-value). *)
+let with_tag l tag = { l with tag }
+
+(** [get c] — an unmediated load.  Scheme code only; data structures must go
+    through their scheme's [read]. *)
+let get (c : 'a cell) = Atomic.get c
+
+let set (c : 'a cell) l = Atomic.set c l
+
+(** [cas c ~expected ~desired] — single-word CAS on the tagged link.
+    [expected] must be a record read from [c] (physical equality). *)
+let cas (c : 'a cell) ~expected ~desired =
+  Atomic.compare_and_set c expected desired
+
+(** [same a b] — do two loaded links denote the same tagged pointer?  Used
+    by validation: compares target identity and tag, not record identity,
+    because two loads of an unchanged cell do return the same record but a
+    re-written equal link must also validate (helping can rewrite). *)
+let same a b =
+  a.tag = b.tag
+  &&
+  match (a.target, b.target) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false
+
+let pp pp_target ppf l =
+  match l.target with
+  | None -> Fmt.pf ppf "null/%d" l.tag
+  | Some x -> Fmt.pf ppf "%a/%d" pp_target x l.tag

@@ -1,0 +1,53 @@
+(** Per-thread batches of retired blocks.
+
+    Every scheme accumulates retirements thread-locally and acts (scans
+    shields, advances epochs, signals) once a batch fills — the paper's
+    per-128-retirement trigger.  This module is that shared buffer. *)
+
+module Block = Hpbrcu_alloc.Block
+
+type entry = {
+  blk : Block.t;
+  free : (unit -> unit) option;  (** post-reclaim finalizer (pooling) *)
+  stamp : int;  (** scheme-specific tag: epoch/era at retirement *)
+  patches : Block.t list;
+      (** blocks protected on the retirer's behalf while this entry is
+          pending (HP++'s protect-on-retire) *)
+}
+
+type t = { mutable items : entry list; mutable count : int }
+
+let create () = { items = []; count = 0 }
+
+let length t = t.count
+let is_empty t = t.count = 0
+
+let push t ?free ?(stamp = 0) ?(patches = []) blk =
+  t.items <- { blk; free; stamp; patches } :: t.items;
+  t.count <- t.count + 1
+
+let push_entry t e =
+  t.items <- e :: t.items;
+  t.count <- t.count + 1
+
+(** Remove and return all entries. *)
+let drain t =
+  let items = t.items in
+  t.items <- [];
+  t.count <- 0;
+  items
+
+let reclaim_entry e =
+  Hpbrcu_alloc.Alloc.reclaim e.blk;
+  match e.free with None -> () | Some f -> f ()
+
+(** Keep the entries failing [pred]; reclaim those satisfying it.  Returns
+    the number reclaimed. *)
+let reclaim_where t pred =
+  let kept, freed = List.partition (fun e -> not (pred e)) t.items in
+  t.items <- kept;
+  t.count <- List.length kept;
+  List.iter reclaim_entry freed;
+  List.length freed
+
+let iter t f = List.iter f t.items

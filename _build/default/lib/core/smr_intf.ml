@@ -1,0 +1,164 @@
+(** The unified safe-memory-reclamation interface.
+
+    Every scheme in [lib/schemes] implements {!S}; every data structure in
+    [lib/ds] is a functor over {!S}.  The interface is designed so that one
+    data-structure implementation expresses, under different schemes, all
+    the phase disciplines the paper compares:
+
+    - {!S.op} wraps a whole operation.  EBR pins an epoch for its entire
+      extent; VBR/PEBR put their announce-and-retry loop here; others are
+      transparent retry-on-{!S.Restart} loops.
+    - {!S.read} mediates every traversal link load.  HP-family schemes run
+      the ProtectFrom protect/fence/revalidate loop (Algorithm 1) here —
+      the "per-node overhead" of Table 2; coarse schemes do a plain load
+      (plus signal poll and use-after-free check).
+    - {!S.traverse} is the paper's Traverse combinator (Algorithm 7).  Each
+      scheme instantiates its phase structure: a single unbounded critical
+      section (RCU), per-[max_steps] alternation (HP-RCU, Algorithm 3),
+      rollback-and-resume with double-buffered checkpoints (HP-BRCU), or
+      restart-from-entry (NBR) — which is precisely the difference that
+      produces the paper's long-running-operation results.
+    - {!S.crit} / {!S.mask} expose critical sections and abort-masked
+      regions (Algorithms 5–6) for code written directly against a scheme.
+    - {!S.retire} hands a block to the scheme; HP-(B)RCU implements it as
+      the two-step [defer (fun () -> hp_retire p)] (Algorithm 4).
+
+    Concurrency/rollback contract: scheme methods may raise two exceptions.
+    [Rollback] (scheme-internal) unwinds to the nearest {!S.crit}; {!S.Restart}
+    unwinds to {!S.op}.  Data-structure code must therefore be
+    abort-rollback-safe inside critical sections (paper R3): shared-memory
+    writes that cannot be repeated go inside {!S.mask}. *)
+
+module Block = Hpbrcu_alloc.Block
+
+(** Result of one traversal step (paper Algorithm 7's [StepResult]). *)
+type ('c, 'r) step_result =
+  | Finish of 'c * 'r  (** reached the destination *)
+  | Continue of 'c  (** advanced one step *)
+  | Fail  (** cursor invalidated; caller must restart the operation *)
+
+module type S = sig
+  val name : string
+
+  val caps : Caps.t
+  (** Robustness/applicability metadata (Tables 1 and 2). *)
+
+  val reset : unit -> unit
+  (** Clear all global scheme state (registries, epochs, queues) between
+      experiment cells.  No threads may be registered when called. *)
+
+  (** {1 Thread lifecycle} *)
+
+  type handle
+  (** Per-thread participant state. *)
+
+  val register : unit -> handle
+  val unregister : handle -> unit
+  (** [unregister] drains the handle's deferred work (best effort) and
+      releases its slots. *)
+
+  val flush : handle -> unit
+  (** Force-drain this handle's retired/deferred batches so that, once all
+      handles have flushed and unregistered, every retired block can be
+      reclaimed.  Harness calls it at the end of a measurement window. *)
+
+  (** {1 Shields (hazard-pointer slots)} *)
+
+  type shield
+
+  val new_shield : handle -> shield
+  val protect : shield -> Block.t option -> unit
+  (** Publish protection of a block (no validation; paper R2 situations).
+      No-op in schemes without per-node protection. *)
+
+  val clear : shield -> unit
+
+  (** {1 Phases} *)
+
+  exception Restart
+  (** Coarse-grained operation restart: raised by [read]/[deref] in schemes
+      that recover by re-running the whole operation (VBR, PEBR).  {!op}
+      catches it. *)
+
+  val op : handle -> (unit -> 'a) -> 'a
+  (** Wrap one data-structure operation (the unit of linearization). *)
+
+  val crit : handle -> (unit -> 'a) -> 'a
+  (** Critical section.  For rollback-capable schemes the body may run many
+      times (it is the [sigsetjmp] checkpoint); it must be
+      abort-rollback-safe (paper §4.1). *)
+
+  val mask : handle -> (unit -> 'a) -> 'a
+  (** Abort-masked region (Algorithm 6): within [crit], delays a concurrent
+      neutralization to the region's exit so the body's writes are never
+      torn.  Identity for schemes without signals. *)
+
+  (** {1 Mediated memory accesses} *)
+
+  val read :
+    handle -> shield -> ?src:Block.t -> hdr:('n -> Block.t) -> 'n Link.cell -> 'n Link.t
+  (** [read h s ~src ~hdr cell] loads a link during traversal.
+      [src] is the block of the node owning [cell] (checked against
+      use-after-free); [hdr] projects the target node's block for
+      protection.  HP-family: ProtectFrom loop into [s].  BRCU-family:
+      plain load, after polling for neutralization.  VBR: plain load, then
+      era validation (may raise {!Restart}). *)
+
+  val deref : handle -> Block.t -> unit
+  (** Declare an access to a node's immutable fields (key, value).  Checks
+      use-after-free, polls signals, validates eras.  Call before touching
+      fields of a node not just returned by [read]. *)
+
+  (** {1 Retirement and allocation} *)
+
+  val retire :
+    handle ->
+    ?free:(unit -> unit) ->
+    ?patch:Block.t list ->
+    ?claimed:bool ->
+    Block.t ->
+    unit
+  (** Hand an unlinked node to the scheme.  [free] runs after the block is
+      reclaimed (used by pooling schemes to recycle the node).  [patch]
+      lists the node's current successors: HP++ keeps them protected on the
+      retirer's behalf until this block is reclaimed, which is what makes
+      optimistic traversal safe under HP++ (its extra per-node cost);
+      other schemes ignore it.  [claimed] means the caller already won the
+      Live→Retired transition via {!Hpbrcu_alloc.Alloc.try_retire} (used
+      when several threads race to detach one region). *)
+
+  val recycles : bool
+  (** True for schemes (VBR) that reclaim into a type-stable pool; data
+      structures then allocate via their pool and mark blocks recyclable. *)
+
+  val current_era : unit -> int
+  (** The global era for birth-stamping recycled nodes (VBR); [0]
+      elsewhere. *)
+
+  (** {1 Traversal} *)
+
+  val traverse :
+    handle ->
+    prot:shield array ->
+    backup:shield array ->
+    protect:(shield array -> 'c -> unit) ->
+    validate:('c -> bool) ->
+    init:(unit -> 'c) ->
+    step:('c -> ('c, 'r) step_result) ->
+    ('c * shield array * 'r) option
+  (** The Traverse combinator (Algorithm 7).  [prot] and [backup] are two
+      equal-length shield arrays owned by the caller; on [Some (c, win, r)]
+      the array [win] (one of the two) holds a complete protection of [c]
+      and remains valid until the next [traverse]/[clear].  [protect]
+      writes a cursor into a shield array; [validate] implements
+      revalidation (paper R1, §3.3); [init] builds the entry-point cursor;
+      [step] advances one step and must be abort-rollback-safe except
+      inside {!mask}.  [None] means the cursor could not be revalidated
+      ([Fail]); the caller retries the operation. *)
+
+  (** {1 Introspection} *)
+
+  val debug_stats : unit -> (string * int) list
+  (** Scheme-specific counters (epochs advanced, signals sent, restarts,
+      ejections …) for tests and experiment reports. *)
+end

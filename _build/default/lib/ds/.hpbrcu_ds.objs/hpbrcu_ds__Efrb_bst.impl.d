@@ -1,0 +1,1 @@
+lib/ds/efrb_bst.ml: Array Atomic Ds_intf Hpbrcu_alloc Hpbrcu_core Option

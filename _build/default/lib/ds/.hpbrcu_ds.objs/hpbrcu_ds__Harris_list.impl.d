@@ -1,0 +1,1 @@
+lib/ds/harris_list.ml: Array Ds_intf Hpbrcu_alloc Hpbrcu_core Option

@@ -1,0 +1,1 @@
+lib/ds/hashmap.ml: Array Ds_intf Harris_list Hm_list Hpbrcu_core

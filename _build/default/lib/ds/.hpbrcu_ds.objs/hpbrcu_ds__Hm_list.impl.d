@@ -1,0 +1,1 @@
+lib/ds/hm_list.ml: Array Ds_intf Hpbrcu_alloc Hpbrcu_core Option

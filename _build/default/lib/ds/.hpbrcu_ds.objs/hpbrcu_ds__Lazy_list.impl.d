@@ -1,0 +1,1 @@
+lib/ds/lazy_list.ml: Array Atomic Ds_intf Fun Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Option

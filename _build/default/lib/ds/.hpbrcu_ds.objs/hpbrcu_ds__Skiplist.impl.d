@@ -1,0 +1,1 @@
+lib/ds/skiplist.ml: Array Atomic Ds_intf Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime List Option

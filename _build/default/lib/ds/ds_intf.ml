@@ -1,0 +1,37 @@
+(** The common interface of the benchmark data structures.
+
+    All six structures implement a concurrent ordered map from [int] keys to
+    [int] values.  A {!MAP.session} bundles the calling thread's scheme
+    handle and shields; each worker creates one per structure it uses and
+    must [close_session] before the thread exits (so epoch schemes stop
+    waiting on it). *)
+
+module type MAP = sig
+  (** Name used in reports, e.g. ["HMList(HP)"]. *)
+  val name : string
+
+  type t
+  type session
+
+  val create : unit -> t
+
+  val session : t -> session
+  (** Register the calling thread with the reclamation scheme and allocate
+      its shields. *)
+
+  val close_session : session -> unit
+
+  val get : t -> session -> int -> bool
+  (** Membership test (the paper's read operation). *)
+
+  val insert : t -> session -> int -> int -> bool
+  (** [insert t s k v] returns [false] if [k] was already present. *)
+
+  val remove : t -> session -> int -> bool
+  (** [remove t s k] returns [false] if [k] was absent. *)
+
+  val cleanup : t -> session -> unit
+  (** Physically unlink any logically-deleted remnants so their blocks get
+      retired; used by tests/harness before checking reclamation
+      accounting. *)
+end

@@ -1,0 +1,283 @@
+(** Harris's lock-free linked list (DISC 2001): the paper's HList, plus the
+    HHSList variant whose [get] is the Herlihy-Shavit wait-free search.
+
+    Like HMList the list is sorted with mark-before-unlink deletion, but
+    traversal is {e optimistic}: it walks {e past} marked nodes (following
+    links out of logically-deleted — possibly already retired — nodes) and
+    snips the whole marked chain between the last unmarked node ([left])
+    and the first unmarked node with key ≥ target ([right]) in one CAS.
+    This is exactly the Figure 2 pattern that plain HP cannot protect, so
+    HList runs only under schemes with coarse protection or protect-on-
+    retire (Table 1): RCU, NBR, VBR, HP++, PEBR, HP-RCU, HP-BRCU.
+
+    [Make] is HList: [get] uses the helping search (participates in
+    snipping).  [Make_hhs] is HHSList: [get] is a read-only traversal that
+    skips marked nodes without writing — wait-free in the original, demoted
+    to lock-free by schemes that can abort readers (paper footnote 9). *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Pool = Hpbrcu_alloc.Pool
+module Link = Hpbrcu_core.Link
+open Hpbrcu_core.Smr_intf
+
+module type FLAVOUR = sig
+  val helping_get : bool
+  val flavour_name : string
+end
+
+module Make_gen (F : FLAVOUR) (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
+  let name = F.flavour_name ^ "(" ^ S.name ^ ")"
+
+  type node = {
+    blk : Block.t;
+    mutable key : int;
+    mutable value : int;
+    next : node Link.cell;
+  }
+
+  let blk n = n.blk
+
+  type t = { head : node; pool : node Pool.t }
+
+  (* Traversal cursor: [left] = last unmarked node whose loaded link is
+     [left_next] (the snip CAS's expected value); [node] = node under
+     examination (None = end of list).  [node == target left_next] iff no
+     marked chain is pending between them. *)
+  type cursor = { left : node; left_next : node Link.t; node : node option }
+
+  type session = {
+    h : S.handle;
+    prot : S.shield array;  (* left, left_next-target, node *)
+    backup : S.shield array;
+    scratch : S.shield array;
+    mutable rot : int;
+    mask0 : S.shield;
+    mask1 : S.shield;
+  }
+
+  let create () =
+    {
+      head =
+        { blk = Alloc.block (); key = min_int; value = 0; next = Link.cell None };
+      pool = Pool.create ();
+    }
+
+  let session _t =
+    let h = S.register () in
+    {
+      h;
+      prot = Array.init 3 (fun _ -> S.new_shield h);
+      backup = Array.init 3 (fun _ -> S.new_shield h);
+      scratch = Array.init 4 (fun _ -> S.new_shield h);
+      rot = 0;
+      mask0 = S.new_shield h;
+      mask1 = S.new_shield h;
+    }
+
+  let close_session s =
+    S.flush s.h;
+    S.unregister s.h
+
+  let alloc_node t key value =
+    let reuse =
+      if not S.recycles then None
+      else
+        match Pool.acquire t.pool with
+        | Some n when Block.retire_era n.blk <> S.current_era () ->
+            Block.reanimate n.blk ~era:(S.current_era ());
+            n.key <- key;
+            n.value <- value;
+            Link.set n.next Link.null;
+            Some n
+        | Some n ->
+            Pool.release t.pool n;
+            None
+        | None -> None
+    in
+    match reuse with
+    | Some n -> n
+    | None ->
+        let b = Alloc.block ~recyclable:S.recycles () in
+        Block.set_birth_era b ~era:(S.current_era ());
+        { blk = b; key; value; next = Link.cell None }
+
+  let discard t n = if S.recycles then Pool.release t.pool n
+
+  let scratch_read s ?src cell =
+    let sh = s.scratch.(s.rot) in
+    s.rot <- (s.rot + 1) mod Array.length s.scratch;
+    S.read s.h sh ?src ~hdr:blk cell
+
+  let key_of s n =
+    let k = n.key in
+    S.deref s.h n.blk;
+    k
+
+  let protect_cursor (sh : S.shield array) c =
+    S.protect sh.(0) (Some c.left.blk);
+    S.protect sh.(1) (Option.map blk (Link.target c.left_next));
+    S.protect sh.(2) (Option.map blk c.node)
+
+  (* Revalidation (§3.3): resuming from [node] (or from [left] when at the
+     end) requires it not logically deleted.  Checkpointed nodes are
+     shield-protected, so the bare load is safe. *)
+  let validate_cursor c =
+    match c.node with
+    | Some n ->
+        Alloc.check_access n.blk;
+        not (Link.is_marked (Link.get n.next))
+    | None ->
+        Alloc.check_access c.left.blk;
+        not (Link.is_marked (Link.get c.left.next))
+
+  (* Retire the frozen marked chain [from .. stop), patching successors for
+     HP++.  Links of marked nodes are immutable, so the walk is stable. *)
+  let retire_chain t s ~from ~stop =
+    let rec go n =
+      match n with
+      | None -> ()
+      | Some x when (match stop with Some y -> x == y | None -> false) -> ()
+      | Some x ->
+          let nx = Link.target (Link.get x.next) in
+          S.retire s.h x.blk
+            ~patch:(match nx with None -> [] | Some y -> [ y.blk ])
+            ~free:(fun () -> if S.recycles then Pool.release t.pool x);
+          go nx
+    in
+    go from
+
+  (* Snip the marked chain between left and [c.node]: one CAS on
+     [left.next], then retire the chain.  Abort-rollback-unsafe, so masked
+     on outliving protections. *)
+  let snip t s c =
+    S.protect s.mask0 (Some c.left.blk);
+    S.protect s.mask1 (Option.map blk c.node);
+    let desired = Link.make c.node in
+    S.mask s.h (fun () ->
+        if Link.cas c.left.next ~expected:c.left_next ~desired then begin
+          retire_chain t s ~from:(Link.target c.left_next) ~stop:c.node;
+          Some desired
+        end
+        else None)
+
+  let init_cursor t s () =
+    let ln = scratch_read s t.head.next in
+    { left = t.head; left_next = ln; node = Link.target ln }
+
+  (* One step of Harris's search.  [help] enables chain snipping. *)
+  let step_search t s key ~help c =
+    match c.node with
+    | None ->
+        (* End of list.  If a marked chain dangles, snip it first. *)
+        if help && not (Link.same c.left_next (Link.make c.node)) then
+          match snip t s c with
+          | Some ln -> Finish ({ c with left_next = ln }, false)
+          | None -> Fail
+        else Finish (c, false)
+    | Some tnode -> (
+        let t_next = scratch_read s ~src:tnode.blk tnode.next in
+        if Link.is_marked t_next then
+          (* t is logically deleted: walk past it. *)
+          Continue { c with node = Link.target t_next }
+        else
+          let k = key_of s tnode in
+          if k < key then
+            (* t is a live node below the key: becomes the new left. *)
+            Continue { left = tnode; left_next = t_next; node = Link.target t_next }
+          else if
+            (* t = right.  Adjacent to left? *)
+            match Link.target c.left_next with
+            | Some l when l == tnode -> true
+            | _ -> false
+          then Finish (c, k = key)
+          else if help then
+            match snip t s c with
+            | Some ln -> Finish ({ c with left_next = ln }, k = key)
+            | None -> Fail
+          else Finish (c, k = key))
+
+  let rec search t s key ~help =
+    match
+      S.traverse s.h ~prot:s.prot ~backup:s.backup ~protect:protect_cursor
+        ~validate:validate_cursor ~init:(init_cursor t s)
+        ~step:(step_search t s key ~help)
+    with
+    | Some (c, _win, found) -> (c, found)
+    | None -> search t s key ~help
+
+  (* ---------------- operations ---------------- *)
+
+  let get t s key =
+    S.op s.h (fun () -> snd (search t s key ~help:F.helping_get))
+
+  let insert t s key value =
+    S.op s.h (fun () ->
+        let n = alloc_node t key value in
+        let rec go () =
+          let c, found = search t s key ~help:true in
+          if found then begin
+            discard t n;
+            false
+          end
+          else begin
+            (* After a helping search, left and right are adjacent:
+               left_next's target is right (or None). *)
+            Link.set n.next (Link.make (Link.target c.left_next));
+            let desired = Link.make (Some n) in
+            if Link.cas c.left.next ~expected:c.left_next ~desired then true
+            else go ()
+          end
+        in
+        go ())
+
+  let remove t s key =
+    S.op s.h (fun () ->
+        let rec go () =
+          let c, found = search t s key ~help:true in
+          if not found then false
+          else
+            let right = Option.get (Link.target c.left_next) in
+            let r_next = scratch_read s ~src:right.blk right.next in
+            if Link.is_marked r_next then go ()
+            else if
+              Link.cas right.next ~expected:r_next
+                ~desired:(Link.with_tag r_next 1)
+            then begin
+              (* Try to unlink immediately; otherwise later searches snip. *)
+              S.protect s.mask0 (Some c.left.blk);
+              S.protect s.mask1 (Some right.blk);
+              let desired = Link.make (Link.target r_next) in
+              S.mask s.h (fun () ->
+                  if Link.cas c.left.next ~expected:c.left_next ~desired then
+                    S.retire s.h right.blk
+                      ~patch:(match Link.target r_next with
+                             | None -> []
+                             | Some nx -> [ nx.blk ])
+                      ~free:(fun () -> if S.recycles then Pool.release t.pool right));
+              true
+            end
+            else go ()
+        in
+        go ())
+
+  let cleanup t s =
+    ignore (S.op s.h (fun () -> snd (search t s max_int ~help:true)) : bool)
+end
+
+module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP =
+  Make_gen
+    (struct
+      let helping_get = true
+      let flavour_name = "HList"
+    end)
+    (S)
+
+(** HHSList: Harris list with the Herlihy-Shavit read-only [get]. *)
+module Make_hhs (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP =
+  Make_gen
+    (struct
+      let helping_get = false
+      let flavour_name = "HHSList"
+    end)
+    (S)

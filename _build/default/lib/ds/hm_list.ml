@@ -1,0 +1,238 @@
+(** Harris-Michael lock-free linked list (Michael, SPAA 2002) — the paper's
+    running example (Algorithms 3 and 8).
+
+    Sorted singly-linked list with logical deletion: a node is deleted by
+    first marking its [next] link (tag bit) and then physically unlinking it
+    with a CAS on the predecessor.  Traversals {e help}: on meeting a marked
+    node they attempt the unlink themselves and retire the node — the write
+    during traversal that makes HMList inapplicable to NBR (Table 1) and
+    the reason HP-BRCU wraps it in an abort-masked region (Algorithm 8's
+    Mask).
+
+    Unlike Harris's original list, nodes are unlinked one at a time from an
+    unmarked predecessor, which is what makes plain HP's
+    protect-and-validate applicable (Table 1, "linked list (Michael)"). *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Pool = Hpbrcu_alloc.Pool
+module Link = Hpbrcu_core.Link
+open Hpbrcu_core.Smr_intf
+
+module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
+  let name = "HMList(" ^ S.name ^ ")"
+
+  type node = {
+    blk : Block.t;
+    mutable key : int;  (* mutable only for pool reuse (VBR) *)
+    mutable value : int;
+    next : node Link.cell;
+  }
+
+  let blk n = n.blk
+
+  type t = { head : node (* sentinel, key = min_int *); pool : node Pool.t }
+
+  (* The traversal cursor: [prev] and the link loaded from [prev.next]
+     (whose target is [cur]).  Keeping the loaded link (not just the
+     target) gives CASes their physical-equality expected value. *)
+  type cursor = { prev : node; pnext : node Link.t }
+
+  let cur_of c = Link.target c.pnext
+
+  type session = {
+    h : S.handle;
+    prot : S.shield array;  (* protector: prev, cur *)
+    backup : S.shield array;  (* double-buffer twin *)
+    scratch : S.shield array;  (* rotating per-read shields (HP family) *)
+    mutable rot : int;
+    mask0 : S.shield;  (* outliving shields for masked regions (Alg. 8) *)
+    mask1 : S.shield;
+  }
+
+  let create () =
+    {
+      head =
+        { blk = Alloc.block (); key = min_int; value = 0; next = Link.cell None };
+      pool = Pool.create ();
+    }
+
+  let session _t =
+    let h = S.register () in
+    {
+      h;
+      prot = [| S.new_shield h; S.new_shield h |];
+      backup = [| S.new_shield h; S.new_shield h |];
+      scratch = [| S.new_shield h; S.new_shield h; S.new_shield h |];
+      rot = 0;
+      mask0 = S.new_shield h;
+      mask1 = S.new_shield h;
+    }
+
+  let close_session s =
+    S.flush s.h;
+    S.unregister s.h
+
+  (* ---------------- allocation (pool-aware for VBR) ---------------- *)
+
+  let alloc_node t key value =
+    let reuse =
+      if not S.recycles then None
+      else
+        match Pool.acquire t.pool with
+        | Some n when Block.retire_era n.blk <> S.current_era () ->
+            (* Cross-era reuse only: see Vbr's module comment. *)
+            Block.reanimate n.blk ~era:(S.current_era ());
+            n.key <- key;
+            n.value <- value;
+            Link.set n.next Link.null;
+            Some n
+        | Some n ->
+            Pool.release t.pool n;
+            None
+        | None -> None
+    in
+    match reuse with
+    | Some n -> n
+    | None ->
+        let b = Alloc.block ~recyclable:S.recycles () in
+        Block.set_birth_era b ~era:(S.current_era ());
+        { blk = b; key; value; next = Link.cell None }
+
+  (* A node that was allocated but never published. *)
+  let discard t n = if S.recycles then Pool.release t.pool n
+
+  (* ---------------- mediated accesses ---------------- *)
+
+  let scratch_read s ?src cell =
+    let sh = s.scratch.(s.rot) in
+    s.rot <- (s.rot + 1) mod Array.length s.scratch;
+    S.read s.h sh ?src ~hdr:blk cell
+
+  (* Read a node's key, then validate the access (order matters for VBR:
+     the value is junk if the node was recycled meanwhile, and the
+     validation detects exactly that). *)
+  let key_of s n =
+    let k = n.key in
+    S.deref s.h n.blk;
+    k
+
+  (* ---------------- Traverse plumbing (Algorithm 8) ---------------- *)
+
+  (* ListCursorProtector.protect: publish both cursor nodes. *)
+  let protect_cursor (sh : S.shield array) c =
+    S.protect sh.(0) (Some c.prev.blk);
+    S.protect sh.(1) (Option.map blk (cur_of c))
+
+  (* ListCursor.validate: the node the resumed traversal will dereference
+     must not be logically deleted (checking the mark suffices for
+     revalidation, §3.3).  Cursor nodes are checkpoint-protected, hence
+     unreclaimed, so bare loads are safe here. *)
+  let validate_cursor c =
+    match cur_of c with
+    | None ->
+        Alloc.check_access c.prev.blk;
+        not (Link.is_marked (Link.get c.prev.next))
+    | Some cur ->
+        Alloc.check_access cur.blk;
+        not (Link.is_marked (Link.get cur.next))
+
+  let init_cursor t s () = { prev = t.head; pnext = scratch_read s t.head.next }
+
+  (* One traversal step (Algorithm 8's step closure). *)
+  let step t s key c =
+    match cur_of c with
+    | None -> Finish (c, false)  (* reached the end: key absent *)
+    | Some cur -> (
+        let next = scratch_read s ~src:cur.blk cur.next in
+        if Link.is_marked next then begin
+          (* cur is logically deleted: help unlink it.  The unlink + retire
+             pair is abort-rollback-unsafe, so it runs masked on outliving
+             protections (Algorithm 8 lines 23-27). *)
+          S.protect s.mask0 (Some c.prev.blk);
+          S.protect s.mask1 (Some cur.blk);
+          let desired = Link.make (Link.target next) in
+          let ok =
+            S.mask s.h (fun () ->
+                if Link.cas c.prev.next ~expected:c.pnext ~desired then begin
+                  S.retire s.h cur.blk
+                    ~patch:(match Link.target next with
+                           | None -> []
+                           | Some nx -> [ nx.blk ])
+                    ~free:(fun () -> if S.recycles then Pool.release t.pool cur);
+                  true
+                end
+                else false)
+          in
+          if ok then Continue { prev = c.prev; pnext = desired } else Fail
+        end
+        else
+          let k = key_of s cur in
+          if k >= key then Finish (c, k = key)
+          else Continue { prev = cur; pnext = next })
+
+  (* TrySearch: traverse until the position of [key]; retry the whole
+     operation if revalidation failed (rare).  On success the returned
+     cursor is protected by the winning shield array. *)
+  let rec search t s key =
+    match
+      S.traverse s.h ~prot:s.prot ~backup:s.backup ~protect:protect_cursor
+        ~validate:validate_cursor ~init:(init_cursor t s) ~step:(step t s key)
+    with
+    | Some (c, _win, found) -> (c, found)
+    | None -> search t s key
+
+  (* ---------------- operations ---------------- *)
+
+  let get t s key = S.op s.h (fun () -> snd (search t s key))
+
+  let insert t s key value =
+    S.op s.h (fun () ->
+        let n = alloc_node t key value in
+        let rec go () =
+          let c, found = search t s key in
+          if found then begin
+            discard t n;
+            false
+          end
+          else begin
+            Link.set n.next (Link.make (cur_of c));
+            let desired = Link.make (Some n) in
+            if Link.cas c.prev.next ~expected:c.pnext ~desired then true
+            else go ()
+          end
+        in
+        go ())
+
+  let remove t s key =
+    S.op s.h (fun () ->
+        let rec go () =
+          let c, found = search t s key in
+          if not found then false
+          else
+            let cur = Option.get (cur_of c) in
+            let next = scratch_read s ~src:cur.blk cur.next in
+            if Link.is_marked next then go ()  (* lost the race *)
+            else if
+              (* Logical deletion: mark cur's next link. *)
+              Link.cas cur.next ~expected:next ~desired:(Link.with_tag next 1)
+            then begin
+              (* Physical deletion; on failure a helping traversal will
+                 finish the job (and retire the node). *)
+              let desired = Link.make (Link.target next) in
+              if Link.cas c.prev.next ~expected:c.pnext ~desired then
+                S.retire s.h cur.blk
+                  ~patch:(match Link.target next with
+                         | None -> []
+                         | Some nx -> [ nx.blk ])
+                  ~free:(fun () -> if S.recycles then Pool.release t.pool cur)
+              else ignore (search t s key : cursor * bool);
+              true
+            end
+            else go ()
+        in
+        go ())
+
+  (* Walk the whole list once, helping every pending unlink. *)
+  let cleanup t s = ignore (get t s max_int : bool)
+end

@@ -1,0 +1,238 @@
+(** Lazy concurrent list (Heller et al., OPODIS 2005) — Table 1's first
+    row: a {e lock-based} sorted list with wait-free lookup.
+
+    Updates lock the two affected nodes, validate (neither marked, still
+    adjacent), mutate, unlock.  Lookups are plain optimistic traversals
+    that may walk across marked (logically deleted) nodes — which is why
+    HP cannot protect them (✗ in Table 1) while coarse-grained schemes and
+    the HP-(B)RCU family can (▲: the wait-free lookup becomes lock-free
+    under schemes that may abort readers).
+
+    SMR interaction: lock acquisition is abort-rollback-unsafe, so locking
+    happens strictly in write phases (outside critical sections), on nodes
+    protected by the traversal's returned shields.  DEBRA+ could not run
+    this structure for precisely that reason (§2.3: "does not apply to
+    data structures that internally use locks"); with HP-BRCU the
+    traversal-only critical section never sees a lock. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Pool = Hpbrcu_alloc.Pool
+module Link = Hpbrcu_core.Link
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core.Smr_intf
+
+module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
+  let name = "LazyList(" ^ S.name ^ ")"
+
+  type node = {
+    blk : Block.t;
+    mutable key : int;
+    mutable value : int;
+    next : node Link.cell;
+    lock : bool Atomic.t;
+    marked : bool Atomic.t;  (* logical deletion flag (not a link tag) *)
+  }
+
+  let blk n = n.blk
+
+  type t = { head : node; pool : node Pool.t }
+
+  type cursor = { prev : node; pnext : node Link.t }
+
+  let cur_of c = Link.target c.pnext
+
+  type session = {
+    h : S.handle;
+    prot : S.shield array;
+    backup : S.shield array;
+    scratch : S.shield array;
+    mutable rot : int;
+  }
+
+  let mk_node ?(recyclable = false) key value =
+    {
+      blk = Alloc.block ~recyclable ();
+      key;
+      value;
+      next = Link.cell None;
+      lock = Atomic.make false;
+      marked = Atomic.make false;
+    }
+
+  let create () = { head = mk_node min_int 0; pool = Pool.create () }
+
+  let session _t =
+    let h = S.register () in
+    {
+      h;
+      prot = Array.init 2 (fun _ -> S.new_shield h);
+      backup = Array.init 2 (fun _ -> S.new_shield h);
+      scratch = Array.init 3 (fun _ -> S.new_shield h);
+      rot = 0;
+    }
+
+  let close_session s =
+    S.flush s.h;
+    S.unregister s.h
+
+  let alloc_node t key value =
+    let reuse =
+      if not S.recycles then None
+      else
+        match Pool.acquire t.pool with
+        | Some n when Block.retire_era n.blk <> S.current_era () ->
+            Block.reanimate n.blk ~era:(S.current_era ());
+            n.key <- key;
+            n.value <- value;
+            Link.set n.next Link.null;
+            Atomic.set n.lock false;
+            Atomic.set n.marked false;
+            Some n
+        | Some n ->
+            Pool.release t.pool n;
+            None
+        | None -> None
+    in
+    match reuse with
+    | Some n -> n
+    | None ->
+        let n = mk_node ~recyclable:S.recycles key value in
+        Block.set_birth_era n.blk ~era:(S.current_era ());
+        n
+
+  let discard t n = if S.recycles then Pool.release t.pool n
+
+  let scratch_read s ?src cell =
+    let sh = s.scratch.(s.rot) in
+    s.rot <- (s.rot + 1) mod Array.length s.scratch;
+    S.read s.h sh ?src ~hdr:blk cell
+
+  let key_of s n =
+    let k = n.key in
+    S.deref s.h n.blk;
+    k
+
+  (* Spin lock; only ever taken in write phases on shield-protected
+     nodes.  Never called while the deadline-protected section holds
+     another resource without a Fun.protect (see callers). *)
+  let acquire n = Sched.wait_until (fun () -> Atomic.compare_and_set n.lock false true)
+  let release n = Atomic.set n.lock false
+
+  let with_locked2 a b f =
+    acquire a;
+    Fun.protect
+      ~finally:(fun () -> release a)
+      (fun () ->
+        acquire b;
+        Fun.protect ~finally:(fun () -> release b) f)
+
+  let with_locked a f =
+    acquire a;
+    Fun.protect ~finally:(fun () -> release a) f
+
+  (* ---------------- traversal ---------------- *)
+
+  let protect_cursor (sh : S.shield array) c =
+    S.protect sh.(0) (Some c.prev.blk);
+    S.protect sh.(1) (Option.map blk (cur_of c))
+
+  (* Resuming follows prev.next: prev must not be logically deleted. *)
+  let validate_cursor c =
+    Alloc.check_access c.prev.blk;
+    not (Atomic.get c.prev.marked)
+
+  let init_cursor t s () = { prev = t.head; pnext = scratch_read s t.head.next }
+
+  (* Pure read steps: walk (possibly across marked nodes) until key ≥ k.
+     No helping — physical removal is the remover's job, under locks. *)
+  let step s key c =
+    match cur_of c with
+    | None -> Finish (c, false)
+    | Some cur ->
+        let k = key_of s cur in
+        if k < key then
+          Continue { prev = cur; pnext = scratch_read s ~src:cur.blk cur.next }
+        else Finish (c, k = key && not (Atomic.get cur.marked))
+
+  let rec search t s key =
+    match
+      S.traverse s.h ~prot:s.prot ~backup:s.backup ~protect:protect_cursor
+        ~validate:validate_cursor ~init:(init_cursor t s) ~step:(step s key)
+    with
+    | Some (c, _win, found) -> (c, found)
+    | None -> search t s key
+
+  (* Heller et al.'s two-node validation, under locks. *)
+  let validate_locked prev cur_opt pnext =
+    (not (Atomic.get prev.marked))
+    && Link.get prev.next == pnext
+    && match cur_opt with Some c -> not (Atomic.get c.marked) | None -> true
+
+  (* ---------------- operations ---------------- *)
+
+  let get t s key = S.op s.h (fun () -> snd (search t s key))
+
+  let insert t s key value =
+    S.op s.h (fun () ->
+        let n = alloc_node t key value in
+        let rec go () =
+          let c, found = search t s key in
+          if found then begin
+            discard t n;
+            false
+          end
+          else
+            let outcome =
+              with_locked c.prev (fun () ->
+                  if not (validate_locked c.prev None c.pnext) then `Retry
+                  else
+                    match cur_of c with
+                    | Some cur when cur.key = key && not (Atomic.get cur.marked)
+                      ->
+                        `Present
+                    | _ ->
+                        Link.set n.next (Link.make (cur_of c));
+                        Link.set c.prev.next (Link.make (Some n));
+                        `Inserted)
+            in
+            match outcome with
+            | `Inserted -> true
+            | `Present ->
+                discard t n;
+                false
+            | `Retry -> go ()
+        in
+        go ())
+
+  let remove t s key =
+    S.op s.h (fun () ->
+        let rec go () =
+          let c, found = search t s key in
+          if not found then false
+          else
+            let cur = Option.get (cur_of c) in
+            let outcome =
+              with_locked2 c.prev cur (fun () ->
+                  if not (validate_locked c.prev (Some cur) c.pnext) then `Retry
+                  else begin
+                    (* Logical then physical deletion, both under locks. *)
+                    Atomic.set cur.marked true;
+                    Link.set c.prev.next (Link.get cur.next);
+                    `Removed
+                  end)
+            in
+            match outcome with
+            | `Removed ->
+                S.retire s.h cur.blk
+                  ~patch:(match Link.target (Link.get cur.next) with
+                         | None -> []
+                         | Some nx -> [ nx.blk ])
+                  ~free:(fun () -> if S.recycles then Pool.release t.pool cur);
+                true
+            | `Retry -> go ()
+        in
+        go ())
+
+  let cleanup t s = ignore (get t s max_int : bool)
+end

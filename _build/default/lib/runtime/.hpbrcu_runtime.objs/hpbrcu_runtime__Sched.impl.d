@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Atomic Domain Effect Fun List Printexc Printf Rng Unix

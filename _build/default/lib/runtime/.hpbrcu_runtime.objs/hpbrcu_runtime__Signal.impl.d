@@ -1,0 +1,1 @@
+lib/runtime/signal.ml: Atomic Sched

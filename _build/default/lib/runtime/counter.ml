@@ -1,0 +1,38 @@
+(** Shared monotonic counters with peak tracking.
+
+    OCaml gives no control over object placement, so unlike the C/Rust
+    original we cannot pad counters to cache lines; each [Atomic.t] is its
+    own boxed object, which in practice avoids most false sharing.  The
+    interface still centralizes every counter the harness reads so that the
+    measurement story lives in one place. *)
+
+type t = { value : int Atomic.t; peak : int Atomic.t }
+
+let make () = { value = Atomic.make 0; peak = Atomic.make 0 }
+
+let get t = Atomic.get t.value
+let peak t = Atomic.get t.peak
+
+let rec bump_peak t v =
+  let p = Atomic.get t.peak in
+  if v > p && not (Atomic.compare_and_set t.peak p v) then bump_peak t v
+
+(** [incr t] increments and updates the recorded peak. *)
+let incr t =
+  let v = Atomic.fetch_and_add t.value 1 + 1 in
+  bump_peak t v
+
+let decr t = ignore (Atomic.fetch_and_add t.value (-1))
+
+let add t n =
+  let v = Atomic.fetch_and_add t.value n + n in
+  if n > 0 then bump_peak t v
+
+(** [reset t] zeroes both the value and the peak (between experiment cells). *)
+let reset t =
+  Atomic.set t.value 0;
+  Atomic.set t.peak 0
+
+(** [reset_peak t] re-arms peak tracking at the current value, for measuring
+    the peak of a window rather than of the whole run. *)
+let reset_peak t = Atomic.set t.peak (Atomic.get t.value)

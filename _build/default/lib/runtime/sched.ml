@@ -1,0 +1,328 @@
+(** Thread substrate: real domains, or a deterministic fiber simulator.
+
+    The paper's experiments run 1–192 hardware threads.  This container has a
+    single core, so the repository supports two execution modes behind one
+    interface:
+
+    - {b Domain mode} spawns real [Domain.t]s.  It measures genuine
+      wall-clock throughput (schemes' per-operation overheads), but on one
+      core it cannot express large thread counts or adversarial preemption.
+
+    - {b Fiber mode} multiplexes up to {!max_threads} cooperative fibers
+      (effect handlers) on the calling domain.  Scheduling is driven by a
+      seeded {!Rng}, so every interleaving is reproducible from its seed.
+      Fibers switch only at {!yield} points — which the reclamation schemes
+      place at every mediated pointer read — so the simulator explores
+      exactly the interleavings that matter to SMR correctness, including
+      injected stalls ({!stall}) that model preemption of a reader mid
+      critical-section.
+
+    All cross-thread communication in the schemes uses [Atomic] operations,
+    which are sequentially consistent in OCaml, so code is identical in both
+    modes. *)
+
+(** Hard cap on simulated threads; the paper's biggest sweep uses 192. *)
+let max_threads = 256
+
+type mode =
+  | Domains  (** real [Domain.spawn] workers *)
+  | Fibers of { seed : int; switch_every : int }
+      (** deterministic simulator; a context switch is considered at every
+          {!yield} with probability [1/switch_every] (1 = always switch) *)
+
+(* ------------------------------------------------------------------ *)
+(* Current-thread identity                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Deadline
+(** Raised from a {!yield} point when the armed deadline has passed.  The
+    measurement harness arms it so that {e starving} operations — e.g. an
+    NBR read phase that is neutralized faster than it can finish, the very
+    phenomenon of Figure 1 — can be aborted; otherwise a starved worker
+    would never reach its loop's stop-flag check and the benchmark could
+    not terminate.  Scheme code treats it like any foreign exception:
+    critical sections unwind cleanly. *)
+
+let deadline : float Atomic.t = Atomic.make infinity
+let deadline_ticker = ref 0 (* racy on purpose; only paces the clock reads *)
+
+let set_deadline t = Atomic.set deadline t
+let clear_deadline () = Atomic.set deadline infinity
+
+let check_deadline () =
+  incr deadline_ticker;
+  if !deadline_ticker land 1023 = 0 && Unix.gettimeofday () > Atomic.get deadline
+  then raise Deadline
+
+(* ------------------------------------------------------------------ *)
+(* Stall injection (fiber mode)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Models readers preempted by the OS in the middle of an operation —
+   i.e. inside a critical section — the adversary of the paper's
+   "robustness against stalled threads" criterion (Table 2 row 1).
+   Every [period]-th yield point suspends the calling fiber for [ticks]
+   virtual ticks.  [period = 0] disables injection. *)
+let stall_period = Atomic.make 0
+let stall_ticks = Atomic.make 0
+let stall_counter = ref 0 (* racy pacing counter, like deadline_ticker *)
+
+let set_stall_inject ~period ~ticks =
+  Atomic.set stall_period (max 0 period);
+  Atomic.set stall_ticks (max 0 ticks)
+
+(** [self ()] is the logical thread id of the calling worker, or [-1] when
+    called outside {!run}. *)
+let self () = Domain.DLS.get tid_key
+
+(* ------------------------------------------------------------------ *)
+(* Fiber simulator                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fiber_state =
+  | Start of (unit -> unit)
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Done
+
+type fiber = {
+  ftid : int;
+  mutable state : fiber_state;
+  mutable wake_at : int;  (* virtual tick before which the fiber sleeps *)
+}
+
+type ctx = {
+  fibers : fiber array;
+  rng : Rng.t;
+  switch_every : int;
+  mutable tick : int;
+  mutable current : int;          (* index of the running fiber *)
+  mutable live : int;             (* fibers not yet Done *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let ctx_ref : ctx option ref = ref None
+
+exception Fiber_aborted
+(** Raised inside surviving fibers when a sibling fails, so their handlers
+    unwind; never escapes {!run}. *)
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Stall : int -> unit Effect.t
+
+let fiber_mode () = !ctx_ref <> None
+
+(** Virtual time in fiber mode (one tick per scheduling decision); [0] in
+    domain mode.  Used by tests to bound stall durations. *)
+let tick () = match !ctx_ref with Some c -> c.tick | None -> 0
+
+(** [yield ()] is a potential context-switch point.  In fiber mode the
+    scheduler may transfer control to another fiber; in domain mode it is a
+    spin-wait hint.  Schemes call this from every mediated read and poll. *)
+let yield () =
+  check_deadline ();
+  match !ctx_ref with
+  | Some c ->
+      let p = Atomic.get stall_period in
+      if p > 0 then begin
+        incr stall_counter;
+        if !stall_counter mod p = 0 then
+          Effect.perform (Stall (Atomic.get stall_ticks))
+      end;
+      if c.switch_every <= 1 || Rng.int c.rng c.switch_every = 0 then
+        Effect.perform Yield
+  | None -> Domain.cpu_relax ()
+
+(** Unconditional switch point (fiber mode); used by spin loops so that the
+    thread being waited on is guaranteed to run. *)
+let yield_now () =
+  check_deadline ();
+  match !ctx_ref with
+  | Some _ -> Effect.perform Yield
+  | None -> Domain.cpu_relax ()
+
+let cpu_relax = yield_now
+
+(** [stall n] suspends the calling worker: [n] virtual ticks in fiber mode,
+    [n] microseconds in domain mode.  Models a reader preempted by the OS —
+    the adversary of every robustness experiment. *)
+let stall n =
+  if n <= 0 then ()
+  else
+    match !ctx_ref with
+    | Some _ -> Effect.perform (Stall n)
+    | None -> Unix.sleepf (float_of_int n *. 1e-6)
+
+(** [wait_until pred] spins (cooperatively in fiber mode) until [pred ()]
+    holds.  Fiber mode guarantees progress: each spin iteration yields
+    unconditionally, advancing virtual time and thus waking sleepers.  In
+    domain mode the spin backs off to a 1 µs sleep so that on an
+    oversubscribed machine the waiter yields its timeslice to the thread
+    it is waiting for. *)
+let wait_until pred =
+  let spins = ref 0 in
+  while not (pred ()) do
+    incr spins;
+    if fiber_mode () || !spins < 64 then yield_now ()
+    else begin
+      check_deadline ();
+      Unix.sleepf 1e-6
+    end
+  done
+
+(** [interrupt ~tid] wakes a fiber sleeping in {!stall} immediately —
+    the simulator's analogue of a POSIX signal interrupting a blocked
+    system call ([EINTR]).  No-op in domain mode and for running fibers. *)
+let interrupt ~tid =
+  match !ctx_ref with
+  | Some c when tid >= 0 && tid < Array.length c.fibers ->
+      let f = c.fibers.(tid) in
+      if f.wake_at > c.tick then f.wake_at <- c.tick
+  | _ -> ()
+
+(* One scheduling step: pick a runnable fiber at random and run it until it
+   yields, stalls, finishes, or raises. *)
+let schedule_step c =
+  c.tick <- c.tick + 1;
+  (* Collect runnable fibers. *)
+  let n = Array.length c.fibers in
+  let runnable = ref [] and nrun = ref 0 and min_wake = ref max_int in
+  for i = n - 1 downto 0 do
+    let f = c.fibers.(i) in
+    match f.state with
+    | Done | Running -> ()
+    | Start _ | Paused _ ->
+        if f.wake_at <= c.tick then begin
+          runnable := i :: !runnable;
+          incr nrun
+        end
+        else if f.wake_at < !min_wake then min_wake := f.wake_at
+  done;
+  if !nrun = 0 then begin
+    (* Everyone asleep: jump virtual time to the next wake-up. *)
+    if !min_wake = max_int then failwith "Sched: deadlock (no runnable fiber)";
+    c.tick <- !min_wake
+  end
+  else begin
+    let idx = List.nth !runnable (Rng.int c.rng !nrun) in
+    let f = c.fibers.(idx) in
+    let prev = c.current in
+    c.current <- idx;
+    Domain.DLS.set tid_key f.ftid;
+    let handler : (unit, unit) Effect.Deep.handler =
+      {
+        retc =
+          (fun () ->
+            f.state <- Done;
+            c.live <- c.live - 1);
+        exnc =
+          (fun e ->
+            f.state <- Done;
+            c.live <- c.live - 1;
+            match e with
+            | Fiber_aborted -> ()
+            | e ->
+                if c.failure = None then
+                  c.failure <- Some (f.ftid, e, Printexc.get_raw_backtrace ()));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    f.state <- Paused k)
+            | Stall ticks ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    f.wake_at <- c.tick + ticks;
+                    f.state <- Paused k)
+            | _ -> None);
+      }
+    in
+    (match f.state with
+    | Start body ->
+        f.state <- Running;
+        Effect.Deep.match_with body () handler
+    | Paused k ->
+        f.state <- Running;
+        Effect.Deep.continue k ()
+    | Running | Done -> assert false);
+    c.current <- prev;
+    Domain.DLS.set tid_key (-1)
+  end
+
+let run_fibers ~seed ~switch_every ~nthreads body =
+  if !ctx_ref <> None then invalid_arg "Sched.run: nested fiber schedulers";
+  let c =
+    {
+      fibers =
+        Array.init nthreads (fun i ->
+            { ftid = i; state = Start (fun () -> body i); wake_at = 0 });
+      rng = Rng.create ~seed;
+      switch_every = max 1 switch_every;
+      tick = 0;
+      current = -1;
+      live = nthreads;
+      failure = None;
+    }
+  in
+  ctx_ref := Some c;
+  let finish () = ctx_ref := None in
+  (try
+     while c.live > 0 && c.failure = None do
+       schedule_step c
+     done;
+     (* A fiber failed: unwind the survivors so they release nothing and the
+        scheduler terminates cleanly. *)
+     while c.live > 0 do
+       Array.iter
+         (fun f ->
+           match f.state with
+           | Paused k ->
+               (* The deep handler's [exnc] updates [state] and [live]. *)
+               f.state <- Running;
+               Domain.DLS.set tid_key f.ftid;
+               (try Effect.Deep.discontinue k Fiber_aborted with _ -> ());
+               Domain.DLS.set tid_key (-1)
+           | Start _ ->
+               f.state <- Done;
+               c.live <- c.live - 1
+           | Running | Done -> ())
+         c.fibers
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  match c.failure with
+  | Some (_tid, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run_domains ~nthreads body =
+  let worker i () =
+    Domain.DLS.set tid_key i;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set tid_key (-1)) (fun () -> body i)
+  in
+  let domains = List.init nthreads (fun i -> Domain.spawn (worker i)) in
+  (* Join all even if one raised, then re-raise the first failure. *)
+  let results =
+    List.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
+  in
+  List.iter (function Error e -> raise e | Ok () -> ()) results
+
+(** [run mode ~nthreads body] runs [body 0 .. body (nthreads-1)] to
+    completion as concurrent workers under [mode] and returns when all have
+    finished.  Re-raises the first worker failure. *)
+let run mode ~nthreads body =
+  if nthreads < 1 || nthreads > max_threads then
+    invalid_arg
+      (Printf.sprintf "Sched.run: nthreads must be in [1, %d]" max_threads);
+  match mode with
+  | Domains -> run_domains ~nthreads body
+  | Fibers { seed; switch_every } -> run_fibers ~seed ~switch_every ~nthreads body

@@ -1,0 +1,111 @@
+(** Cooperative simulation of POSIX per-thread signals.
+
+    The paper neutralizes lagging readers with [pthread_kill(SIGUSR1)] and a
+    handler that [siglongjmp]s out of the critical section, under the
+    assumption (paper §4.1, Assumption 1) that {e the signaled thread is
+    suspended before the signaling thread returns from the system call}.
+
+    OCaml cannot asynchronously interrupt a domain at an arbitrary
+    instruction, so we substitute a cooperative protocol with the same
+    algebra (see DESIGN.md §2.2):
+
+    - {!send} publishes a pending-delivery flag (SC atomic) and then blocks
+      until the receiver acknowledges — this is the "suspended before the
+      call returns" guarantee, turned into a handshake;
+    - the receiver calls {!poll} from every scheme-mediated pointer read; a
+      pending delivery runs the installed handler (which typically raises
+      the scheme's [Rollback]) {e before} the read is allowed to proceed, so
+      once {!send} has returned, the receiver cannot dereference anything
+      without first having executed its handler.
+
+    The handler runs in the receiver's context, like a real signal handler.
+    A receiver that is "out" (not in any critical section — analogous to a
+    handler that finds [status = Out] and returns) acknowledges passively:
+    {!send} also completes when [is_out ()] holds, because the paper's
+    handler is a no-op in that state.
+
+    Real signals cost a kernel round trip (~1–10 µs); benchmarks can charge
+    a synthetic sender-side cost via {!set_send_cost} so that
+    signal-frequency effects (NBR's weakness) stay visible on the simulated
+    substrate. *)
+
+type box = {
+  pending : bool Atomic.t;
+  acks : int Atomic.t;  (* deliveries handled by the receiver *)
+  sent : int Atomic.t;  (* diagnostics: signals ever sent to this box *)
+  mutable owner_tid : int;  (* for waking a stalled fiber, like EINTR *)
+}
+
+let make () =
+  { pending = Atomic.make false; acks = Atomic.make 0; sent = Atomic.make 0;
+    owner_tid = -1 }
+
+(** [attach box] binds the box to the calling thread so that {!send} can
+    interrupt its simulated stalls (signals interrupt blocked syscalls). *)
+let attach box = box.owner_tid <- Sched.self ()
+
+let send_cost = Atomic.make 0 (* iterations of busy work per send *)
+
+(** [set_send_cost n] makes every {!send} spin for [n] iterations on the
+    sender, modelling the kernel cost of [pthread_kill]. *)
+let set_send_cost n = Atomic.set send_cost (max 0 n)
+
+let sent box = Atomic.get box.sent
+let delivered box = Atomic.get box.acks
+
+(* Sink for the synthetic busy-work loop so it cannot be optimized away. *)
+let burn_sink = ref 0
+
+let burn n =
+  let acc = ref !burn_sink in
+  for i = 1 to n do
+    acc := (!acc * 25214903917) + i
+  done;
+  burn_sink := !acc
+
+(** [send box ~is_out] delivers a signal.  Mirrors Assumption 1 of the
+    paper ("the signaled thread is suspended before the signaling thread
+    returns"):
+
+    - In fiber mode, posting the pending flag suffices: fibers interleave
+      only at yields, and every scheme places its poll and the subsequent
+      memory access inside one yield-free region, so the receiver cannot
+      touch memory again without first running its handler.  (A sleeping
+      receiver is woken, as a signal interrupts a blocked syscall.)
+    - In domain mode, threads are truly parallel and the poll/access pair
+      is not atomic, so the sender waits until the receiver acknowledges
+      the delivery or is observed outside any critical section. *)
+let send box ~is_out =
+  Atomic.incr box.sent;
+  let cost = Atomic.get send_cost in
+  if cost > 0 then burn cost;
+  let before = Atomic.get box.acks in
+  Atomic.set box.pending true;
+  if Sched.fiber_mode () then begin
+    if box.owner_tid >= 0 then Sched.interrupt ~tid:box.owner_tid
+  end
+  else
+    Sched.wait_until (fun () ->
+        Atomic.get box.acks > before
+        || (not (Atomic.get box.pending))
+        || is_out ())
+
+(** [poll box ~handler] — receiver side.  If a delivery is pending, consume
+    it and run [handler] (which may raise, exactly like a [siglongjmp]ing
+    signal handler).  The acknowledgement is published {e before} the
+    handler runs so a raising handler still releases the sender. *)
+let poll box ~handler =
+  if Atomic.get box.pending then begin
+    Atomic.set box.pending false;
+    Atomic.incr box.acks;
+    handler ()
+  end
+
+(** [consume_quietly box] acknowledges a pending delivery without running a
+    handler; used when leaving a critical section (a late signal aimed at a
+    section that already ended must not kill the next one). *)
+let consume_quietly box =
+  if Atomic.get box.pending then begin
+    Atomic.set box.pending false;
+    Atomic.incr box.acks
+  end

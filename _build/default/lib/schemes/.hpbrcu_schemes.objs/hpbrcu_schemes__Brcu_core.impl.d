@@ -1,0 +1,1 @@
+lib/schemes/brcu_core.ml: Array Atomic Hpbrcu_core Hpbrcu_runtime List Registry

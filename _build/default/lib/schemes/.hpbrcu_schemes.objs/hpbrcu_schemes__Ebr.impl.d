@@ -1,0 +1,1 @@
+lib/schemes/ebr.ml: Caps Config Epoch_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Option Scheme_common Smr_intf

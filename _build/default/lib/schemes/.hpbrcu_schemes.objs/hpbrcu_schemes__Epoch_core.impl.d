@@ -1,0 +1,1 @@
+lib/schemes/epoch_core.ml: Atomic Fun Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime List Registry

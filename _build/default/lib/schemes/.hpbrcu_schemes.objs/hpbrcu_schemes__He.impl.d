@@ -1,0 +1,1 @@
+lib/schemes/he.ml: Array Atomic Caps Config Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link List Option Scheme_common Smr_intf

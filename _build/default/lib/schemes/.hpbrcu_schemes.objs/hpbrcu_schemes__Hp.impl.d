@@ -1,0 +1,1 @@
+lib/schemes/hp.ml: Caps Config Hp_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Option Scheme_common Smr_intf

@@ -1,0 +1,1 @@
+lib/schemes/hp_brcu.ml: Array Atomic Brcu_core Caps Config Hp_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link List Option Smr_intf

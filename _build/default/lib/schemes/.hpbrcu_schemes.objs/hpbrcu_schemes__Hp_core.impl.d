@@ -1,0 +1,1 @@
+lib/schemes/hp_core.ml: Atomic Hashtbl Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime List Registry

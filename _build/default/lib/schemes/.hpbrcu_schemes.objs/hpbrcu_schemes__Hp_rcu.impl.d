@@ -1,0 +1,1 @@
+lib/schemes/hp_rcu.ml: Caps Config Epoch_core Hp_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Option Scheme_common Smr_intf

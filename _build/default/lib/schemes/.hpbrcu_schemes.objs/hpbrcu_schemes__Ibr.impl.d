@@ -1,0 +1,1 @@
+lib/schemes/ibr.ml: Atomic Caps Config Fun Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link List Option Registry Scheme_common Smr_intf

@@ -1,0 +1,1 @@
+lib/schemes/nbr.ml: Atomic Caps Config Fun Hp_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Option Registry Retired Smr_intf

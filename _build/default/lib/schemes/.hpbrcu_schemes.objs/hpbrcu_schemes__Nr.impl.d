@@ -1,0 +1,1 @@
+lib/schemes/nr.ml: Caps Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Scheme_common Smr_intf

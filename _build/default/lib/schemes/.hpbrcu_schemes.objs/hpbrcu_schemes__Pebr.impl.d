@@ -1,0 +1,1 @@
+lib/schemes/pebr.ml: Atomic Caps Config Epoch_core Fun Hp_core Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link List Option Registry Scheme_common Smr_intf

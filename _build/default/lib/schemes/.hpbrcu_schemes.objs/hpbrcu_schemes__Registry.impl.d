@@ -1,0 +1,1 @@
+lib/schemes/registry.ml: Array Atomic Hashtbl Hpbrcu_alloc Hpbrcu_runtime

@@ -1,0 +1,1 @@
+lib/schemes/scheme_common.ml: Hpbrcu_core

@@ -1,0 +1,1 @@
+lib/schemes/schemes.ml: Ebr He Hp Hp_brcu Hp_rcu Hpbrcu_alloc Hpbrcu_core Hppp Ibr List Nbr Nr Pebr Vbr

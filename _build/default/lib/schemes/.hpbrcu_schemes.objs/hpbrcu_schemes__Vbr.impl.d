@@ -1,0 +1,1 @@
+lib/schemes/vbr.ml: Atomic Caps Config Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Link Scheme_common Smr_intf

@@ -1,0 +1,286 @@
+(** Bounded RCU (paper §4.1, Algorithm 5) with abort-masking (§4.2,
+    Algorithm 6).
+
+    This is the epoch machinery of {!Epoch_core} extended with the
+    signal-based rollback policy: when a reclaimer has flushed
+    [force_threshold] local batches and the global epoch still cannot
+    advance because some readers' announced epochs lag, it neutralizes
+    {e those readers only} (BRCU's selective signaling, vs. NBR's
+    signal-everyone) and then advances.  A neutralized reader's handler
+    rolls its critical section back to the checkpoint established at
+    [crit] entry — here an OCaml exception unwinding to the [crit] wrapper,
+    our [sigsetjmp]/[siglongjmp] substitute (DESIGN.md §2.2).
+
+    The resulting bound (paper §5): a thread schedules at most
+    [G = max_local_tasks × force_threshold] deferred tasks per epoch, giving
+    at most [2GN + GN² + H] unreclaimed blocks. *)
+
+module Sched = Hpbrcu_runtime.Sched
+module Signal = Hpbrcu_runtime.Signal
+
+exception Rollback
+(** Unwinds to the nearest [crit]; the scheme's [siglongjmp]. *)
+
+(* Status encoding (Algorithm 6 line 2). *)
+let st_out = 0
+let st_incs = 1
+let st_inrm = 2
+let st_rbreq = 3
+
+type task = { run : unit -> unit; stamp : int }
+
+module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
+  type local = {
+    epoch : int Atomic.t;  (* -1 = ⊥ *)
+    status : int Atomic.t;
+    box : Signal.box;
+  }
+
+  let global = Atomic.make 2
+  let participants : local Registry.Participants.t = Registry.Participants.create ()
+
+  (* TASKS (Algorithm 5 line 6): a lock-free list of epoch-tagged batches. *)
+  let tasks : (int * task list) list Atomic.t = Atomic.make []
+  let advances = Atomic.make 0
+  let forced = Atomic.make 0
+  let rollbacks = Atomic.make 0
+  let signals = Atomic.make 0
+
+  type handle = {
+    l : local;
+    idx : int;
+    mutable ltasks : task list;
+    mutable ln : int;
+    mutable push_cnt : int;  (* Algorithm 5 line 13 *)
+  }
+
+  (* Thread-id → local lookup so that operations without a handle in scope
+     (shield protection during checkpoints) can still act as signal
+     delivery points — in the paper a signal can land between any two
+     instructions, in particular between the two protect stores of a
+     checkpoint (the case double buffering exists for, §4.3). *)
+  let locals_by_tid : local option array = Array.make Sched.max_threads None
+
+  let register () =
+    let l =
+      { epoch = Atomic.make (-1); status = Atomic.make st_out; box = Signal.make () }
+    in
+    Signal.attach l.box;
+    let idx = Registry.Participants.add participants l in
+    let tid = Sched.self () in
+    if tid >= 0 && tid < Array.length locals_by_tid then
+      locals_by_tid.(tid) <- Some l;
+    { l; idx; ltasks = []; ln = 0; push_cnt = 0 }
+
+  let epoch () = Atomic.get global
+
+  (* Signal handler (Algorithm 6 lines 4-7), run in the receiver's context
+     by Signal.poll. *)
+  let handler l () =
+    let st = Atomic.get l.status in
+    if st = st_incs then begin
+      Atomic.incr rollbacks;
+      raise Rollback
+    end
+    else if st = st_inrm then
+      (* Racing with Mask's exit CAS; CAS keeps exactly one winner. *)
+      ignore (Atomic.compare_and_set l.status st_inrm st_rbreq)
+
+  (** Neutralization delivery point: every mediated read/deref polls. *)
+  let poll h = Signal.poll h.l.box ~handler:(handler h.l)
+
+  (** Delivery point for contexts that only know the calling thread (e.g.
+      shield stores inside a checkpoint). *)
+  let poll_self () =
+    let tid = Sched.self () in
+    if tid >= 0 && tid < Array.length locals_by_tid then
+      match locals_by_tid.(tid) with
+      | Some l -> Signal.poll l.box ~handler:(handler l)
+      | None -> ()
+
+  let in_cs h = Atomic.get h.l.status <> st_out
+
+  (** CriticalSection (Algorithm 5 line 14).  The body may be re-executed
+      after each rollback; it must be abort-rollback-safe (§4.1). *)
+  let crit h body =
+    assert (not (in_cs h));
+    let l = h.l in
+    let rec go () =
+      (* Checkpoint(chkpt): re-entry point of the rollback. *)
+      Signal.consume_quietly l.box;  (* delivery while Out is a no-op *)
+      Atomic.set l.status st_incs;
+      Atomic.set l.epoch (Atomic.get global);  (* SC: line 16's fence *)
+      match body () with
+      | r ->
+          Atomic.set l.epoch (-1);
+          Atomic.set l.status st_out;
+          Signal.consume_quietly l.box;
+          r
+      | exception Rollback ->
+          Atomic.set l.epoch (-1);
+          Atomic.set l.status st_out;
+          Sched.yield ();
+          go ()
+      | exception e ->
+          Atomic.set l.epoch (-1);
+          Atomic.set l.status st_out;
+          raise e
+    in
+    go ()
+
+  (** Abort-masked region (Algorithm 6 line 8).  Inside [crit], a
+      neutralization received in the region is deferred to its exit.
+      Outside any critical section there is nothing to defer — the region
+      runs as-is (write phases mask for uniformity). *)
+  let mask_in_cs h body =
+    let l = h.l in
+    Atomic.set l.status st_inrm;
+    let result =
+      try body ()
+      with e ->
+        (* Body failed on its own: restore and propagate. *)
+        Atomic.set l.status st_incs;
+        raise e
+    in
+    if Atomic.compare_and_set l.status st_inrm st_incs then result
+    else begin
+      (* A signal arrived inside the region: honour it now. *)
+      assert (Atomic.get l.status = st_rbreq);
+      Atomic.set l.status st_incs;
+      Atomic.incr rollbacks;
+      raise Rollback
+    end
+
+  let mask h body =
+    if Atomic.get h.l.status <> st_incs then body () else mask_in_cs h body
+
+  let rec push_batch eg batch =
+    let old = Atomic.get tasks in
+    if not (Atomic.compare_and_set tasks old ((eg, batch) :: old)) then begin
+      Sched.yield ();
+      push_batch eg batch
+    end
+
+  (* Pop every batch tagged ≤ limit and run it (Algorithm 5 line 34). *)
+  let run_expired limit =
+    let rec take () =
+      let old = Atomic.get tasks in
+      if old = [] then []
+      else if Atomic.compare_and_set tasks old [] then old
+      else begin
+        Sched.yield ();
+        take ()
+      end
+    in
+    let all = take () in
+    let expired, kept = List.partition (fun (e, _) -> e <= limit) all in
+    List.iter (fun b -> push_batch (fst b) (snd b)) kept;
+    let n = ref 0 in
+    List.iter
+      (fun (_, batch) ->
+        List.iter
+          (fun t ->
+            t.run ();
+            incr n)
+          batch)
+      expired;
+    !n
+
+  (* Flush the local batch and try to advance the epoch, signaling lagging
+     readers once the force threshold is reached (Algorithm 5 lines 25-34). *)
+  let flush_and_advance h =
+    if h.ltasks <> [] then begin
+      let eg = Atomic.get global in
+      (* SC fences around the load (line 25) are implied by SC atomics. *)
+      push_batch eg h.ltasks;
+      h.ltasks <- [];
+      h.ln <- 0;
+      h.push_cnt <- h.push_cnt + 1;
+      (* Find violating readers: announced epoch ≠ ⊥ and < Eg. *)
+      let violating = ref [] in
+      Registry.Participants.iter participants (fun l ->
+          let e = Atomic.get l.epoch in
+          if e <> -1 && e < eg then violating := l :: !violating);
+      if !violating <> [] && h.push_cnt < C.config.force_threshold then
+        (* Give up for now (line 31). *)
+        ()
+      else begin
+        if !violating <> [] then begin
+          Atomic.incr forced;
+          List.iter
+            (fun l ->
+              Atomic.incr signals;
+              if l == h.l then
+                (* Self-neutralization: Retire may run inside a (masked)
+                   critical section, making the reclaimer its own lagging
+                   reader.  A real signal to self runs the handler inline;
+                   so do we.  Inside a mask this records the rollback
+                   request; in a bare critical section it aborts the rest
+                   of this flush, exactly as a self-longjmp would. *)
+                handler l ()
+              else
+                Signal.send l.box ~is_out:(fun () ->
+                    let e = Atomic.get l.epoch in
+                    e = -1 || e >= eg))
+            !violating
+        end;
+        h.push_cnt <- 0;
+        if Atomic.compare_and_set global eg (eg + 1) then Atomic.incr advances;
+        ignore (run_expired (eg - 1) : int)
+      end
+    end
+
+  (** Defer (Algorithm 5 line 22). *)
+  let defer h run =
+    h.ltasks <- { run; stamp = 0 } :: h.ltasks;
+    h.ln <- h.ln + 1;
+    if h.ln >= C.config.max_local_tasks then flush_and_advance h
+
+  let flush h =
+    flush_and_advance h;
+    (* One more advance attempt so freshly-pushed batches can expire. *)
+    let eg = Atomic.get global in
+    let lagging = ref false in
+    Registry.Participants.iter participants (fun l ->
+        let e = Atomic.get l.epoch in
+        if e <> -1 && e < eg then lagging := true);
+    if not !lagging then begin
+      if Atomic.compare_and_set global eg (eg + 1) then Atomic.incr advances;
+      ignore (run_expired (eg - 1) : int)
+    end
+
+  let unregister h =
+    assert (not (in_cs h));
+    flush h;
+    let tid = Sched.self () in
+    (if tid >= 0 && tid < Array.length locals_by_tid then
+       match locals_by_tid.(tid) with
+       | Some l when l == h.l -> locals_by_tid.(tid) <- None
+       | _ -> ());
+    Registry.Participants.remove participants h.idx
+
+  let reset () =
+    let rec drain () =
+      match Atomic.get tasks with
+      | [] -> ()
+      | old ->
+          if Atomic.compare_and_set tasks old [] then
+            List.iter (fun (_, b) -> List.iter (fun t -> t.run ()) b) old
+          else drain ()
+    in
+    drain ();
+    Array.fill locals_by_tid 0 (Array.length locals_by_tid) None;
+    Registry.Participants.reset participants;
+    Atomic.set global 2;
+    Atomic.set advances 0;
+    Atomic.set forced 0;
+    Atomic.set rollbacks 0;
+    Atomic.set signals 0
+
+  let debug_stats () =
+    [ ("brcu_epoch", Atomic.get global);
+      ("brcu_advances", Atomic.get advances);
+      ("brcu_forced_advances", Atomic.get forced);
+      ("brcu_rollbacks", Atomic.get rollbacks);
+      ("brcu_signals", Atomic.get signals) ]
+end

@@ -1,0 +1,74 @@
+(** EBR — Fraser-style epoch-based RCU (§2.2), the paper's "RCU" line.
+
+    Whole operations run inside one critical section ({!op} pins an epoch
+    for its entire extent), so traversal reads are bare loads — maximal
+    efficiency, zero robustness: a reader pinned at an old epoch blocks the
+    global epoch and with it all reclamation (the unbounded footprint of
+    Figures 1b and 6b). *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module E = Epoch_core.Make (C) ()
+
+  let name = "RCU"
+
+  let caps : Caps.t =
+    {
+      name = "RCU";
+      robust_stalled = false;
+      robust_longrun = false;
+      per_node = NoOverhead;
+      starvation = Free;
+      supports = Caps.yes_all;
+    }
+
+  type handle = E.handle
+
+  let register = E.register
+  let unregister = E.unregister
+  let flush = E.flush
+  let reset = E.reset
+
+  type shield = unit
+
+  let new_shield _ = ()
+  let protect () _ = ()
+  let clear () = ()
+
+  exception Restart
+
+  (* The whole operation is one critical section; retries (CAS races) stay
+     inside it, as in crossbeam-style RCU data structures. *)
+  let op h body =
+    E.crit h (fun () ->
+        let rec go () = try body () with Restart -> go () in
+        go ())
+
+  let crit = E.crit
+  let mask _ body = body ()
+
+  let read h () ?src ~hdr:_ cell =
+    assert (E.pinned h);
+    Hpbrcu_runtime.Sched.yield ();
+    Option.iter Alloc.check_access src;
+    Link.get cell
+
+  let deref _ blk = Alloc.check_access blk
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    E.defer h (fun () ->
+        Alloc.reclaim blk;
+        match free with None -> () | Some f -> f ())
+
+  let recycles = false
+  let current_era () = 0
+
+  let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let debug_stats = E.debug_stats
+end

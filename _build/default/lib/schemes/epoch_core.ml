@@ -1,0 +1,152 @@
+(** Fraser-style epoch machinery (the paper's "epoch-based RCU", §2.2),
+    shared by EBR, PEBR, and the RCU side of HP-RCU.
+
+    Invariants (paper §2.2): a global epoch; each critical section pins the
+    global epoch into a local announcement; concurrent critical sections'
+    epochs differ by at most one (the global only advances when every
+    pinned epoch equals it); a task deferred at epoch [e] is safe to run at
+    [e + 2]. *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+
+type task = { run : unit -> unit; stamp : int }
+
+module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
+  type local = { pin : int Atomic.t (* -1 = unpinned *) }
+
+  let global = Atomic.make 2
+  let participants : local Registry.Participants.t = Registry.Participants.create ()
+
+  (* Deferred tasks of unregistered threads, adopted by later collectors. *)
+  let orphans : task list Atomic.t = Atomic.make []
+  let advances = Atomic.make 0
+  let advance_failures = Atomic.make 0
+
+  type handle = {
+    l : local;
+    idx : int;
+    mutable nest : int;
+    mutable tasks : task list;
+    mutable ntasks : int;
+  }
+
+  let register () =
+    let l = { pin = Atomic.make (-1) } in
+    let idx = Registry.Participants.add participants l in
+    { l; idx; nest = 0; tasks = []; ntasks = 0 }
+
+  let epoch () = Atomic.get global
+
+  let pin h =
+    if h.nest = 0 then
+      (* SC store: publication fence of the announcement. *)
+      Atomic.set h.l.pin (Atomic.get global);
+    h.nest <- h.nest + 1
+
+  let unpin h =
+    h.nest <- h.nest - 1;
+    assert (h.nest >= 0);
+    if h.nest = 0 then Atomic.set h.l.pin (-1)
+
+  let pinned h = h.nest > 0
+
+  (** Critical section without rollback (plain RCU). *)
+  let crit h body =
+    pin h;
+    Fun.protect ~finally:(fun () -> unpin h) body
+
+  (* The global epoch can advance from [e] only when no participant is
+     pinned at an epoch < [e]; pins never exceed the global they read. *)
+  let try_advance () =
+    let e = Atomic.get global in
+    let lagging = ref false in
+    Registry.Participants.iter participants (fun l ->
+        let p = Atomic.get l.pin in
+        if p <> -1 && p < e then lagging := true);
+    if !lagging then begin
+      Atomic.incr advance_failures;
+      false
+    end
+    else begin
+      if Atomic.compare_and_set global e (e + 1) then Atomic.incr advances;
+      true
+    end
+
+  let rec adopt_orphans h =
+    match Atomic.get orphans with
+    | [] -> ()
+    | old ->
+        if Atomic.compare_and_set orphans old [] then begin
+          h.tasks <- List.rev_append old h.tasks;
+          h.ntasks <- h.ntasks + List.length old
+        end
+        else begin
+          Sched.yield ();
+          adopt_orphans h
+        end
+
+  (* Run every local task whose stamp is ≤ global - 2 (Fraser's safety
+     margin).  Returns the number executed. *)
+  let run_expired h =
+    let limit = Atomic.get global - 2 in
+    let expired, kept = List.partition (fun t -> t.stamp <= limit) h.tasks in
+    h.tasks <- kept;
+    h.ntasks <- List.length kept;
+    List.iter (fun t -> t.run ()) expired;
+    List.length expired
+
+  (** Attempt an epoch advance and collect expired deferred tasks; the
+      per-[batch]-retirements trigger of §6.  Returns tasks executed. *)
+  let advance_and_collect h =
+    adopt_orphans h;
+    ignore (try_advance () : bool);
+    run_expired h
+
+  (** [defer h task] schedules [task] to run once all current critical
+      sections have ended (RCU's Defer, Algorithm 2). *)
+  let defer h run =
+    h.tasks <- { run; stamp = Atomic.get global } :: h.tasks;
+    h.ntasks <- h.ntasks + 1;
+    if h.ntasks >= C.config.batch then ignore (advance_and_collect h : int)
+
+  let rec push_orphans ts =
+    if ts <> [] then begin
+      let old = Atomic.get orphans in
+      if not (Atomic.compare_and_set orphans old (List.rev_append ts old)) then begin
+        Sched.yield ();
+        push_orphans ts
+      end
+    end
+
+  let flush h = ignore (advance_and_collect h : int)
+
+  let unregister h =
+    assert (h.nest = 0);
+    ignore (advance_and_collect h : int);
+    push_orphans h.tasks;
+    h.tasks <- [];
+    h.ntasks <- 0;
+    Registry.Participants.remove participants h.idx
+
+  (** End-of-experiment: no threads registered, run everything. *)
+  let reset () =
+    let rec drain () =
+      match Atomic.get orphans with
+      | [] -> ()
+      | old ->
+          if Atomic.compare_and_set orphans old [] then
+            List.iter (fun t -> t.run ()) old
+          else drain ()
+    in
+    drain ();
+    Registry.Participants.reset participants;
+    Atomic.set global 2;
+    Atomic.set advances 0;
+    Atomic.set advance_failures 0
+
+  let debug_stats () =
+    [ ("epoch", Atomic.get global);
+      ("epoch_advances", Atomic.get advances);
+      ("epoch_advance_failures", Atomic.get advance_failures) ]
+end

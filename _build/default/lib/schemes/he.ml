@@ -1,0 +1,205 @@
+(** HE — hazard eras (Ramalhete & Correia, SPAA 2017).
+
+    Hazard pointers with the protection currency changed from pointers to
+    {e eras}: a global era clock advances per retirement batch; every block
+    records its birth and retire eras; a shield reserves an era instead of
+    a pointer.  Reads validate by checking that the global era did not
+    move past the reservation — typically one load instead of HP's
+    store+fence+reload (Table 2 scores HE "validation only").  A retired
+    block is reclaimable when no reserved era intersects its
+    [birth, retire] lifetime.
+
+    Like HP, HE cannot traverse optimistically (Table 1 groups HP/HE/IBR):
+    an era reservation made while standing on an already-retired node
+    proves nothing about its successors. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Retired = Hpbrcu_core.Retired
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  let name = "HE"
+
+  let caps : Caps.t =
+    {
+      name = "HE";
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = ValidationOnly;
+      starvation = Fine;
+      supports = Caps.supports_hp;
+    }
+
+  let era = Atomic.make 1
+  let scans = Atomic.make 0
+
+  (* Era reservation slots, scanned like HP's shield table. *)
+  module Slots = struct
+    let max_slots = 1 lsl 14
+    let slots = Array.init max_slots (fun _ -> Atomic.make (-1))
+    let hwm = Atomic.make 0
+    let free : int list Atomic.t = Atomic.make []
+
+    let rec alloc () =
+      match Atomic.get free with
+      | i :: rest as old ->
+          if Atomic.compare_and_set free old rest then i
+          else begin
+            Sched.yield ();
+            alloc ()
+          end
+      | [] ->
+          let i = Atomic.fetch_and_add hwm 1 in
+          if i >= max_slots then failwith "HE: era slots exhausted";
+          i
+
+    let rec release i =
+      Atomic.set slots.(i) (-1);
+      let old = Atomic.get free in
+      if not (Atomic.compare_and_set free old (i :: old)) then begin
+        Sched.yield ();
+        release i
+      end
+
+    (* Does any reservation intersect [lo, hi]? *)
+    let intersects lo hi =
+      let n = min (Atomic.get hwm) max_slots in
+      let rec go i =
+        i < n
+        &&
+        let e = Atomic.get slots.(i) in
+        (e >= lo && e <= hi) || go (i + 1)
+      in
+      go 0
+
+    let reset () =
+      let n = min (Atomic.get hwm) max_slots in
+      for i = 0 to n - 1 do
+        Atomic.set slots.(i) (-1)
+      done;
+      Atomic.set hwm 0;
+      Atomic.set free []
+  end
+
+  type handle = { batch : Retired.t; mutable my_slots : int list }
+
+  let register () = { batch = Retired.create (); my_slots = [] }
+
+  type shield = int (* slot index *)
+
+  let new_shield h =
+    let i = Slots.alloc () in
+    h.my_slots <- i :: h.my_slots;
+    i
+
+  (* Pointer-protection API mapped onto eras: protecting any block reserves
+     the current era (it covers every block alive now). *)
+  let protect i = function
+    | Some _ -> Atomic.set Slots.slots.(i) (Atomic.get era)
+    | None -> Atomic.set Slots.slots.(i) (-1)
+
+  let clear i = Atomic.set Slots.slots.(i) (-1)
+
+  exception Restart
+
+  let op _ body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  let crit _ body = body ()
+  let mask _ body = body ()
+
+  (* Era-validated read: reserve the era, load, and retry until the era is
+     stable across the load (then everything reachable at the reservation
+     is covered by it). *)
+  let read _h i ?src ~hdr:_ cell =
+    Sched.yield ();
+    Option.iter Alloc.check_access src;
+    let rec loop reserved =
+      let l = Link.get cell in
+      let e = Atomic.get era in
+      if e = reserved then l
+      else begin
+        Atomic.set Slots.slots.(i) e;
+        (* SC store acts as the fence before re-validation. *)
+        loop e
+      end
+    in
+    let e0 = Atomic.get era in
+    Atomic.set Slots.slots.(i) e0;
+    loop e0
+
+  let deref _ blk = Alloc.check_access blk
+
+  (* Batches of departed threads, adopted by later scanners. *)
+  let orphans : Retired.entry list Atomic.t = Atomic.make []
+
+  let rec push_orphans es =
+    if es <> [] then begin
+      let old = Atomic.get orphans in
+      if not (Atomic.compare_and_set orphans old (List.rev_append es old)) then begin
+        Sched.yield ();
+        push_orphans es
+      end
+    end
+
+  let scan h =
+    Atomic.incr scans;
+    (match Atomic.get orphans with
+    | [] -> ()
+    | old ->
+        if Atomic.compare_and_set orphans old [] then
+          List.iter (fun e -> Retired.push_entry h.batch e) old);
+    ignore
+      (Retired.reclaim_where h.batch (fun e ->
+           let b = e.Retired.blk in
+           not (Slots.intersects (Block.birth_era b) (Block.retire_era b)))
+        : int)
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    Block.mark_retire_era blk ~era:(Atomic.get era);
+    Retired.push h.batch ?free blk;
+    if Retired.length h.batch >= C.config.batch then begin
+      Atomic.incr era;
+      scan h
+    end
+
+  let recycles = false
+
+  (* Blocks must be born with the current era for interval checks. *)
+  let current_era () = Atomic.get era
+
+  let flush h =
+    Atomic.incr era;
+    scan h
+
+  let unregister h =
+    flush h;
+    (* Leftovers may still be covered by other threads' reservations:
+       orphan them for adoption by later scans. *)
+    push_orphans (Retired.drain h.batch);
+    List.iter Slots.release h.my_slots;
+    h.my_slots <- []
+
+  let traverse _h ~prot ~backup:_ ~protect:protect_cursor ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect:protect_cursor ~init ~step
+
+  let reset () =
+    Slots.reset ();
+    let rec drain () =
+      match Atomic.get orphans with
+      | [] -> ()
+      | old ->
+          if Atomic.compare_and_set orphans old [] then
+            List.iter Retired.reclaim_entry old
+          else drain ()
+    in
+    drain ();
+    Atomic.set era 1;
+    Atomic.set scans 0
+
+  let debug_stats () = [ ("he_era", Atomic.get era); ("he_scans", Atomic.get scans) ]
+end

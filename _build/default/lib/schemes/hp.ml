@@ -1,0 +1,88 @@
+(** HP — hazard pointers (Michael, §2.1, Algorithm 1).
+
+    Every traversal link load runs the ProtectFrom loop: publish protection
+    of the target, fence (SC store), re-read the source and retry until it
+    is unchanged.  This per-node protect+validate is the overhead HP-BRCU
+    exists to remove; in exchange, the number of unreclaimed blocks is
+    bounded by the number of shields regardless of stalls or operation
+    length.
+
+    HP requires each node to be unlinked from an unmarked predecessor
+    before retirement, so it does not support optimistic traversal (the
+    Figure 2 scenario): it runs HMList but not HList/HHSList/NMTree, as in
+    Table 1. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module Core = Hp_core.Make (C) ()
+
+  let name = "HP"
+
+  let caps : Caps.t =
+    {
+      name = "HP";
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = ProtectAndValidate;
+      starvation = Fine;
+      supports = Caps.supports_hp;
+    }
+
+  type handle = Core.handle
+
+  let register = Core.register
+  let unregister = Core.unregister
+  let flush = Core.flush
+  let reset = Core.reset
+
+  type shield = Core.shield
+
+  let new_shield = Core.new_shield
+  let protect = Core.protect
+  let clear = Core.clear
+
+  exception Restart
+
+  let op _ body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  let crit _ body = body ()
+  let mask _ body = body ()
+
+  (* ProtectFrom (Algorithm 1 lines 4-10): the load is validated by
+     re-reading the source cell after the SC protection store; physical
+     equality of the link record means the cell is unchanged, hence the
+     target was still reachable from the source after the protection was
+     visible. *)
+  let read _h s ?src ~hdr cell =
+    Hpbrcu_runtime.Sched.yield ();
+    Option.iter Alloc.check_access src;
+    let rec loop l =
+      (match Link.target l with
+      | None -> Core.protect s None
+      | Some n -> Core.protect s (Some (hdr n)));
+      (* Atomic store above is SC: fence(SC) of line 7. *)
+      let l' = Link.get cell in
+      if l' == l then l
+      else begin
+        Hpbrcu_runtime.Sched.yield ();
+        loop l'
+      end
+    in
+    loop (Link.get cell)
+
+  let deref _ blk = Alloc.check_access blk
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk = Core.retire h ?free ~claimed blk
+  let recycles = false
+  let current_era () = 0
+
+  let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let debug_stats = Core.debug_stats
+end

@@ -1,0 +1,199 @@
+(** HP-BRCU — the paper's full solution (§4): HP-RCU with RCU replaced by
+    bounded RCU.
+
+    Traversals run inside BRCU critical sections that other threads can
+    abort (selective neutralization of lagging readers, Algorithm 5), so a
+    stalled reader can no longer block reclamation; periodic HP checkpoints
+    with {e double buffering} (Algorithm 7) guarantee that a rollback
+    arriving mid-checkpoint always leaves one complete protector to resume
+    from.  Abort-rollback-unsafe writes during traversal — helping
+    physical deletion plus retirement, as in the Harris-Michael list
+    (Algorithm 8) — run inside abort-masked regions (Algorithm 6) on
+    HP-protected pointers.
+
+    Retirement is the two-step [BRCU.defer (fun () -> HP.retire p)], giving
+    the bound of §5: at most [2GN + GN² + H] unreclaimed blocks with
+    [G = max_local_tasks × force_threshold], [N] threads and [H] shields. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module B = Brcu_core.Make (C) ()
+  module H = Hp_core.Make (C) ()
+
+  let name = "HP-BRCU"
+
+  (* Traversal diagnostics (reported via debug_stats). *)
+  let tr_steps = Atomic.make 0
+  let tr_validate_fail = Atomic.make 0
+  let tr_traverses = Atomic.make 0
+  let tr_resumes = Atomic.make 0
+
+
+  let caps : Caps.t =
+    {
+      name = "HP-BRCU";
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = NoOverhead;
+      starvation = Fine;
+      supports = Caps.supports_optimistic;
+    }
+
+  type handle = { b : B.handle; h : H.handle }
+
+  let register () = { b = B.register (); h = H.register () }
+
+  let unregister h =
+    B.unregister h.b;
+    H.unregister h.h
+
+  let flush h =
+    B.flush h.b;
+    H.flush h.h
+
+  let reset () =
+    B.reset ();
+    H.reset ();
+    List.iter (fun c -> Atomic.set c 0) [ tr_steps; tr_validate_fail; tr_traverses; tr_resumes ]
+
+  type shield = H.shield
+
+  let new_shield h = H.new_shield h.h
+
+  (* A shield store is a preemption and delivery point: the paper's
+     signals are truly asynchronous and can abort a checkpoint between its
+     two protect stores (possibly after a stall) — the torn-checkpoint
+     case double buffering exists for. *)
+  let protect s b =
+    H.protect s b;
+    (* The extra preemption/delivery point only exists in the simulator,
+       where interleaving fidelity is the product; in domain mode a shield
+       store is just a store. *)
+    if Sched.fiber_mode () then begin
+      Sched.yield ();
+      B.poll_self ()
+    end
+
+  let clear = H.clear
+
+  exception Restart
+
+  let op _ body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  let crit h body = B.crit h.b body
+  let mask h body = B.mask h.b body
+
+  (* Coarse protection inside critical sections; the poll is the
+     neutralization delivery point (a pending signal rolls the critical
+     section back before this read can observe freed memory). *)
+  let read h _s ?src ~hdr:_ cell =
+    Sched.yield ();
+    B.poll h.b;
+    Option.iter Alloc.check_access src;
+    Link.get cell
+
+  let deref h blk =
+    B.poll h.b;
+    Alloc.check_access blk
+
+  (* Two-step retirement (Algorithm 4) through BRCU's Defer. *)
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    B.defer h.b (fun () -> H.retire_deferred ?free blk);
+    H.maybe_scan h.h
+
+  let recycles = false
+  let current_era () = 0
+
+  (* Traverse with double buffering (Algorithm 7).  Unlike HP-RCU there is
+     no voluntary exit between checkpoints: the critical section runs until
+     Finish, relying on neutralization to bound it.  [comp] always indexes
+     a buffer holding a complete protection, even if a rollback lands
+     between the two protect stores of a checkpoint. *)
+  let traverse h ~prot ~backup ~protect ~validate ~init ~step =
+    (* Ablation hook: without double buffering both checkpoint slots are
+       the same protector, so a rollback landing mid-checkpoint can leave
+       no complete protection (§4.3). *)
+    let backup = if C.config.double_buffering then backup else prot in
+    let bufs = [| backup; prot |] in
+    let curs = [| None; None |] in
+    let comp = ref 0 in
+    (* [started] flips once the entry-point cursor exists.  The first
+       entry needs no revalidation — the cursor comes fresh from the entry
+       point inside this very critical section (R1 holds trivially), and
+       crucially this lets the traversal *step through* (and help unlink) a
+       marked first node instead of failing before it can help, which
+       would livelock every thread behind a marked entry node whose
+       remover lost its unlink CAS. *)
+    let started = ref false in
+    let backup_period = C.config.backup_period in
+    Atomic.incr tr_traverses;
+    let outcome =
+      B.crit h.b (fun () ->
+          Atomic.incr tr_resumes;
+          let resume =
+            if not !started then begin
+              let s = init () in
+              protect bufs.(0) s;
+              curs.(0) <- Some s;
+              comp := 0;
+              started := true;
+              Some s
+            end
+            else begin
+              (* Rollback resume: revalidate the checkpoint (R1 / §3.3). *)
+              let c = Option.get curs.(!comp mod 2) in
+              if validate c then Some c
+              else begin
+                Atomic.incr tr_validate_fail;
+                None
+              end
+            end
+          in
+          match resume with
+          | None -> `Fail
+          | Some c0 ->
+            let cur = ref c0 in
+            begin
+            let checkpoint () =
+              let nb = (!comp + 1) mod 2 in
+              protect bufs.(nb) !cur;
+              curs.(nb) <- Some !cur;
+              incr comp
+            in
+            let rec go i =
+              Atomic.incr tr_steps;
+              match step !cur with
+              | Smr_intf.Finish (c, r) ->
+                  cur := c;
+                  checkpoint ();
+                  `Done r
+              | Smr_intf.Continue c ->
+                  cur := c;
+                  if i mod backup_period = 0 then checkpoint ();
+                  go (i + 1)
+              | Smr_intf.Fail -> `Fail
+            in
+            go 1
+          end)
+    in
+    ignore (started : bool ref);
+    match outcome with
+    | `Done r -> Some (Option.get curs.(!comp mod 2), bufs.(!comp mod 2), r)
+    | `Fail -> None
+
+  let debug_stats () =
+    B.debug_stats () @ H.debug_stats ()
+    @ [
+        ("tr_steps", Atomic.get tr_steps);
+        ("tr_traverses", Atomic.get tr_traverses);
+        ("tr_resumes", Atomic.get tr_resumes);
+        ("tr_validate_fail", Atomic.get tr_validate_fail);
+      ]
+end

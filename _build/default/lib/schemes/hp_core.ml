@@ -1,0 +1,184 @@
+(** Hazard-pointer machinery shared by HP, HP++, and the HP side of HP-RCU /
+    HP-BRCU (the paper reuses "the original implementations of HP's Shield
+    and Reclaim without modifications", §3.2).
+
+    Retired blocks live in per-thread batches; when a batch reaches the
+    configured threshold the owner scans the shield table and reclaims the
+    unprotected entries (Algorithm 1, Retire/Reclaim).  A global orphan list
+    holds (a) batches of threads that unregistered and (b) blocks retired by
+    {e deferred} tasks of the epoch schemes, which may execute on any
+    thread. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Retired = Hpbrcu_core.Retired
+
+module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
+  let shields = Registry.Shields.create ()
+
+  (* Blocks whose reclamation nobody currently owns: still subject to the
+     shield scan.  Treiber list of entries. *)
+  let orphans : Retired.entry list Atomic.t = Atomic.make []
+  let scans = Atomic.make 0
+  let reclaimed_by_scan = Atomic.make 0
+
+  type handle = {
+    batch : Retired.t;
+    mutable my_shields : Registry.Shields.shield list;
+    mutable patch_slot : Block.t list Atomic.t option;
+        (* present only under HP++: the handle's published patch set *)
+  }
+
+  let register () = { batch = Retired.create (); my_shields = []; patch_slot = None }
+
+  type shield = Registry.Shields.shield
+
+  let new_shield h =
+    let s = Registry.Shields.alloc shields in
+    h.my_shields <- s :: h.my_shields;
+    s
+
+  let protect = Registry.Shields.protect
+  let clear = Registry.Shields.clear
+
+  let rec push_orphans entries =
+    if entries <> [] then begin
+      let old = Atomic.get orphans in
+      if
+        not
+          (Atomic.compare_and_set orphans old (List.rev_append entries old))
+      then begin
+        Hpbrcu_runtime.Sched.yield ();
+        push_orphans entries
+      end
+    end
+
+  let take_orphans () =
+    let rec go () =
+      let old = Atomic.get orphans in
+      if old = [] then []
+      else if Atomic.compare_and_set orphans old [] then old
+      else begin
+        Hpbrcu_runtime.Sched.yield ();
+        go ()
+      end
+    in
+    go ()
+
+  (* Patch protections of other threads' pending entries must also defer
+     reclamation (HP++).  Batches are thread-local, so each thread
+     publishes its live patch set here for reclaimers to read. *)
+  let published_patches : Block.t list Atomic.t list Atomic.t = Atomic.make []
+
+  let rec publish_patch_slot slot =
+    let old = Atomic.get published_patches in
+    if not (Atomic.compare_and_set published_patches old (slot :: old)) then begin
+      Hpbrcu_runtime.Sched.yield ();
+      publish_patch_slot slot
+    end
+
+  (** One reclamation pass: scan shields (line 13's SC fence is implied by
+      the SC atomic reads) plus the patch protections of every pending
+      entry, then reclaim every unprotected retired block from the handle's
+      batch and the orphan list, keeping the rest. *)
+  let scan h =
+    Atomic.incr scans;
+    let protected_ids = Registry.Shields.protected_ids shields in
+    (* Patches of entries pending anywhere count as protected until their
+       patron entry is reclaimed. *)
+    List.iter
+      (fun slot ->
+        List.iter
+          (fun b -> Hashtbl.replace protected_ids (Block.id b) ())
+          (Atomic.get slot))
+      (Atomic.get published_patches);
+    let adopted = take_orphans () in
+    List.iter (fun e -> Retired.push_entry h.batch e) adopted;
+    Retired.iter h.batch (fun e ->
+        List.iter
+          (fun b -> Hashtbl.replace protected_ids (Block.id b) ())
+          e.Retired.patches);
+    let n =
+      Retired.reclaim_where h.batch (fun e ->
+          not (Hashtbl.mem protected_ids (Block.id e.Retired.blk)))
+    in
+    ignore (Atomic.fetch_and_add reclaimed_by_scan n)
+
+  (** Enable HP++-style patch publication for this handle. *)
+  let enable_patches h =
+    let slot = Atomic.make [] in
+    h.patch_slot <- Some slot;
+    publish_patch_slot slot
+
+  (* Re-publish this handle's current patch set after batch changes. *)
+  let republish h =
+    match h.patch_slot with
+    | None -> ()
+    | Some slot ->
+        let acc = ref [] in
+        Retired.iter h.batch (fun e ->
+            acc := List.rev_append e.Retired.patches !acc);
+        Atomic.set slot !acc
+
+  (** HP-Retire: batch locally; scan when the batch fills. *)
+  let retire h ?free ?(patches = []) ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    Retired.push h.batch ?free ~patches blk;
+    if patches <> [] || h.patch_slot <> None then republish h;
+    if Retired.length h.batch >= C.config.batch then begin
+      scan h;
+      republish h
+    end
+
+  (** Retire a block that is already counted retired (two-step retirement:
+      the epoch scheme counted it at the first step). *)
+  let retire_counted h ?free blk =
+    Retired.push h.batch ?free blk;
+    if Retired.length h.batch >= C.config.batch then scan h
+
+  (* -------- deferred retirement (the HP side of HP-RCU / HP-BRCU) ------ *)
+
+  (* Deferred tasks may execute on any thread (whoever advances the epoch),
+     so HP-Retire from a deferred task goes to the thread-safe orphan list;
+     retirers trigger a scan once enough have accumulated. *)
+  let orphan_count = Atomic.make 0
+
+  (** The deferred half of two-step retirement (Algorithm 4): called by the
+      epoch scheme's expired-task executor. *)
+  let retire_deferred ?free blk =
+    push_orphans [ { Retired.blk; free; stamp = 0; patches = [] } ];
+    Atomic.incr orphan_count
+
+  (** Scan if deferred retirements have piled up past the batch size. *)
+  let maybe_scan h =
+    if Atomic.get orphan_count >= C.config.batch then begin
+      Atomic.set orphan_count 0;
+      scan h
+    end
+
+  let flush h = scan h
+
+  let unregister h =
+    (* Whatever the final scan could not reclaim becomes orphaned.  The
+       patch set is frozen *before* draining so orphaned entries' patches
+       stay visible (conservatively, until reset) while they await
+       adoption. *)
+    scan h;
+    republish h;
+    push_orphans (Retired.drain h.batch);
+    List.iter Registry.Shields.release h.my_shields;
+    h.my_shields <- []
+
+  (** Reclaim everything unconditionally (end of experiment; no readers). *)
+  let reset () =
+    Registry.Shields.reset shields;
+    List.iter Retired.reclaim_entry (take_orphans ());
+    List.iter (fun slot -> Atomic.set slot []) (Atomic.get published_patches);
+    Atomic.set published_patches [];
+    Atomic.set scans 0;
+    Atomic.set reclaimed_by_scan 0
+
+  let debug_stats () =
+    [ ("hp_scans", Atomic.get scans);
+      ("hp_scan_reclaimed", Atomic.get reclaimed_by_scan) ]
+end

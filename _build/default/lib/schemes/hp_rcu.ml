@@ -1,0 +1,135 @@
+(** HP-RCU — hazard pointers with RCU-expedited traversal (paper §3).
+
+    The partial solution: traversals alternate between RCU phases (a
+    bounded number of bare-load steps inside an epoch critical section,
+    Algorithm 3) and HP checkpoints (the acquired cursor is protected in
+    shields before the critical section ends, and revalidated — R1 — when
+    the next one starts).  Retirement is two-step (Algorithm 4):
+    [Retire p = RCU.defer (fun () -> HP.retire p)], so a pointer acquired
+    inside a critical section is dereferenceable without protection and
+    protectable without validation (Figure 4's timeline).
+
+    Robust against long-running operations (each critical section is at
+    most [max_steps] long) but {e not} against stalled threads: a reader
+    preempted inside a critical section still blocks the epoch — the gap
+    HP-BRCU closes. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module E = Epoch_core.Make (C) ()
+  module H = Hp_core.Make (C) ()
+
+  let name = "HP-RCU"
+
+  let caps : Caps.t =
+    {
+      name = "HP-RCU";
+      robust_stalled = false;
+      robust_longrun = true;
+      per_node = NoOverhead;
+      starvation = Fine;
+      supports = Caps.supports_optimistic;
+    }
+
+  type handle = { e : E.handle; h : H.handle }
+
+  let register () = { e = E.register (); h = H.register () }
+
+  let unregister h =
+    E.unregister h.e;
+    H.unregister h.h
+
+  let flush h =
+    E.flush h.e;
+    H.flush h.h
+
+  let reset () =
+    E.reset ();
+    H.reset ()
+
+  type shield = H.shield
+
+  let new_shield h = H.new_shield h.h
+  let protect = H.protect
+  let clear = H.clear
+
+  exception Restart
+
+  let op _ body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  let crit h body = E.crit h.e body
+  let mask _ body = body ()
+
+  (* Inside a critical section links are protected coarsely; no per-node
+     work beyond the use-after-free check (and the fiber-mode interleaving
+     point). *)
+  let read _h _s ?src ~hdr:_ cell =
+    Sched.yield ();
+    Option.iter Alloc.check_access src;
+    Link.get cell
+
+  let deref _ blk = Alloc.check_access blk
+
+  (* Two-step retirement (Algorithm 4). *)
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    E.defer h.e (fun () -> H.retire_deferred ?free blk);
+    H.maybe_scan h.h
+
+  let recycles = false
+  let current_era () = 0
+
+  (* RCU-expedited traversal (Algorithm 3): repeat [max_steps]-bounded
+     critical sections; checkpoint the cursor into [prot] before each one
+     ends (protection inside a critical section needs no validation — R2);
+     revalidate the cursor when the next begins (R1). *)
+  let traverse h ~prot ~backup:_ ~protect ~validate ~init ~step =
+    (* The first phase builds the cursor from the entry point inside its
+       own critical section, so no revalidation applies to it (R1 holds
+       trivially); failing a fresh entry-point cursor would prevent the
+       traversal from ever helping a marked entry node (see Hp_brcu). *)
+    let cursor = ref None in
+    let rec phases () =
+      let outcome =
+        E.crit h.e (fun () ->
+            let c =
+              match !cursor with
+              | Some c -> if validate c then Some c else None
+              | None ->
+                  let c = init () in
+                  protect prot c;
+                  cursor := Some c;
+                  Some c
+            in
+            match c with
+            | None -> `Fail
+            | Some c ->
+              match Scheme_common.bounded_steps ~n:C.config.max_steps ~step c with
+              | Scheme_common.B_finished (c', r) ->
+                  protect prot c';
+                  cursor := Some c';
+                  `Done r
+              | Scheme_common.B_continue c' ->
+                  protect prot c';
+                  cursor := Some c';
+                  `More
+              | Scheme_common.B_failed -> `Fail)
+      in
+      match outcome with
+      | `Done r -> Some (Option.get !cursor, prot, r)
+      | `More ->
+          (* Leaving and re-entering the critical section is the point:
+             the epoch can advance between phases. *)
+          phases ()
+      | `Fail -> None
+    in
+    phases ()
+
+  let debug_stats () = E.debug_stats () @ H.debug_stats ()
+end

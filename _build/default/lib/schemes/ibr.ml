@@ -1,0 +1,176 @@
+(** IBR — interval-based reclamation (Wen et al., PPoPP 2018), the 2GE
+    ("two global epochs") tagged variant, simplified.
+
+    Epoch-based, but instead of HP-style per-pointer work each thread
+    reserves an {e interval} of eras [lower, upper]: [lower] is set when
+    the operation starts, [upper] is bumped to the current era at every
+    read.  A block whose [birth, retire] lifetime is disjoint from every
+    reservation is reclaimable.  Per-node cost is a conditional store
+    (Table 2: "usually validation only"); robustness against {e stalls} is
+    retained (a stalled thread pins only the eras it reserved), but a
+    {e long-running} operation keeps widening its interval and eventually
+    pins everything — the ✗ in Table 2's long-running row, and the reason
+    the paper's Figure 1 family would show IBR's footprint growing. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Retired = Hpbrcu_core.Retired
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  let name = "IBR"
+
+  let caps : Caps.t =
+    {
+      name = "IBR";
+      robust_stalled = true;
+      robust_longrun = false;
+      per_node = ValidationOnly;
+      starvation = Fine;
+      supports = Caps.supports_hp;
+    }
+
+  let era = Atomic.make 1
+  let scans = Atomic.make 0
+
+  type local = { lower : int Atomic.t; upper : int Atomic.t (* -1 = inactive *) }
+
+  let participants : local Registry.Participants.t = Registry.Participants.create ()
+  let orphans : Retired.entry list Atomic.t = Atomic.make []
+
+  type handle = { l : local; idx : int; batch : Retired.t; mutable nest : int }
+
+  let register () =
+    let l = { lower = Atomic.make (-1); upper = Atomic.make (-1) } in
+    let idx = Registry.Participants.add participants l in
+    { l; idx; batch = Retired.create (); nest = 0 }
+
+  type shield = unit
+
+  let new_shield _ = ()
+  let protect () _ = ()
+  let clear () = ()
+
+  exception Restart
+
+  (* Operations delimit the reservation interval. *)
+  let start_op h =
+    if h.nest = 0 then begin
+      let e = Atomic.get era in
+      Atomic.set h.l.lower e;
+      Atomic.set h.l.upper e
+    end;
+    h.nest <- h.nest + 1
+
+  let end_op h =
+    h.nest <- h.nest - 1;
+    if h.nest = 0 then begin
+      Atomic.set h.l.lower (-1);
+      Atomic.set h.l.upper (-1)
+    end
+
+  let op h body =
+    let rec go () =
+      start_op h;
+      match body () with
+      | r ->
+          end_op h;
+          r
+      | exception Restart ->
+          end_op h;
+          go ()
+      | exception e ->
+          end_op h;
+          raise e
+    in
+    go ()
+
+  let crit h body =
+    start_op h;
+    Fun.protect ~finally:(fun () -> end_op h) body
+
+  let mask _ body = body ()
+
+  (* Each read widens the reservation to the current era before the load —
+     the per-read "tag check" of 2GEIBR. *)
+  let read h () ?src ~hdr:_ cell =
+    Sched.yield ();
+    Option.iter Alloc.check_access src;
+    let e = Atomic.get era in
+    if Atomic.get h.l.upper < e then Atomic.set h.l.upper e;
+    Link.get cell
+
+  let deref _ blk = Alloc.check_access blk
+
+  let rec push_orphans es =
+    if es <> [] then begin
+      let old = Atomic.get orphans in
+      if not (Atomic.compare_and_set orphans old (List.rev_append es old)) then begin
+        Sched.yield ();
+        push_orphans es
+      end
+    end
+
+  (* Reclaim blocks whose lifetime intersects no reservation. *)
+  let scan h =
+    Atomic.incr scans;
+    (match Atomic.get orphans with
+    | [] -> ()
+    | old ->
+        if Atomic.compare_and_set orphans old [] then
+          List.iter (fun e -> Retired.push_entry h.batch e) old);
+    let covered lo hi =
+      let hit = ref false in
+      Registry.Participants.iter participants (fun l ->
+          let lw = Atomic.get l.lower and up = Atomic.get l.upper in
+          if lw <> -1 && lw <= hi && lo <= up then hit := true);
+      !hit
+    in
+    ignore
+      (Retired.reclaim_where h.batch (fun e ->
+           let b = e.Retired.blk in
+           not (covered (Block.birth_era b) (Block.retire_era b)))
+        : int)
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    Block.mark_retire_era blk ~era:(Atomic.get era);
+    Retired.push h.batch ?free blk;
+    if Retired.length h.batch >= C.config.batch then begin
+      Atomic.incr era;
+      scan h
+    end
+
+  let recycles = false
+  let current_era () = Atomic.get era
+
+  let flush h =
+    Atomic.incr era;
+    scan h
+
+  let unregister h =
+    assert (h.nest = 0);
+    flush h;
+    push_orphans (Retired.drain h.batch);
+    Registry.Participants.remove participants h.idx
+
+  let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let reset () =
+    let rec drain () =
+      match Atomic.get orphans with
+      | [] -> ()
+      | old ->
+          if Atomic.compare_and_set orphans old [] then
+            List.iter Retired.reclaim_entry old
+          else drain ()
+    in
+    drain ();
+    Registry.Participants.reset participants;
+    Atomic.set era 1;
+    Atomic.set scans 0
+
+  let debug_stats () = [ ("ibr_era", Atomic.get era); ("ibr_scans", Atomic.get scans) ]
+end

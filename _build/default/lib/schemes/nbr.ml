@@ -1,0 +1,184 @@
+(** NBR(+) — neutralization-based reclamation (Singh et al., PPoPP 2021),
+    the paper's main signal-based competitor (§2.3).
+
+    Operations on access-aware data structures alternate a {e read phase}
+    (a critical section: bare loads, no per-node protection, reads rooted
+    at entry points) and a {e write phase} (operating on HP-protected
+    pointers).  When a reclaimer's batch fills, it neutralizes {b every}
+    other thread — the indiscriminate signaling that BRCU's selective
+    policy improves on — after which all pre-batch retired blocks that are
+    not shield-protected are reclaimable.
+
+    A neutralized read phase restarts {e from the entry point}: there is no
+    checkpoint to resume from, which is exactly why NBR starves on
+    long-running operations once the operation length exceeds the
+    neutralization period (Figures 1 and 6).
+
+    NBR cannot run data structures that perform helping writes during
+    traversal (HMList, SkipList — Table 1): a write inside the read phase
+    would not be rollback-safe.  The data-structure functors honour this
+    via {!Caps.supports_nbr}.
+
+    [Make (Config.Large)] is the paper's NBR-Large: an 8192-retirement
+    batch that trades footprint for fewer signals. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Signal = Hpbrcu_runtime.Signal
+open Hpbrcu_core
+
+exception Rollback
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module Core = Hp_core.Make (C) ()
+
+  let name = if C.config.batch >= 1024 then "NBR-Large" else "NBR"
+
+  let caps : Caps.t =
+    {
+      name;
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = NoOverhead;
+      starvation = Coarse;
+      supports = Caps.supports_nbr;
+    }
+
+  type local = { status : int Atomic.t; box : Signal.box }
+
+  let st_out = 0
+  let st_incs = 1
+  let participants : local Registry.Participants.t = Registry.Participants.create ()
+  let neutralizations = Atomic.make 0
+  let signals = Atomic.make 0
+  let rollbacks = Atomic.make 0
+
+  type handle = { l : local; idx : int; hp : Core.handle; mutable pending : Retired.t }
+
+  let register () =
+    let l = { status = Atomic.make st_out; box = Signal.make () } in
+    Signal.attach l.box;
+    let idx = Registry.Participants.add participants l in
+    { l; idx; hp = Core.register (); pending = Retired.create () }
+
+  type shield = Core.shield
+
+  let new_shield h = Core.new_shield h.hp
+  let protect = Core.protect
+  let clear = Core.clear
+
+  exception Restart
+
+  let handler l () = if Atomic.get l.status = st_incs then raise Rollback
+
+  let poll h = Signal.poll h.l.box ~handler:(handler h.l)
+
+  let op _ body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  (* Read phase.  A rollback restarts the body from scratch — NBR's
+     coarse-grained recovery. *)
+  let crit h body =
+    let l = h.l in
+    let rec go () =
+      Signal.consume_quietly l.box;
+      Atomic.set l.status st_incs;
+      match body () with
+      | r ->
+          Atomic.set l.status st_out;
+          Signal.consume_quietly l.box;
+          r
+      | exception Rollback ->
+          Atomic.set l.status st_out;
+          Atomic.incr rollbacks;
+          Sched.yield ();
+          go ()
+      | exception e ->
+          Atomic.set l.status st_out;
+          raise e
+    in
+    go ()
+
+  (* NBR's write-phase marker: inside the region the thread does not count
+     as "in a read phase", so a neutralization is not acted upon (the
+     region's accesses go through HP-protected pointers, as NBR's write
+     phases do); a pending signal takes effect at the next read-phase
+     poll.  This is how NBR runs the Harris list's end-of-search cleanup
+     without making it abort-rollback-unsafe. *)
+  let mask h body =
+    let l = h.l in
+    let saved = Atomic.get l.status in
+    Atomic.set l.status st_out;
+    Fun.protect ~finally:(fun () -> Atomic.set l.status saved) body
+
+  let read h _s ?src ~hdr:_ cell =
+    Sched.yield ();
+    poll h;
+    Option.iter Alloc.check_access src;
+    Link.get cell
+
+  let deref h blk =
+    poll h;
+    Alloc.check_access blk
+
+  (* Neutralize everyone, then reclaim the pre-signal batch minus
+     shield-protected blocks (delegated to the HP core's scan). *)
+  let neutralize_and_reclaim h =
+    Atomic.incr neutralizations;
+    let mine = h.l in
+    Registry.Participants.iter participants (fun l ->
+        if l != mine then begin
+          Atomic.incr signals;
+          Signal.send l.box ~is_out:(fun () -> Atomic.get l.status = st_out)
+        end);
+    (* Move the snapshot into the HP batch and scan. *)
+    Retired.iter h.pending (fun e -> Retired.push_entry h.hp.Core.batch e);
+    ignore (Retired.drain h.pending : Retired.entry list);
+    Core.scan h.hp
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    Retired.push h.pending ?free blk;
+    if Retired.length h.pending >= C.config.batch then neutralize_and_reclaim h
+
+  let recycles = false
+  let current_era () = 0
+
+  let flush h = neutralize_and_reclaim h
+
+  let unregister h =
+    flush h;
+    Core.unregister h.hp;
+    Registry.Participants.remove participants h.idx
+
+  let reset () =
+    Core.reset ();
+    Registry.Participants.reset participants;
+    Atomic.set neutralizations 0;
+    Atomic.set signals 0;
+    Atomic.set rollbacks 0
+
+  (* NBR's traversal: one read-phase critical section from entry to
+     destination, protecting the final cursor before the phase ends. *)
+  let traverse h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    crit h (fun () ->
+        let rec go c =
+          match step c with
+          | Smr_intf.Continue c' -> go c'
+          | Smr_intf.Finish (c', r) ->
+              protect prot c';
+              Some (c', prot, r)
+          | Smr_intf.Fail -> None
+        in
+        go (init ()))
+
+  let debug_stats () =
+    Core.debug_stats ()
+    @ [
+        ("nbr_neutralizations", Atomic.get neutralizations);
+        ("nbr_signals", Atomic.get signals);
+        ("nbr_rollbacks", Atomic.get rollbacks);
+      ]
+end

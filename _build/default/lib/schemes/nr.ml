@@ -1,0 +1,62 @@
+(** NR — the no-reclamation baseline of §6.
+
+    Retired blocks are counted but never reclaimed (in C this leaks; under
+    a GC it merely inflates the unreclaimed counter, which is exactly the
+    number the paper plots).  Reads are bare loads: NR is the speed of
+    light every other scheme is normalized against (Figures 1 and 6 plot
+    throughput as a ratio to NR). *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+open Hpbrcu_core
+
+module Make () : Smr_intf.S = struct
+  let name = "NR"
+
+  let caps : Caps.t =
+    {
+      name = "NR";
+      robust_stalled = false;
+      robust_longrun = false;
+      per_node = NoOverhead;
+      starvation = Free;
+      supports = Caps.yes_all;
+    }
+
+  type handle = unit
+
+  let register () = ()
+  let unregister () = ()
+  let flush () = ()
+  let reset () = ()
+
+  type shield = unit
+
+  let new_shield () = ()
+  let protect () _ = ()
+  let clear () = ()
+
+  exception Restart
+
+  let op () body =
+    let rec go () = try body () with Restart -> go () in
+    go ()
+
+  let crit () body = body ()
+  let mask () body = body ()
+
+  let read () () ?src:_ ~hdr:_ cell =
+    Hpbrcu_runtime.Sched.yield ();
+    Link.get cell
+
+  let deref () _ = ()
+  let retire () ?free:_ ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk
+  let recycles = false
+  let current_era () = 0
+
+  let traverse () ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let debug_stats () = []
+end

@@ -1,0 +1,238 @@
+(** PEBR — pointer- and epoch-based reclamation (Kang & Jung, PLDI 2020),
+    simplified (see DESIGN.md §2.4).
+
+    Epoch-based like EBR, but robust: when lagging readers block the epoch
+    past a patience threshold, the reclaimer {e ejects} them.  An ejected
+    reader abandons its operation and restarts it from scratch — the
+    coarse-grained recovery that, like NBR's, starves long-running
+    operations (Figures 1, 6).  PEBR additionally pays per-node protection
+    costs during traversal (its shields must be ready to take over when
+    ejection strikes), which the paper's Table 2 scores as full per-node
+    overhead.
+
+    Substitution note: real PEBR's ejection uses a fence-free protocol
+    between traverser and reclaimer; we reuse the repository's signal
+    handshake ({!Hpbrcu_runtime.Signal}) to deliver ejections, and the
+    ejected reader restarts rather than falling back to hazard-pointer
+    mode.  Both the footprint bound and the restart-induced starvation —
+    the properties the paper measures — are preserved. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Signal = Hpbrcu_runtime.Signal
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  module HPC = Hp_core.Make (C) ()
+
+  let name = "PEBR"
+
+  let caps : Caps.t =
+    {
+      name = "PEBR";
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = ProtectAndValidate;
+      starvation = Coarse;
+      supports = Caps.supports_optimistic;
+    }
+
+  exception Restart
+
+  type local = { pin : int Atomic.t; box : Signal.box }
+
+  let global = Atomic.make 2
+  let participants : local Registry.Participants.t = Registry.Participants.create ()
+  let ejections = Atomic.make 0
+  let restarts = Atomic.make 0
+  let advances = Atomic.make 0
+
+  type handle = {
+    l : local;
+    idx : int;
+    hp : HPC.handle;
+    mutable nest : int;
+    mutable tasks : Epoch_core.task list;
+    mutable ntasks : int;
+    mutable push_cnt : int;
+  }
+
+  let register () =
+    let l = { pin = Atomic.make (-1); box = Signal.make () } in
+    Signal.attach l.box;
+    let idx = Registry.Participants.add participants l in
+    { l; idx; hp = HPC.register (); nest = 0; tasks = []; ntasks = 0; push_cnt = 0 }
+
+  type shield = HPC.shield
+
+  let new_shield h = HPC.new_shield h.hp
+  let protect = HPC.protect
+  let clear = HPC.clear
+
+  (* Ejection is delivered like a signal; the handler aborts the victim's
+     operation. *)
+  let handler l () = if Atomic.get l.pin <> -1 then raise Restart
+
+  let poll h = Signal.poll h.l.box ~handler:(handler h.l)
+
+  let pin h =
+    if h.nest = 0 then Atomic.set h.l.pin (Atomic.get global);
+    h.nest <- h.nest + 1
+
+  let unpin h =
+    h.nest <- h.nest - 1;
+    if h.nest = 0 then Atomic.set h.l.pin (-1)
+
+  let op h body =
+    let rec go () =
+      pin h;
+      match body () with
+      | r ->
+          unpin h;
+          r
+      | exception Restart ->
+          unpin h;
+          Atomic.incr restarts;
+          Sched.yield ();
+          go ()
+      | exception e ->
+          unpin h;
+          raise e
+    in
+    go ()
+
+  let crit h body =
+    pin h;
+    Fun.protect ~finally:(fun () -> unpin h) body
+
+  let mask _ body = body ()
+
+  (* Per-node protection (no validation needed while pinned), plus the
+     ejection poll. *)
+  let read h s ?src ~hdr cell =
+    Sched.yield ();
+    poll h;
+    Option.iter Alloc.check_access src;
+    let l = Link.get cell in
+    (match Link.target l with
+    | None -> HPC.protect s None
+    | Some n -> HPC.protect s (Some (hdr n)));
+    l
+
+  let deref h blk =
+    poll h;
+    Alloc.check_access blk
+
+  (* Unexpired tasks of departed threads, adopted during later advances. *)
+  let orphans : Epoch_core.task list Atomic.t = Atomic.make []
+
+  let rec push_orphans ts =
+    if ts <> [] then begin
+      let old = Atomic.get orphans in
+      if not (Atomic.compare_and_set orphans old (List.rev_append ts old)) then begin
+        Sched.yield ();
+        push_orphans ts
+      end
+    end
+
+  let adopt_orphans h =
+    match Atomic.get orphans with
+    | [] -> ()
+    | old ->
+        if Atomic.compare_and_set orphans old [] then begin
+          h.tasks <- List.rev_append old h.tasks;
+          h.ntasks <- h.ntasks + List.length old
+        end
+
+  let run_expired h =
+    adopt_orphans h;
+    let limit = Atomic.get global - 2 in
+    let expired, kept =
+      List.partition (fun (t : Epoch_core.task) -> t.stamp <= limit) h.tasks
+    in
+    h.tasks <- kept;
+    h.ntasks <- List.length kept;
+    List.iter (fun (t : Epoch_core.task) -> t.run ()) expired
+
+  (* Advance with ejection: lagging readers other than ourselves are
+     ejected once the patience threshold passes.  (Never self: retirement
+     must complete once the node is unlinked.) *)
+  let try_advance h =
+    let e = Atomic.get global in
+    let lagging = ref [] in
+    Registry.Participants.iter participants (fun l ->
+        let p = Atomic.get l.pin in
+        if p <> -1 && p < e && l != h.l then lagging := l :: !lagging);
+    let self_lags =
+      let p = Atomic.get h.l.pin in
+      p <> -1 && p < e
+    in
+    h.push_cnt <- h.push_cnt + 1;
+    if !lagging <> [] && h.push_cnt < C.config.pebr_eject_threshold then ()
+    else begin
+      List.iter
+        (fun l ->
+          Atomic.incr ejections;
+          Signal.send l.box ~is_out:(fun () ->
+              let p = Atomic.get l.pin in
+              p = -1 || p >= e))
+        !lagging;
+      h.push_cnt <- 0;
+      if not self_lags then
+        if Atomic.compare_and_set global e (e + 1) then Atomic.incr advances
+    end;
+    run_expired h
+
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    if not claimed then Alloc.retire blk;
+    let run () =
+      Alloc.reclaim blk;
+      match free with None -> () | Some f -> f ()
+    in
+    h.tasks <- { Epoch_core.run; stamp = Atomic.get global } :: h.tasks;
+    h.ntasks <- h.ntasks + 1;
+    if h.ntasks >= C.config.batch then try_advance h
+
+  let recycles = false
+  let current_era () = 0
+
+  let flush h = try_advance h
+
+  let unregister h =
+    assert (h.nest = 0);
+    try_advance h;
+    (* Remaining tasks are not yet expired; orphan them for adoption. *)
+    push_orphans h.tasks;
+    h.tasks <- [];
+    h.ntasks <- 0;
+    HPC.unregister h.hp;
+    Registry.Participants.remove participants h.idx
+
+  let reset () =
+    (* No readers remain: run everything. *)
+    let rec drain () =
+      match Atomic.get orphans with
+      | [] -> ()
+      | old ->
+          if Atomic.compare_and_set orphans old [] then
+            List.iter (fun (t : Epoch_core.task) -> t.run ()) old
+          else drain ()
+    in
+    drain ();
+    HPC.reset ();
+    Registry.Participants.reset participants;
+    Atomic.set global 2;
+    Atomic.set ejections 0;
+    Atomic.set restarts 0;
+    Atomic.set advances 0
+
+  let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let debug_stats () =
+    [ ("pebr_epoch", Atomic.get global);
+      ("pebr_advances", Atomic.get advances);
+      ("pebr_ejections", Atomic.get ejections);
+      ("pebr_restarts", Atomic.get restarts) ]
+end

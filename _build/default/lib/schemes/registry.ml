@@ -1,0 +1,141 @@
+(** Shared registries used by the scheme implementations:
+
+    - {!Shields}: the global hazard-pointer slot table an HP-family
+      reclaimer scans (Algorithm 1 line 14);
+    - {!Participants}: the list of per-thread records an epoch-family
+      reclaimer walks to compute the minimum announced epoch (Algorithm 5's
+      [LOCALS]).
+
+    Both are fixed-capacity arrays with a high-water mark and a free list:
+    grow-only scans are what real implementations do, and bounded capacity
+    keeps scans cheap and allocation-free. *)
+
+module Block = Hpbrcu_alloc.Block
+
+(* ------------------------------------------------------------------ *)
+
+module Shields = struct
+  type t = {
+    slots : Block.t option Atomic.t array;
+    hwm : int Atomic.t;  (* slots.(0 .. hwm-1) have been handed out *)
+    free : int list Atomic.t;
+  }
+
+  let max_shields = 1 lsl 14
+
+  let create () =
+    {
+      slots = Array.init max_shields (fun _ -> Atomic.make None);
+      hwm = Atomic.make 0;
+      free = Atomic.make [];
+    }
+
+  type shield = { slot : Block.t option Atomic.t; idx : int; owner : t }
+
+  let rec alloc t =
+    match Atomic.get t.free with
+    | idx :: rest as old ->
+        if Atomic.compare_and_set t.free old rest then
+          { slot = t.slots.(idx); idx; owner = t }
+        else begin
+          Hpbrcu_runtime.Sched.yield ();
+          alloc t
+        end
+    | [] ->
+        let idx = Atomic.fetch_and_add t.hwm 1 in
+        if idx >= max_shields then failwith "Shields.alloc: registry exhausted";
+        { slot = t.slots.(idx); idx; owner = t }
+
+  let rec release (s : shield) =
+    Atomic.set s.slot None;
+    let old = Atomic.get s.owner.free in
+    if not (Atomic.compare_and_set s.owner.free old (s.idx :: old)) then begin
+      Hpbrcu_runtime.Sched.yield ();
+      release s
+    end
+
+  (* Atomic.set is an SC store in OCaml: the publication fence of
+     Algorithm 1 line 7 is built in. *)
+  let protect (s : shield) (b : Block.t option) = Atomic.set s.slot b
+  let clear (s : shield) = Atomic.set s.slot None
+  let get (s : shield) = Atomic.get s.slot
+
+  (** Snapshot the ids of all currently protected blocks.  The scan of
+      Algorithm 1 line 14; the caller's preceding SC operation plays the
+      [fence(SC)] of line 13. *)
+  let protected_ids t =
+    let ids = Hashtbl.create 64 in
+    let n = min (Atomic.get t.hwm) max_shields in
+    for i = 0 to n - 1 do
+      match Atomic.get t.slots.(i) with
+      | None -> ()
+      | Some b -> Hashtbl.replace ids (Block.id b) ()
+    done;
+    ids
+
+  let reset t =
+    let n = min (Atomic.get t.hwm) max_shields in
+    for i = 0 to n - 1 do
+      Atomic.set t.slots.(i) None
+    done;
+    Atomic.set t.hwm 0;
+    Atomic.set t.free []
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Participants = struct
+  type 'l t = {
+    slots : 'l option Atomic.t array;
+    hwm : int Atomic.t;
+    free : int list Atomic.t;
+  }
+
+  let capacity = Hpbrcu_runtime.Sched.max_threads * 2
+
+  let create () =
+    {
+      slots = Array.init capacity (fun _ -> Atomic.make None);
+      hwm = Atomic.make 0;
+      free = Atomic.make [];
+    }
+
+  let rec add t l =
+    match Atomic.get t.free with
+    | idx :: rest as old ->
+        if Atomic.compare_and_set t.free old rest then begin
+          Atomic.set t.slots.(idx) (Some l);
+          idx
+        end
+        else begin
+          Hpbrcu_runtime.Sched.yield ();
+          add t l
+        end
+    | [] ->
+        let idx = Atomic.fetch_and_add t.hwm 1 in
+        if idx >= capacity then failwith "Participants.add: registry exhausted";
+        Atomic.set t.slots.(idx) (Some l);
+        idx
+
+  let rec remove t idx =
+    Atomic.set t.slots.(idx) None;
+    let old = Atomic.get t.free in
+    if not (Atomic.compare_and_set t.free old (idx :: old)) then begin
+      Hpbrcu_runtime.Sched.yield ();
+      remove t idx
+    end
+
+  let iter t f =
+    let n = min (Atomic.get t.hwm) capacity in
+    for i = 0 to n - 1 do
+      match Atomic.get t.slots.(i) with None -> () | Some l -> f l
+    done
+
+  let reset t =
+    let n = min (Atomic.get t.hwm) capacity in
+    for i = 0 to n - 1 do
+      Atomic.set t.slots.(i) None
+    done;
+    Atomic.set t.hwm 0;
+    Atomic.set t.free []
+end

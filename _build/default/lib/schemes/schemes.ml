@@ -1,0 +1,88 @@
+(** Canonical instantiations of the ten reclamation schemes benchmarked in
+    §6, with the paper's parameters ({!Hpbrcu_core.Config.default}:
+    128-retirement batches, force threshold 2; NBR-Large: 8192). *)
+
+module Config = Hpbrcu_core.Config
+
+module NR = Nr.Make ()
+module RCU = Ebr.Make (Config.Default) ()
+module HP = Hp.Make (Config.Default) ()
+module HPPP = Hppp.Make (Config.Default) ()
+module PEBR = Pebr.Make (Config.Default) ()
+module NBR = Nbr.Make (Config.Default) ()
+module NBR_large = Nbr.Make (Config.Large) ()
+module VBR = Vbr.Make (Config.Default) ()
+module HP_RCU = Hp_rcu.Make (Config.Default) ()
+module HP_BRCU = Hp_brcu.Make (Config.Default) ()
+
+(* Table 2's remaining columns — not part of the paper's §6 suite, but
+   implemented so the robustness/efficiency comparison is complete. *)
+module HE = He.Make (Config.Default) ()
+module IBR = Ibr.Make (Config.Default) ()
+
+(** Small-batch instances for the scaled long-running-operation
+    experiments: the paper's key ranges (2^18-2^29) shrink by ~2^10 in this
+    container, so the 128-retirement batch shrinks proportionally — with
+    the paper's batch, every scheme's footprint would be dominated by the
+    batch floor and the growth the experiment demonstrates would be
+    invisible. *)
+module Small_cfg : Config.CONFIG = struct
+  let config =
+    { Config.default with batch = 32; max_local_tasks = 16; backup_period = 32; max_steps = 32 }
+end
+
+module Small = struct
+  module NR = Nr.Make ()
+  module RCU = Ebr.Make (Small_cfg) ()
+  module HP = Hp.Make (Small_cfg) ()
+  module HPPP = Hppp.Make (Small_cfg) ()
+  module PEBR = Pebr.Make (Small_cfg) ()
+  module NBR = Nbr.Make (Small_cfg) ()
+  module NBR_large = Nbr.Make (Config.Large) ()
+  module VBR = Vbr.Make (Small_cfg) ()
+  module HP_RCU = Hp_rcu.Make (Small_cfg) ()
+  module HP_BRCU = Hp_brcu.Make (Small_cfg) ()
+end
+
+(** Scheme-generic view for reporting and housekeeping. *)
+type info = {
+  name : string;
+  caps : Hpbrcu_core.Caps.t;
+  reset : unit -> unit;
+  stats : unit -> (string * int) list;
+}
+
+let info (module S : Hpbrcu_core.Smr_intf.S) =
+  { name = S.name; caps = S.caps; reset = S.reset; stats = S.debug_stats }
+
+let all_info : info list =
+  [
+    info (module NR);
+    info (module RCU);
+    info (module HP);
+    info (module HPPP);
+    info (module PEBR);
+    info (module NBR);
+    info (module NBR_large);
+    info (module VBR);
+    info (module HP_RCU);
+    info (module HP_BRCU);
+    info (module HE);
+    info (module IBR);
+    info (module Small.NR);
+    info (module Small.RCU);
+    info (module Small.HP);
+    info (module Small.HPPP);
+    info (module Small.PEBR);
+    info (module Small.NBR);
+    info (module Small.NBR_large);
+    info (module Small.VBR);
+    info (module Small.HP_RCU);
+    info (module Small.HP_BRCU);
+  ]
+
+(** Reset every scheme's global state and the allocator counters; call
+    between experiment cells. *)
+let reset_all () =
+  List.iter (fun i -> i.reset ()) all_info;
+  Hpbrcu_alloc.Alloc.reset ()

@@ -1,0 +1,118 @@
+(** VBR — version-based reclamation (Sheffi, Herlihy, Petrank, SPAA 2021),
+    simplified (see DESIGN.md §2.4).
+
+    VBR never defers: a retired block is immediately recycled through a
+    type-stable pool ({!Hpbrcu_alloc.Pool}), so its footprint is near zero
+    (the flat lines of Figures 7 and 9).  Safety comes from versioning
+    instead of quiescence: every block carries a version bumped on reuse
+    and birth/retire era stamps; an operation records the global era when
+    it starts, and any read that reaches a block recycled {e after} the
+    operation began raises {!Make.Restart} — a coarse-grained restart from
+    scratch, which is why VBR (like NBR and PEBR) starves on long-running
+    operations (Figures 1, 6).
+
+    Substitutions vs. the real VBR: the 128-bit versioned pointers become
+    OCaml link records (whose CAS compares physical identity, so a stale
+    CAS fails exactly as a version-mismatch CAS would), and reuse is
+    restricted to be cross-era (the pool refuses blocks retired in the
+    current era), which together with the birth-era check gives the same
+    guarantee the version arithmetic gives: an operation can never observe
+    a reincarnation of a block through links obtained before the
+    reincarnation. *)
+
+module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+open Hpbrcu_core
+
+module Make (C : Config.CONFIG) () : Smr_intf.S = struct
+  let name = "VBR"
+
+  let caps : Caps.t =
+    {
+      name = "VBR";
+      robust_stalled = true;
+      robust_longrun = true;
+      per_node = ValidationOnly;
+      starvation = Coarse;
+      supports = Caps.supports_optimistic;
+    }
+
+  let era = Atomic.make 1
+  let restarts = Atomic.make 0
+
+  type handle = { mutable start_era : int; mutable retire_count : int }
+
+  let register () = { start_era = 0; retire_count = 0 }
+  let unregister _ = ()
+  let flush _ = ()
+
+  let reset () =
+    Atomic.set era 1;
+    Atomic.set restarts 0
+
+  type shield = unit
+
+  let new_shield _ = ()
+  let protect () _ = ()
+  let clear () = ()
+
+  exception Restart
+
+  let op h body =
+    let rec go () =
+      h.start_era <- Atomic.get era;
+      try body ()
+      with Restart ->
+        Atomic.incr restarts;
+        Sched.yield ();
+        go ()
+    in
+    go ()
+
+  let crit _ body = body ()
+  let mask _ body = body ()
+
+  (* The per-read validation: a recycled block born after this operation
+     started may be a reincarnation reached through a stale link. *)
+  let validate_block h b =
+    if Block.version b > 0 && Block.birth_era b > h.start_era then raise Restart
+
+  let read h () ?src ~hdr cell =
+    Sched.yield ();
+    (match src with
+    | None -> ()
+    | Some b ->
+        Alloc.check_access b;
+        validate_block h b);
+    let l = Link.get cell in
+    (match Link.target l with Some n -> validate_block h (hdr n) | None -> ());
+    l
+
+  let deref h blk =
+    Alloc.check_access blk;
+    validate_block h blk
+
+  (* Immediate reclamation: stamp the retire era, advance the era every
+     [batch] retirements, reclaim, and let [free] return the node to its
+     pool. *)
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    Block.mark_retire_era blk ~era:(Atomic.get era);
+    if not claimed then Alloc.retire blk;
+    Alloc.reclaim blk;
+    (match free with None -> () | Some f -> f ());
+    h.retire_count <- h.retire_count + 1;
+    if h.retire_count >= C.config.batch then begin
+      h.retire_count <- 0;
+      Atomic.incr era
+    end
+
+  let recycles = true
+  let current_era () = Atomic.get era
+
+  let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
+    Scheme_common.plain_traverse ~prot ~protect ~init ~step
+
+  let debug_stats () =
+    [ ("vbr_era", Atomic.get era); ("vbr_restarts", Atomic.get restarts) ]
+end

@@ -1,0 +1,1 @@
+lib/workload/cell_runner.ml: Array Atomic Fun Hpbrcu_alloc Hpbrcu_ds Hpbrcu_runtime Spec

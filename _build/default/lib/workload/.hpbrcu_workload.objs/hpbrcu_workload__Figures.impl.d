@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Fmt Hpbrcu_core List Longrun Matrix Printf Report Spec

@@ -1,0 +1,1 @@
+lib/workload/longrun.ml: Array Atomic Hpbrcu_alloc Hpbrcu_core Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes Matrix Spec

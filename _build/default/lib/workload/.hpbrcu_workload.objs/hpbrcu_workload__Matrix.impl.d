@@ -1,0 +1,1 @@
+lib/workload/matrix.ml: Cell_runner Hpbrcu_core Hpbrcu_ds Hpbrcu_schemes List Spec

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Filename List Printf String Sys Unix

@@ -1,0 +1,99 @@
+(** Generic experiment-cell executor: prefill, spawn workers, apply the
+    operation mix, measure throughput and peak unreclaimed blocks. *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Rng = Hpbrcu_runtime.Rng
+module Clock = Hpbrcu_runtime.Clock
+
+module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
+  (* Pre-insert [prefill] distinct keys drawn as a random prefix of a
+     shuffled permutation (uniform occupancy; avoids degenerate shapes in
+     the BST). *)
+  let prefill t (c : Spec.cell) =
+    let s = L.session t in
+    let rng = Rng.create ~seed:(c.seed lxor 0x5eed) in
+    let keys = Array.init c.key_range Fun.id in
+    for i = c.key_range - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = keys.(i) in
+      keys.(i) <- keys.(j);
+      keys.(j) <- tmp
+    done;
+    for i = 0 to min c.prefill c.key_range - 1 do
+      ignore (L.insert t s keys.(i) i : bool)
+    done;
+    L.close_session s
+
+  let one_op t s rng (c : Spec.cell) =
+    let k = Rng.int rng c.key_range in
+    let p = Rng.int rng 100 in
+    let read_pct, ins_pct =
+      match c.workload with
+      | Spec.Read_only -> (100, 0)
+      | Spec.Read_intensive -> (90, 5)
+      | Spec.Read_write -> (50, 25)
+      | Spec.Write_only -> (0, 50)
+    in
+    if p < read_pct then ignore (L.get t s k : bool)
+    else if p < read_pct + ins_pct then ignore (L.insert t s k (k * 3) : bool)
+    else ignore (L.remove t s k : bool)
+
+  let run ?(create = L.create) (c : Spec.cell) ~(scheme_stats : unit -> (string * int) list)
+      ~(reset : unit -> unit) : Spec.result =
+    reset ();
+    Alloc.reset ();
+    Alloc.set_strict false;
+    let t = create () in
+    prefill t c;
+    Alloc.reset_peak ();
+    let stop = Atomic.make false in
+    let ops = Array.make c.threads 0 in
+    let t0 = Clock.now () in
+    (* Arm the starvation rescue: coarse-restarting schemes can starve an
+       operation indefinitely (the Figure 1 effect), which would otherwise
+       keep a worker from ever reaching its stop check. *)
+    (match c.limit with
+    | Spec.Duration d -> Sched.set_deadline (t0 +. d +. (d /. 2.))
+    | Spec.Ops _ -> ());
+    let worker tid =
+      let s = L.session t in
+      let rng = Rng.create ~seed:(c.seed + (tid * 7919) + 13) in
+      (match c.limit with
+      | Spec.Ops n ->
+          for _ = 1 to n do
+            one_op t s rng c;
+            ops.(tid) <- ops.(tid) + 1
+          done
+      | Spec.Duration d ->
+          let budget_check = 255 in
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            (try
+               one_op t s rng c;
+               incr n
+             with Sched.Deadline -> Atomic.set stop true);
+            if !n land budget_check = 0 && Clock.now () -. t0 >= d then
+              Atomic.set stop true
+          done;
+          ops.(tid) <- !n);
+      try L.close_session s with Sched.Deadline -> ()
+    in
+    (match c.mode with
+    | Spec.Domains -> Sched.run Sched.Domains ~nthreads:c.threads worker
+    | Spec.Fibers seed ->
+        Sched.run (Sched.Fibers { seed; switch_every = 4 }) ~nthreads:c.threads worker);
+    Sched.clear_deadline ();
+    let elapsed = Clock.now () -. t0 in
+    let total_ops = Array.fold_left ( + ) 0 ops in
+    let st = Alloc.stats () in
+    {
+      Spec.total_ops;
+      elapsed;
+      throughput = float_of_int total_ops /. elapsed /. 1e6;
+      peak_unreclaimed = st.Alloc.peak_unreclaimed;
+      final_unreclaimed = st.Alloc.unreclaimed;
+      uaf = st.Alloc.uaf;
+      stats = scheme_stats ();
+    }
+end

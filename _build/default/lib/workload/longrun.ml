@@ -1,0 +1,115 @@
+(** The long-running-operation benchmark (Figures 1, 6, 22, B.3, C.3).
+
+    Half the threads run [get] over the whole (large) key range of a sorted
+    list — operations whose length grows with the range — while the other
+    half insert/remove keys in a small hot region at the head of the list,
+    generating heavy reclamation pressure.  Measured: the readers'
+    throughput (plotted as a ratio to NR) and the peak number of
+    unreclaimed blocks.
+
+    HP runs HMList; everyone else runs HHSList, as in §6. *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Rng = Hpbrcu_runtime.Rng
+module Clock = Hpbrcu_runtime.Clock
+module Schemes = Hpbrcu_schemes.Schemes
+module Ds = Hpbrcu_ds
+
+type config = {
+  key_range : int;  (** list key range; op length ≈ range/4 links *)
+  readers : int;
+  writers : int;
+  hot_width : int;  (** writers churn keys in [0, hot_width) *)
+  duration : float;
+  mode : Spec.mode;
+  seed : int;
+}
+
+let config ?(key_range = 4096) ?(readers = 2) ?(writers = 2) ?(hot_width = 64)
+    ?(duration = 0.2) ?(mode = Spec.Domains) ?(seed = 1) () =
+  { key_range; readers; writers; hot_width; duration; mode; seed }
+
+type outcome = {
+  reader_tput : float;  (** Mop/s over all readers *)
+  writer_tput : float;
+  peak_unreclaimed : int;
+  uaf : int;
+}
+
+module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
+  let go (c : config) : outcome =
+    Schemes.reset_all ();
+    Alloc.reset ();
+    Alloc.set_strict false;
+    let t = L.create () in
+    (* Prefill to 50%. *)
+    let s = L.session t in
+    let rng = Rng.create ~seed:(c.seed lxor 0xfeed) in
+    let inserted = ref 0 in
+    while !inserted < c.key_range / 2 do
+      if L.insert t s (Rng.int rng c.key_range) 0 then incr inserted
+    done;
+    L.close_session s;
+    Alloc.reset_peak ();
+    let stop = Atomic.make false in
+    let nthreads = c.readers + c.writers in
+    let ops = Array.make nthreads 0 in
+    let t0 = Clock.now () in
+    (* Starvation rescue: a reader that is neutralized faster than it can
+       finish (the phenomenon under study!) never completes an operation,
+       so it must be abortable from inside. *)
+    Sched.set_deadline (t0 +. c.duration);
+    let worker tid =
+      let s = L.session t in
+      let rng = Rng.create ~seed:(c.seed + (tid * 104729)) in
+      let n = ref 0 in
+      let reader = tid < c.readers in
+      while not (Atomic.get stop) do
+        (try
+           if reader then ignore (L.get t s (Rng.int rng c.key_range) : bool)
+           else begin
+             let k = Rng.int rng c.hot_width in
+             if Rng.bool rng then ignore (L.insert t s k 0 : bool)
+             else ignore (L.remove t s k : bool)
+           end;
+           incr n
+         with Sched.Deadline -> Atomic.set stop true);
+        (* Readers' ops are long; check the clock every op for them and
+           every 64 ops for writers. *)
+        if (reader || !n land 63 = 0) && Clock.now () -. t0 >= c.duration then
+          Atomic.set stop true
+      done;
+      ops.(tid) <- !n;
+      try L.close_session s with Sched.Deadline -> ()
+    in
+    (match c.mode with
+    | Spec.Domains -> Sched.run Sched.Domains ~nthreads worker
+    | Spec.Fibers seed ->
+        Sched.run (Sched.Fibers { seed; switch_every = 4 }) ~nthreads worker);
+    Sched.clear_deadline ();
+    let elapsed = Clock.now () -. t0 in
+    let sum a b = Array.fold_left ( + ) 0 (Array.sub ops a b) in
+    let st = Alloc.stats () in
+    {
+      reader_tput = float_of_int (sum 0 c.readers) /. elapsed /. 1e6;
+      writer_tput = float_of_int (sum c.readers c.writers) /. elapsed /. 1e6;
+      peak_unreclaimed = st.Alloc.peak_unreclaimed;
+      uaf = st.Alloc.uaf;
+    }
+end
+
+(** [run ~scheme config] — long-running-read benchmark for one scheme.
+    Uses the small-batch scheme instances (see {!Hpbrcu_schemes.Schemes.Small}):
+    the batch threshold scales down with the scaled key ranges. *)
+let run ~scheme (c : config) : outcome option =
+  let (module S) = Matrix.find_scheme ~tuning:`Small scheme in
+  if scheme = "HP" then
+    let module L = Ds.Hm_list.Make (S) in
+    let module R = Run (L) in
+    Some (R.go c)
+  else if Matrix.supports (module S) Hpbrcu_core.Caps.HHSList then
+    let module L = Ds.Harris_list.Make_hhs (S) in
+    let module R = Run (L) in
+    Some (R.go c)
+  else None

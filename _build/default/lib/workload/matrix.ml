@@ -1,0 +1,118 @@
+(** The data-structure × scheme instantiation matrix.
+
+    Benchmarks address cells by names ("HHSList", "HP-BRCU"); this module
+    applies the right functors, honours the applicability matrix (Table 1:
+    unsupported pairs return [None]), and picks the paper's bucket-list
+    flavour for HashMap (HMList under HP, HHSList elsewhere). *)
+
+module Caps = Hpbrcu_core.Caps
+module Schemes = Hpbrcu_schemes.Schemes
+module Ds = Hpbrcu_ds
+
+module type SCHEME = Hpbrcu_core.Smr_intf.S
+
+let schemes : (string * (module SCHEME)) list =
+  [
+    ("NR", (module Schemes.NR));
+    ("RCU", (module Schemes.RCU));
+    ("HP", (module Schemes.HP));
+    ("HP++", (module Schemes.HPPP));
+    ("PEBR", (module Schemes.PEBR));
+    ("NBR", (module Schemes.NBR));
+    ("NBR-Large", (module Schemes.NBR_large));
+    ("VBR", (module Schemes.VBR));
+    ("HP-RCU", (module Schemes.HP_RCU));
+    ("HP-BRCU", (module Schemes.HP_BRCU));
+    (* Beyond the paper's §6 suite (Table 2 completeness): *)
+    ("HE", (module Schemes.HE));
+    ("IBR", (module Schemes.IBR));
+  ]
+
+(* Small-batch twins for the scaled long-running experiments. *)
+let schemes_small : (string * (module SCHEME)) list =
+  [
+    ("NR", (module Schemes.Small.NR));
+    ("RCU", (module Schemes.Small.RCU));
+    ("HP", (module Schemes.Small.HP));
+    ("HP++", (module Schemes.Small.HPPP));
+    ("PEBR", (module Schemes.Small.PEBR));
+    ("NBR", (module Schemes.Small.NBR));
+    ("NBR-Large", (module Schemes.Small.NBR_large));
+    ("VBR", (module Schemes.Small.VBR));
+    ("HP-RCU", (module Schemes.Small.HP_RCU));
+    ("HP-BRCU", (module Schemes.Small.HP_BRCU));
+  ]
+
+(* The paper's §6 legend (figures use exactly these; HE/IBR remain
+   addressable by name for custom sweeps and tests). *)
+let scheme_names =
+  List.filter (fun n -> n <> "HE" && n <> "IBR") (List.map fst schemes)
+
+let find_scheme ?(tuning = `Default) name : (module SCHEME) =
+  let table = match tuning with `Default -> schemes | `Small -> schemes_small in
+  match List.assoc_opt name table with
+  | Some s -> s
+  | None -> invalid_arg ("unknown scheme: " ^ name)
+
+let ds_of_string = function
+  | "HList" -> Caps.HList
+  | "HMList" -> Caps.HMList
+  | "HHSList" -> Caps.HHSList
+  | "HashMap" -> Caps.HashMap
+  | "SkipList" -> Caps.SkipList
+  | "NMTree" -> Caps.NMTree
+  | s -> invalid_arg ("unknown data structure: " ^ s)
+
+(* NBR-Large shares NBR's applicability. *)
+let supports (module S : SCHEME) ds = S.caps.Caps.supports ds <> Caps.No
+
+(* Hash tables sized so the expected chain length matches the paper's
+   (≈1.7 nodes at 50% occupancy). *)
+let bucket_hint key_range = max 16 (key_range / 4)
+
+(** [run_cell ~ds ~scheme cell] executes one experiment cell, or returns
+    [None] when the pair is excluded by Table 1. *)
+let run_cell ~(ds : Caps.ds_id) ~(scheme : string) (cell : Spec.cell) :
+    Spec.result option =
+  let (module S) = find_scheme scheme in
+  if not (supports (module S) ds) then None
+  else
+    let reset () = Schemes.reset_all () in
+    let scheme_stats () = S.debug_stats () in
+    let r =
+      match ds with
+      | Caps.HList ->
+          let module L = Ds.Harris_list.Make (S) in
+          let module R = Cell_runner.Make (L) in
+          R.run cell ~scheme_stats ~reset
+      | Caps.HMList ->
+          let module L = Ds.Hm_list.Make (S) in
+          let module R = Cell_runner.Make (L) in
+          R.run cell ~scheme_stats ~reset
+      | Caps.HHSList ->
+          let module L = Ds.Harris_list.Make_hhs (S) in
+          let module R = Cell_runner.Make (L) in
+          R.run cell ~scheme_stats ~reset
+      | Caps.HashMap ->
+          if scheme = "HP" then begin
+            let module L = Ds.Hashmap.Make_gen (Ds.Hm_list.Make) (S) in
+            let module R = Cell_runner.Make (L) in
+            R.run cell ~scheme_stats ~reset
+              ~create:(fun () -> L.create_sized (bucket_hint cell.Spec.key_range))
+          end
+          else begin
+            let module L = Ds.Hashmap.Make_gen (Ds.Harris_list.Make_hhs) (S) in
+            let module R = Cell_runner.Make (L) in
+            R.run cell ~scheme_stats ~reset
+              ~create:(fun () -> L.create_sized (bucket_hint cell.Spec.key_range))
+          end
+      | Caps.SkipList ->
+          let module L = Ds.Skiplist.Make (S) in
+          let module R = Cell_runner.Make (L) in
+          R.run cell ~scheme_stats ~reset
+      | Caps.NMTree ->
+          let module L = Ds.Nmtree.Make (S) in
+          let module R = Cell_runner.Make (L) in
+          R.run cell ~scheme_stats ~reset
+    in
+    Some r

@@ -1,0 +1,41 @@
+(** Result reporting: aligned text tables on stdout and CSV files under
+    [results/] for every figure/table the harness regenerates. *)
+
+let outdir = ref "results"
+
+let ensure_outdir () =
+  if not (Sys.file_exists !outdir) then Unix.mkdir !outdir 0o755
+
+(** [table ~title ~header rows] prints an aligned text table. *)
+let table ~title ~header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  measure header;
+  List.iter measure rows;
+  Printf.printf "\n== %s ==\n" title;
+  let print_row row =
+    List.iteri
+      (fun i c -> if i < ncols then Printf.printf "%-*s  " widths.(i) c)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun _ -> "") header |> List.mapi (fun i _ -> String.make widths.(i) '-'));
+  List.iter print_row rows;
+  flush stdout
+
+(** [csv ~file ~header rows] writes a CSV under [!outdir]. *)
+let csv ~file ~header rows =
+  ensure_outdir ();
+  let oc = open_out (Filename.concat !outdir file) in
+  let line cells = output_string oc (String.concat "," cells ^ "\n") in
+  line header;
+  List.iter line rows;
+  close_out oc
+
+let f1 x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x
+let i = string_of_int

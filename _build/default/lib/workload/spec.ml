@@ -1,0 +1,61 @@
+(** Experiment-cell specifications and results (§6 Methodology).
+
+    A {e cell} is one point of one plot: a (data structure, scheme,
+    workload, key range, thread count) combination run for a fixed time or
+    op budget, measuring throughput and the peak number of retired yet
+    unreclaimed blocks. *)
+
+type workload =
+  | Read_only  (** 100% get *)
+  | Read_intensive  (** 90% get, 5% insert, 5% remove *)
+  | Read_write  (** 50% get, 25% insert, 25% remove *)
+  | Write_only  (** 50% insert, 50% remove *)
+
+let workload_name = function
+  | Read_only -> "ro"
+  | Read_intensive -> "ri"
+  | Read_write -> "rw"
+  | Write_only -> "wo"
+
+let workload_of_string = function
+  | "ro" -> Read_only
+  | "ri" -> Read_intensive
+  | "rw" -> Read_write
+  | "wo" -> Write_only
+  | s -> invalid_arg ("unknown workload: " ^ s)
+
+type mode =
+  | Domains  (** real domains; wall-clock throughput *)
+  | Fibers of int  (** deterministic simulator with this seed *)
+
+type limit =
+  | Duration of float  (** seconds *)
+  | Ops of int  (** operations per thread (deterministic runs) *)
+
+type cell = {
+  threads : int;
+  key_range : int;
+  prefill : int;  (** elements inserted before measuring *)
+  workload : workload;
+  limit : limit;
+  mode : mode;
+  seed : int;
+}
+
+let cell ?(threads = 4) ?(key_range = 1024) ?prefill ?(workload = Read_write)
+    ?(limit = Duration 0.15) ?(mode = Domains) ?(seed = 1) () =
+  let prefill = match prefill with Some p -> p | None -> key_range / 2 in
+  { threads; key_range; prefill; workload; limit; mode; seed }
+
+type result = {
+  total_ops : int;
+  elapsed : float;  (** seconds *)
+  throughput : float;  (** Mop/s *)
+  peak_unreclaimed : int;
+  final_unreclaimed : int;
+  uaf : int;
+  stats : (string * int) list;  (** scheme debug counters *)
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%8.3f Mop/s  peak=%-8d uaf=%d" r.throughput r.peak_unreclaimed r.uaf

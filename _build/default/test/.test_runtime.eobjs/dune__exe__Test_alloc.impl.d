@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Hpbrcu_alloc Hpbrcu_runtime List

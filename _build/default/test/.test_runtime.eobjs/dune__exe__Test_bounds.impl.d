@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Atomic Hpbrcu_alloc Hpbrcu_core Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes Printf Unix

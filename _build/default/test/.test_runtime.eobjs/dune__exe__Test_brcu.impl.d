@@ -1,0 +1,1 @@
+test/test_brcu.ml: Alcotest Hpbrcu_alloc Hpbrcu_core Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes List Printf

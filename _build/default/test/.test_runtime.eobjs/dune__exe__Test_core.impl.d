@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fmt Hpbrcu_alloc Hpbrcu_core Hpbrcu_schemes List Printf String

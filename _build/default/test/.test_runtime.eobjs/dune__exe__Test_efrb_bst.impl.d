@@ -1,0 +1,1 @@
+test/test_efrb_bst.ml: Alcotest Hpbrcu_core Hpbrcu_ds Test_util

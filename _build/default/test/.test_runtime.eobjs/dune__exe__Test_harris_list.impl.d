@@ -1,0 +1,1 @@
+test/test_harris_list.ml: Alcotest Hpbrcu_alloc Hpbrcu_core Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes Int List Set

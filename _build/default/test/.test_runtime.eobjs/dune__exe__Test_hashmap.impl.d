@@ -1,0 +1,1 @@
+test/test_hashmap.ml: Alcotest Hpbrcu_core Hpbrcu_ds Hpbrcu_schemes Test_util

@@ -1,0 +1,1 @@
+test/test_nmtree.ml: Alcotest Hpbrcu_core Hpbrcu_ds Test_util

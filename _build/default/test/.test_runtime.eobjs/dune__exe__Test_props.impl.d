@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Fun Gen Hpbrcu_alloc Hpbrcu_core Hpbrcu_ds Hpbrcu_runtime Hpbrcu_schemes Int List Printf QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Hpbrcu_schemes List

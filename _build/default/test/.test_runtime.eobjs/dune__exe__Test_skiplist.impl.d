@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Hpbrcu_core Hpbrcu_ds Test_util

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Hpbrcu_alloc Hpbrcu_core Hpbrcu_runtime Hpbrcu_schemes Hpbrcu_workload List Printf

@@ -1,0 +1,9 @@
+(* EFRB external BST (Ellen et al.): Table 1's only ✓-for-HP tree.  Runs
+   under every implemented scheme. *)
+
+let () =
+  let mk (module S : Hpbrcu_core.Smr_intf.S) =
+    (module Hpbrcu_ds.Efrb_bst.Make (S) : Hpbrcu_ds.Ds_intf.MAP)
+  in
+  Alcotest.run "efrb_bst"
+    [ ("all", Test_util.standard_cases ~make:mk Test_util.all_schemes) ]

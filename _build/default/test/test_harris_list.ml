@@ -1,0 +1,97 @@
+(* Harris list (HList) and HHSList: sequential model check and fiber-mode
+   stress under every applicable scheme (HP excluded: optimistic traversal,
+   Table 1). *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Schemes = Hpbrcu_schemes.Schemes
+module ISet = Set.Make (Int)
+
+let reset () =
+  Schemes.reset_all ();
+  Alloc.set_strict true
+
+let schemes =
+  [
+    ("NR", (module Schemes.NR : Hpbrcu_core.Smr_intf.S));
+    ("RCU", (module Schemes.RCU));
+    ("HP++", (module Schemes.HPPP));
+    ("PEBR", (module Schemes.PEBR));
+    ("NBR", (module Schemes.NBR));
+    ("NBR-Large", (module Schemes.NBR_large));
+    ("VBR", (module Schemes.VBR));
+    ("HP-RCU", (module Schemes.HP_RCU));
+    ("HP-BRCU", (module Schemes.HP_BRCU));
+  ]
+
+module Ds_sig = Hpbrcu_ds.Ds_intf
+
+module type LIST_MAKE = functor (S : Hpbrcu_core.Smr_intf.S) -> Ds_sig.MAP
+
+module Check (L : Ds_sig.MAP) = struct
+  let seq () =
+    reset ();
+    let t = L.create () in
+    let s = L.session t in
+    let model = ref ISet.empty in
+    let rng = Hpbrcu_runtime.Rng.create ~seed:7 in
+    for _ = 1 to 2000 do
+      let k = Hpbrcu_runtime.Rng.int rng 64 in
+      match Hpbrcu_runtime.Rng.int rng 3 with
+      | 0 ->
+          Alcotest.(check bool)
+            "insert" (not (ISet.mem k !model))
+            (L.insert t s k k);
+          model := ISet.add k !model
+      | 1 ->
+          Alcotest.(check bool) "remove" (ISet.mem k !model) (L.remove t s k);
+          model := ISet.remove k !model
+      | _ -> Alcotest.(check bool) "get" (ISet.mem k !model) (L.get t s k)
+    done;
+    L.cleanup t s;
+    L.close_session s;
+    Alcotest.(check int) "no UAF" 0 (Alloc.uaf_count ())
+
+  let stress ~seed () =
+    reset ();
+    let t = L.create () in
+    Sched.run
+      (Sched.Fibers { seed; switch_every = 2 })
+      ~nthreads:4
+      (fun tid ->
+        let s = L.session t in
+        let rng = Hpbrcu_runtime.Rng.create ~seed:(seed + (tid * 104729)) in
+        for _ = 1 to 300 do
+          let k = Hpbrcu_runtime.Rng.int rng 32 in
+          match Hpbrcu_runtime.Rng.int rng 3 with
+          | 0 -> ignore (L.insert t s k tid : bool)
+          | 1 -> ignore (L.remove t s k : bool)
+          | _ -> ignore (L.get t s k : bool)
+        done;
+        L.close_session s);
+    let s = L.session t in
+    L.cleanup t s;
+    L.close_session s;
+    Alcotest.(check int) "no UAF" 0 (Alloc.uaf_count ())
+end
+
+let cases (flavour : string) (make_list : (module LIST_MAKE)) =
+  let module M = (val make_list) in
+  List.concat_map
+    (fun (n, s) ->
+      let module S = (val s : Hpbrcu_core.Smr_intf.S) in
+      let module L = M (S) in
+      let module C = Check (L) in
+      [
+        Alcotest.test_case (flavour ^ "/seq/" ^ n) `Quick C.seq;
+        Alcotest.test_case (flavour ^ "/stress1/" ^ n) `Quick (C.stress ~seed:11);
+        Alcotest.test_case (flavour ^ "/stress2/" ^ n) `Quick (C.stress ~seed:12);
+      ])
+    schemes
+
+let () =
+  Alcotest.run "harris_list"
+    [
+      ("hlist", cases "HList" (module Hpbrcu_ds.Harris_list.Make));
+      ("hhslist", cases "HHSList" (module Hpbrcu_ds.Harris_list.Make_hhs));
+    ]

@@ -1,0 +1,23 @@
+(* Lazy list (Heller et al.): the lock-based structure of Table 1 row 1.
+   Runs under the coarse-grained and restart-capable schemes; HP/HE/IBR
+   are excluded exactly as the paper excludes them (optimistic lookup). *)
+
+let schemes =
+  let module S = Hpbrcu_schemes.Schemes in
+  [
+    ("NR", (module S.NR : Hpbrcu_core.Smr_intf.S));
+    ("RCU", (module S.RCU));
+    ("HP++", (module S.HPPP));
+    ("PEBR", (module S.PEBR));
+    ("NBR", (module S.NBR));
+    ("VBR", (module S.VBR));
+    ("HP-RCU", (module S.HP_RCU));
+    ("HP-BRCU", (module S.HP_BRCU));
+  ]
+
+let () =
+  let mk (module S : Hpbrcu_core.Smr_intf.S) =
+    (module Hpbrcu_ds.Lazy_list.Make (S) : Hpbrcu_ds.Ds_intf.MAP)
+  in
+  Alcotest.run "lazy_list"
+    [ ("all", Test_util.standard_cases ~make:mk schemes) ]

@@ -1,0 +1,255 @@
+(* Runtime substrate: RNG determinism, fiber scheduler semantics, stalls,
+   interrupts, signals, deadline, counters. *)
+
+module Sched = Hpbrcu_runtime.Sched
+module Signal = Hpbrcu_runtime.Signal
+module Rng = Hpbrcu_runtime.Rng
+module Counter = Hpbrcu_runtime.Counter
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  let eq = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next a = Rng.next b then incr eq
+  done;
+  Alcotest.(check bool) "split independent" true (!eq < 5)
+
+let test_rng_uniformish () =
+  let r = Rng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 50 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    buckets
+
+(* ---------------- fiber scheduler ---------------- *)
+
+let test_fibers_run_all () =
+  let n = 32 in
+  let done_ = Array.make n false in
+  Sched.run (Sched.Fibers { seed = 1; switch_every = 2 }) ~nthreads:n (fun tid ->
+      done_.(tid) <- true);
+  Array.iteri (fun i d -> if not d then Alcotest.failf "fiber %d did not run" i) done_
+
+let test_fibers_self () =
+  Sched.run (Sched.Fibers { seed = 2; switch_every = 1 }) ~nthreads:8 (fun tid ->
+      Alcotest.(check int) "self" tid (Sched.self ()));
+  Alcotest.(check int) "outside" (-1) (Sched.self ())
+
+let test_fibers_interleave () =
+  (* With switching at every yield, two fibers incrementing a shared
+     counter must interleave (neither finishes first entirely). *)
+  let log = ref [] in
+  Sched.run (Sched.Fibers { seed = 3; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      for _ = 1 to 50 do
+        log := tid :: !log;
+        Sched.yield ()
+      done);
+  let l = !log in
+  let switches = ref 0 in
+  List.iteri
+    (fun i x -> if i > 0 && x <> List.nth l (i - 1) then incr switches)
+    l;
+  Alcotest.(check bool) "interleaved" true (!switches > 10)
+
+let test_fibers_deterministic () =
+  let trace seed =
+    let log = ref [] in
+    Sched.run (Sched.Fibers { seed; switch_every = 2 }) ~nthreads:4 (fun tid ->
+        for _ = 1 to 20 do
+          log := tid :: !log;
+          Sched.yield ()
+        done);
+    !log
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (trace 5) (trace 5);
+  Alcotest.(check bool) "different seed, different schedule" true (trace 5 <> trace 6)
+
+let test_fibers_stall_wakes () =
+  let woke = ref false in
+  Sched.run (Sched.Fibers { seed = 4; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Sched.stall 50;
+        woke := true
+      end
+      else for _ = 1 to 10 do Sched.yield () done);
+  Alcotest.(check bool) "stalled fiber woke" true !woke
+
+let test_fibers_exception_propagates () =
+  let raised =
+    try
+      Sched.run (Sched.Fibers { seed = 5; switch_every = 1 }) ~nthreads:4 (fun tid ->
+          if tid = 2 then failwith "boom"
+          else for _ = 1 to 100 do Sched.yield () done);
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "worker failure re-raised" true raised
+
+let test_interrupt_wakes_sleeper () =
+  let t = ref max_int in
+  Sched.run (Sched.Fibers { seed = 6; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Sched.stall 1_000_000;
+        t := Sched.tick ()
+      end
+      else begin
+        for _ = 1 to 5 do Sched.yield () done;
+        Sched.interrupt ~tid:0
+      end);
+  Alcotest.(check bool) "woke early (tick far below stall)" true (!t < 100_000)
+
+let test_domains_run_all () =
+  let n = 4 in
+  let counts = Array.make n 0 in
+  Sched.run Sched.Domains ~nthreads:n (fun tid ->
+      for _ = 1 to 1000 do
+        counts.(tid) <- counts.(tid) + 1
+      done);
+  Array.iter (fun c -> Alcotest.(check int) "completed" 1000 c) counts
+
+(* ---------------- signals ---------------- *)
+
+let test_signal_delivery_fiber () =
+  let box = Signal.make () in
+  let handled = ref 0 in
+  Sched.run (Sched.Fibers { seed = 7; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        (* poll until delivered *)
+        while !handled = 0 do
+          Signal.poll box ~handler:(fun () -> incr handled);
+          Sched.yield ()
+        done
+      end
+      else Signal.send box ~is_out:(fun () -> false));
+  Alcotest.(check int) "handler ran once" 1 !handled
+
+let test_signal_out_receiver_releases_sender () =
+  let box = Signal.make () in
+  (* Receiver never polls; sender must still return because is_out. *)
+  Sched.run (Sched.Fibers { seed = 8; switch_every = 1 }) ~nthreads:1 (fun _ ->
+      Signal.send box ~is_out:(fun () -> true));
+  Alcotest.(check int) "sent" 1 (Signal.sent box)
+
+let test_signal_consume_quietly () =
+  let box = Signal.make () in
+  Sched.run (Sched.Fibers { seed = 9; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        for _ = 1 to 20 do Sched.yield () done;
+        Signal.consume_quietly box;
+        (* After a quiet consume, no handler must fire. *)
+        Signal.poll box ~handler:(fun () -> Alcotest.fail "handler after consume")
+      end
+      else Signal.send box ~is_out:(fun () -> false))
+
+(* ---------------- deadline ---------------- *)
+
+let test_deadline_aborts_spin () =
+  Sched.set_deadline (Unix.gettimeofday () +. 0.05);
+  let aborted =
+    try
+      Sched.run (Sched.Fibers { seed = 10; switch_every = 1 }) ~nthreads:1 (fun _ ->
+          while true do
+            Sched.yield ()
+          done);
+      false
+    with Sched.Deadline -> true
+  in
+  Sched.clear_deadline ();
+  Alcotest.(check bool) "deadline fired" true aborted
+
+(* ---------------- counters ---------------- *)
+
+let test_counter_peak () =
+  let c = Counter.make () in
+  Counter.incr c;
+  Counter.incr c;
+  Counter.decr c;
+  Counter.incr c;
+  Counter.incr c;
+  Alcotest.(check int) "value" 3 (Counter.get c);
+  Alcotest.(check int) "peak" 3 (Counter.peak c);
+  Counter.decr c;
+  Counter.decr c;
+  Alcotest.(check int) "peak survives decr" 3 (Counter.peak c);
+  Counter.reset_peak c;
+  Alcotest.(check int) "peak rearmed" 1 (Counter.peak c)
+
+let test_counter_concurrent () =
+  let c = Counter.make () in
+  Sched.run (Sched.Fibers { seed = 11; switch_every = 1 }) ~nthreads:8 (fun _ ->
+      for _ = 1 to 100 do
+        Counter.incr c;
+        Sched.yield ();
+        Counter.decr c
+      done);
+  Alcotest.(check int) "drains to zero" 0 (Counter.get c);
+  Alcotest.(check bool) "peak positive" true (Counter.peak c >= 1)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed-sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform" `Quick test_rng_uniformish;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "run-all" `Quick test_fibers_run_all;
+          Alcotest.test_case "self" `Quick test_fibers_self;
+          Alcotest.test_case "interleave" `Quick test_fibers_interleave;
+          Alcotest.test_case "deterministic" `Quick test_fibers_deterministic;
+          Alcotest.test_case "stall-wakes" `Quick test_fibers_stall_wakes;
+          Alcotest.test_case "exception" `Quick test_fibers_exception_propagates;
+          Alcotest.test_case "interrupt" `Quick test_interrupt_wakes_sleeper;
+          Alcotest.test_case "domains" `Quick test_domains_run_all;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "delivery" `Quick test_signal_delivery_fiber;
+          Alcotest.test_case "out-release" `Quick test_signal_out_receiver_releases_sender;
+          Alcotest.test_case "consume-quietly" `Quick test_signal_consume_quietly;
+        ] );
+      ("deadline", [ Alcotest.test_case "aborts-spin" `Quick test_deadline_aborts_spin ]);
+      ( "counter",
+        [
+          Alcotest.test_case "peak" `Quick test_counter_peak;
+          Alcotest.test_case "concurrent" `Quick test_counter_concurrent;
+        ] );
+    ]

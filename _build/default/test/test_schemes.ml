@@ -1,0 +1,200 @@
+(* Scheme semantics, scheme by scheme: protection really defers
+   reclamation, epochs advance correctly, retire eventually reclaims,
+   two-step retirement orders correctly. *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Block = Hpbrcu_alloc.Block
+module Sched = Hpbrcu_runtime.Sched
+module Schemes = Hpbrcu_schemes.Schemes
+module Link = Hpbrcu_core.Link
+
+let reset () =
+  Schemes.reset_all ();
+  Alloc.set_strict true
+
+(* Retire enough blocks through a scheme (with no readers) and check they
+   all get reclaimed after flush + a second flush round. *)
+module Drain (S : Hpbrcu_core.Smr_intf.S) = struct
+  let run () =
+    reset ();
+    let h = S.register () in
+    let n = 1000 in
+    for _ = 1 to n do
+      S.retire h (Alloc.block ())
+    done;
+    S.flush h;
+    S.flush h;
+    S.flush h;
+    S.unregister h;
+    let st = Alloc.stats () in
+    Alcotest.(check int) "retired" n st.Alloc.retired;
+    if S.name <> "NR" then
+      Alcotest.(check int) "all reclaimed" n st.Alloc.reclaimed
+    else Alcotest.(check int) "NR reclaims nothing" 0 st.Alloc.reclaimed
+end
+
+let drain_case (name, s) =
+  Alcotest.test_case ("drain/" ^ name) `Quick (fun () ->
+      let module S = (val s : Hpbrcu_core.Smr_intf.S) in
+      let module D = Drain (S) in
+      D.run ())
+
+(* HP: a protected block survives scans; clearing the shield releases it. *)
+let test_hp_protection_defers () =
+  reset ();
+  let module S = Schemes.HP in
+  let h = S.register () in
+  let sh = S.new_shield h in
+  let b = Alloc.block () in
+  S.protect sh (Some b);
+  S.retire h b;
+  S.flush h;
+  Alcotest.(check bool) "protected survives" true (Block.is_retired b);
+  S.clear sh;
+  S.flush h;
+  Alcotest.(check bool) "reclaimed after clear" true (Block.is_reclaimed b);
+  S.unregister h
+
+(* EBR: a pinned reader blocks reclamation; unpinning unblocks it. *)
+let test_ebr_pin_blocks () =
+  reset ();
+  let module S = Schemes.RCU in
+  Sched.run (Sched.Fibers { seed = 1; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        (* Reader pins across many scheduler quanta. *)
+        let h = S.register () in
+        S.crit h (fun () ->
+            for _ = 1 to 400 do
+              Sched.yield ()
+            done;
+            (* While we are pinned, the writer's retirements (stamped at
+               our epoch or later) must not all be reclaimed. *)
+            let st = Alloc.stats () in
+            if st.Alloc.retired > 300 then
+              Alcotest.(check bool) "reclamation lags behind retirement" true
+                (st.Alloc.reclaimed < st.Alloc.retired));
+        S.unregister h
+      end
+      else begin
+        let h = S.register () in
+        for _ = 1 to 600 do
+          S.retire h (Alloc.block ());
+          Sched.yield ()
+        done;
+        S.flush h;
+        S.unregister h
+      end);
+  (* After everyone is gone a reset drains the leftovers. *)
+  Schemes.reset_all ();
+  let st = Alloc.stats () in
+  Alcotest.(check int) "eventually all reclaimed" st.Alloc.retired st.Alloc.reclaimed
+
+(* Two-step retirement (HP-RCU/HP-BRCU): a block protected by a shield
+   inside a critical section survives even after the critical section ends
+   and epochs advance (Figure 4's timeline). *)
+module Two_step (S : Hpbrcu_core.Smr_intf.S) = struct
+  let shared : Block.t option ref = ref None
+
+  let run () =
+    reset ();
+    Sched.run (Sched.Fibers { seed = 2; switch_every = 1 }) ~nthreads:2 (fun tid ->
+        if tid = 0 then begin
+          let h = S.register () in
+          let sh = S.new_shield h in
+          let b = Alloc.block () in
+          (* Publish b so the writer can retire it. *)
+          shared := Some b;
+          S.crit h (fun () -> S.protect sh (Some b));
+          (* Critical section over; the shield must still defer. *)
+          for _ = 1 to 2000 do
+            Sched.yield ()
+          done;
+          Alcotest.(check bool)
+            (S.name ^ ": shielded block not reclaimed")
+            false (Block.is_reclaimed b);
+          S.clear sh;
+          S.flush h;
+          S.unregister h
+        end
+        else begin
+          let h = S.register () in
+          (* Wait for the block, retire it, then churn to force epochs. *)
+          while !shared = None do
+            Sched.yield ()
+          done;
+          (match !shared with Some b -> S.retire h b | None -> ());
+          for _ = 1 to 1500 do
+            S.retire h (Alloc.block ());
+            Sched.yield ()
+          done;
+          S.flush h;
+          S.unregister h
+        end);
+    Schemes.reset_all ()
+end
+
+let two_step_case (name, s) =
+  Alcotest.test_case ("two-step/" ^ name) `Quick (fun () ->
+      let module S = (val s : Hpbrcu_core.Smr_intf.S) in
+      let module T = Two_step (S) in
+      T.shared := None;
+      T.run ())
+
+(* VBR reclaims immediately: the unreclaimed count never exceeds ~0. *)
+let test_vbr_immediate () =
+  reset ();
+  let module S = Schemes.VBR in
+  let h = S.register () in
+  for _ = 1 to 500 do
+    S.retire h (Alloc.block ~recyclable:true ())
+  done;
+  let st = Alloc.stats () in
+  Alcotest.(check int) "nothing pending" 0 st.Alloc.unreclaimed;
+  Alcotest.(check bool) "peak at most 1" true (st.Alloc.peak_unreclaimed <= 1);
+  S.unregister h
+
+(* VBR era advances with retirement volume. *)
+let test_vbr_era_advances () =
+  reset ();
+  let module S = Schemes.VBR in
+  let h = S.register () in
+  let e0 = S.current_era () in
+  for _ = 1 to 1000 do
+    S.retire h (Alloc.block ~recyclable:true ())
+  done;
+  Alcotest.(check bool) "era advanced" true (S.current_era () > e0);
+  S.unregister h
+
+let () =
+  let all =
+    [
+      ("NR", (module Schemes.NR : Hpbrcu_core.Smr_intf.S));
+      ("RCU", (module Schemes.RCU));
+      ("HP", (module Schemes.HP));
+      ("HP++", (module Schemes.HPPP));
+      ("PEBR", (module Schemes.PEBR));
+      ("NBR", (module Schemes.NBR));
+      ("NBR-Large", (module Schemes.NBR_large));
+      ("VBR", (module Schemes.VBR));
+      ("HP-RCU", (module Schemes.HP_RCU));
+      ("HP-BRCU", (module Schemes.HP_BRCU));
+      ("HE", (module Schemes.HE));
+      ("IBR", (module Schemes.IBR));
+    ]
+  in
+  let two_step_schemes =
+    List.filter (fun (n, _) -> List.mem n [ "HP"; "HP++"; "HP-RCU"; "HP-BRCU" ]) all
+  in
+  Alcotest.run "schemes"
+    [
+      ("drain", List.map drain_case all);
+      ( "hp",
+        [ Alcotest.test_case "protection-defers" `Quick test_hp_protection_defers ] );
+      ("ebr", [ Alcotest.test_case "pin-blocks" `Quick test_ebr_pin_blocks ]);
+      ("two-step", List.map two_step_case two_step_schemes);
+      ( "vbr",
+        [
+          Alcotest.test_case "immediate-reclaim" `Quick test_vbr_immediate;
+          Alcotest.test_case "era-advances" `Quick test_vbr_era_advances;
+        ] );
+    ]
