@@ -24,6 +24,7 @@ module Alloc = Hpbrcu_alloc.Alloc
 module Rng = Hpbrcu_runtime.Rng
 module Sched = Hpbrcu_runtime.Sched
 module Config = Hpbrcu_core.Config
+module Stats = Hpbrcu_runtime.Stats
 module Schemes = Hpbrcu_schemes.Schemes
 module Ds = Hpbrcu_ds
 
@@ -238,13 +239,11 @@ let longrun_with (module S : Hpbrcu_core.Smr_intf.S) ?(hp = false) range =
   if hp then
     let module L = Ds.Hm_list.Make (S) in
     let module R = W.Longrun.Run (L) in
-    R.go cfg
+    R.go cfg ~scheme_stats:S.stats
   else
     let module L = Ds.Harris_list.Make_hhs (S) in
     let module R = W.Longrun.Run (L) in
-    R.go cfg
-
-let stat stats key = try List.assoc key stats with Not_found -> 0
+    R.go cfg ~scheme_stats:S.stats
 
 let ablation_max_steps () =
   Fmt.pr "@.== ablation: HP-RCU max_steps (range 4096) ==@.";
@@ -275,8 +274,7 @@ let ablation_backup_period () =
       in
       let o = longrun_with (module S) 4096 in
       Fmt.pr "  %-10d %12.4f %8d %10d@." bp o.W.Longrun.reader_tput
-        o.W.Longrun.peak_unreclaimed
-        (stat (S.debug_stats ()) "brcu_rollbacks"))
+        o.W.Longrun.peak_unreclaimed o.W.Longrun.scheme.Stats.rollbacks)
     [ 4; 16; 64; 256; 4096 ]
 
 let ablation_force_threshold () =
@@ -292,8 +290,7 @@ let ablation_force_threshold () =
       in
       let o = longrun_with (module S) 4096 in
       Fmt.pr "  %-10d %12.4f %8d %10d@." ft o.W.Longrun.reader_tput
-        o.W.Longrun.peak_unreclaimed
-        (stat (S.debug_stats ()) "brcu_signals"))
+        o.W.Longrun.peak_unreclaimed o.W.Longrun.scheme.Stats.signals)
     [ 1; 2; 8; 32; 1024 ]
 
 let ablation_nbr_batch () =
@@ -309,8 +306,7 @@ let ablation_nbr_batch () =
       in
       let o = longrun_with (module S) 2048 in
       Fmt.pr "  %-10d %12.4f %8d %10d@." b o.W.Longrun.reader_tput
-        o.W.Longrun.peak_unreclaimed
-        (stat (S.debug_stats ()) "nbr_signals"))
+        o.W.Longrun.peak_unreclaimed o.W.Longrun.scheme.Stats.signals)
     [ 32; 128; 1024; 8192 ]
 
 let ablation_double_buffering () =
@@ -362,7 +358,7 @@ let ablation_stalls () =
       W.Longrun.config ~key_range:2048 ~readers:4 ~writers:4 ~duration:0.25
         ~mode:(W.Spec.Fibers 13) ~seed:21 ()
     in
-    let o = R.go cfg in
+    let o = R.go cfg ~scheme_stats:S.stats in
     Sched.set_stall_inject ~period:0 ~ticks:0;
     Fmt.pr "  %-10s %12.4f %8d@." name o.W.Longrun.reader_tput
       o.W.Longrun.peak_unreclaimed

@@ -25,13 +25,33 @@ let outdir_arg =
   let doc = "Directory for CSV outputs." in
   Arg.(value & opt string "results" & info [ "outdir" ] ~doc)
 
-let with_profile f profile outdir =
+let stats_json_arg =
+  let doc =
+    "Write one machine-readable JSON record per experiment cell (throughput, \
+     peak unreclaimed, op-latency p50/p90/p99/max, typed scheme counters) to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let setup outdir stats_json =
   W.Report.outdir := outdir;
+  match stats_json with
+  | None -> ()
+  | Some path -> (
+      try W.Report.set_stats_json path
+      with Sys_error msg ->
+        Printf.eprintf "smrbench: cannot write --stats-json file: %s\n" msg;
+        exit 1)
+
+let with_profile f profile outdir stats_json =
+  setup outdir stats_json;
   f (profile_of_string profile);
+  W.Report.write_stats_json ();
   0
 
 let simple_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (with_profile f) $ profile_arg $ outdir_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (with_profile f) $ profile_arg $ outdir_arg $ stats_json_arg)
 
 let fig1_cmd = simple_cmd "fig1" "Figure 1: long-running reads, headline schemes" W.Figures.fig1
 let fig5_cmd = simple_cmd "fig5" "Figure 5: read-only thread sweeps" W.Figures.fig5
@@ -51,8 +71,8 @@ let appendix_cmd =
     let doc = "Restrict to small or large key ranges." in
     Arg.(value & opt (some string) None & info [ "range" ] ~doc)
   in
-  let run profile outdir wl ds range =
-    W.Report.outdir := outdir;
+  let run profile outdir stats_json wl ds range =
+    setup outdir stats_json;
     let p = profile_of_string profile in
     let workloads =
       match wl with
@@ -72,11 +92,14 @@ let appendix_cmd =
       | Some s -> invalid_arg ("unknown range: " ^ s)
     in
     W.Figures.appendix ~workloads ~dss ~ranges p;
+    W.Report.write_stats_json ();
     0
   in
   Cmd.v
     (Cmd.info "appendix" ~doc:"Appendix B/C grids (figures 8-36)")
-    Term.(const run $ profile_arg $ outdir_arg $ workload_arg $ ds_arg $ range_arg)
+    Term.(
+      const run $ profile_arg $ outdir_arg $ stats_json_arg $ workload_arg
+      $ ds_arg $ range_arg)
 
 let sweep_cmd =
   let ds_arg =
@@ -88,8 +111,8 @@ let sweep_cmd =
   let range_arg =
     Arg.(value & opt int 1024 & info [ "range" ] ~doc:"Key range.")
   in
-  let run profile outdir ds wl range =
-    W.Report.outdir := outdir;
+  let run profile outdir stats_json ds wl range =
+    setup outdir stats_json;
     let p = profile_of_string profile in
     W.Figures.sweep
       ~title:(Printf.sprintf "sweep: %s %s range=%d" ds wl range)
@@ -97,11 +120,14 @@ let sweep_cmd =
       p ~ds:(W.Matrix.ds_of_string ds)
       ~workload:(W.Spec.workload_of_string wl)
       ~key_range:range ();
+    W.Report.write_stats_json ();
     0
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"One custom thread sweep")
-    Term.(const run $ profile_arg $ outdir_arg $ ds_arg $ wl_arg $ range_arg)
+    Term.(
+      const run $ profile_arg $ outdir_arg $ stats_json_arg $ ds_arg $ wl_arg
+      $ range_arg)
 
 let longrun_cmd =
   let scheme_arg =
@@ -110,8 +136,8 @@ let longrun_cmd =
   let range_arg =
     Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Single key range.")
   in
-  let run profile outdir scheme range =
-    W.Report.outdir := outdir;
+  let run profile outdir stats_json scheme range =
+    setup outdir stats_json;
     let p = profile_of_string profile in
     let p =
       match range with
@@ -124,11 +150,80 @@ let longrun_cmd =
         W.Figures.longrun_tables
           ~title:("long-running reads: " ^ s)
           ~file:("longrun_" ^ s) p [ "NR"; s ]);
+    W.Report.write_stats_json ();
     0
   in
   Cmd.v
     (Cmd.info "longrun" ~doc:"Long-running-operation benchmark")
-    Term.(const run $ profile_arg $ outdir_arg $ scheme_arg $ range_arg)
+    Term.(
+      const run $ profile_arg $ outdir_arg $ stats_json_arg $ scheme_arg
+      $ range_arg)
+
+let trace_cmd =
+  let module T = Hpbrcu_runtime.Trace in
+  let scheme_arg =
+    Arg.(value & opt string "HP-BRCU" & info [ "scheme" ] ~doc:"Scheme to trace.")
+  in
+  let ds_arg =
+    Arg.(value & opt string "HHSList" & info [ "ds" ] ~doc:"Data structure.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Operations per fiber.")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Fiber count.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~doc:"Simulator seed; the trace is a pure function of it.")
+  in
+  let range_arg =
+    Arg.(value & opt int 256 & info [ "range" ] ~doc:"Key range.")
+  in
+  let last_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "last" ] ~doc:"Print only the last $(docv) events (0 = all kept).")
+  in
+  let run scheme ds ops threads seed range last =
+    (* Always the deterministic simulator: traces are timestamped by the
+       virtual tick clock, so the same seed replays the same event log. *)
+    T.enable ~capacity:65536 ();
+    let cell =
+      W.Spec.cell ~threads ~key_range:range ~workload:W.Spec.Read_write
+        ~limit:(W.Spec.Ops ops) ~mode:(W.Spec.Fibers seed) ~seed ()
+    in
+    let code =
+      match W.Matrix.run_cell ~ds:(W.Matrix.ds_of_string ds) ~scheme cell with
+      | None ->
+          Printf.eprintf "%s does not support %s\n" scheme ds;
+          1
+      | Some r ->
+          let recs = T.dump () in
+          let total = List.length recs in
+          let shown =
+            if last > 0 && total > last then
+              List.filteri (fun i _ -> i >= total - last) recs
+            else recs
+          in
+          List.iter (fun rc -> print_endline (T.record_to_string rc)) shown;
+          Printf.printf
+            "# %d events kept (%d dropped by ring wraparound), %d ops, seed %d\n"
+            total (T.dropped ()) r.W.Spec.total_ops seed;
+          0
+    in
+    T.disable ();
+    code
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one deterministic fiber-mode cell with the event tracer on and \
+          print the decoded event log (replayable from the seed)")
+    Term.(
+      const run $ scheme_arg $ ds_arg $ ops_arg $ threads_arg $ seed_arg
+      $ range_arg $ last_arg)
 
 let table_cmd name pp =
   Cmd.v
@@ -151,6 +246,7 @@ let main =
       appendix_cmd;
       sweep_cmd;
       longrun_cmd;
+      trace_cmd;
       table_cmd "table1" W.Figures.table1;
       table_cmd "table2" W.Figures.table2;
     ]

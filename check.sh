@@ -1,0 +1,15 @@
+#!/bin/sh
+# Pre-merge gate: build, tests, and (when ocamlformat is available) the
+# formatting check.  Run from the repository root.
+set -eu
+
+dune build
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "check.sh: ocamlformat not installed; skipping dune build @fmt"
+fi
+
+echo "check.sh: all checks passed"

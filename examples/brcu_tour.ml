@@ -52,13 +52,13 @@ let () =
         B.flush h;
         B.unregister h
       end);
-  let stats = B.debug_stats () in
-  let get k = List.assoc k stats in
+  let stats = B.stats () in
+  let module Stats = Hpbrcu_runtime.Stats in
   Fmt.pr "reader critical-section attempts: %d (= 1 + rollbacks)@." !attempts;
   Fmt.pr "masked region completions:        %d (never torn)@." !masked_runs;
-  Fmt.pr "epoch advanced to:                %d@." (get "brcu_epoch");
-  Fmt.pr "forced advances (signals sent):   %d / %d@."
-    (get "brcu_forced_advances") (get "brcu_signals");
+  Fmt.pr "epoch advanced to:                %d@." stats.Stats.epoch;
+  Fmt.pr "forced advances (signals sent):   %d / %d@." stats.Stats.forced_advances
+    stats.Stats.signals;
   Fmt.pr "allocator: %a@." Alloc.pp_stats (Alloc.stats ());
-  assert (!attempts = 1 + get "brcu_rollbacks");
+  assert (!attempts = 1 + stats.Stats.rollbacks);
   Fmt.pr "brcu_tour OK@."

@@ -43,9 +43,7 @@ let () =
 
   let st = Alloc.stats () in
   Fmt.pr "allocator: %a@." Alloc.pp_stats st;
-  Fmt.pr "scheme:    %a@."
-    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
-    (Scheme.debug_stats ());
+  Fmt.pr "scheme:    %a@." Hpbrcu_runtime.Stats.pp (Scheme.stats ());
   assert (st.Alloc.uaf = 0);
   Fmt.pr "quickstart OK: no use-after-free, %d blocks reclaimed@."
     st.Alloc.reclaimed

@@ -68,7 +68,12 @@ let block ?recyclable () =
 let retire b =
   if Block.transition b ~from:Live ~to_:Retired then begin
     Atomic.incr retired;
-    Hpbrcu_runtime.Counter.incr unreclaimed
+    Hpbrcu_runtime.Counter.incr unreclaimed;
+    (* Trace args use the (deterministic) unreclaimed count, not block ids:
+       Block.next_id never resets, so ids would differ across runs of the
+       same seed and break trace replayability. *)
+    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Retire
+      (Hpbrcu_runtime.Counter.get unreclaimed)
   end
   else if Atomic.get strict then raise (Double_retire b)
   else Atomic.incr uaf
@@ -81,6 +86,8 @@ let try_retire b =
   if Block.transition b ~from:Block.Live ~to_:Block.Retired then begin
     Atomic.incr retired;
     Hpbrcu_runtime.Counter.incr unreclaimed;
+    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Retire
+      (Hpbrcu_runtime.Counter.get unreclaimed);
     true
   end
   else false
@@ -90,7 +97,9 @@ let try_retire b =
 let reclaim b =
   if Block.transition b ~from:Retired ~to_:Reclaimed then begin
     Atomic.incr reclaimed;
-    Hpbrcu_runtime.Counter.decr unreclaimed
+    Hpbrcu_runtime.Counter.decr unreclaimed;
+    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Reclaim
+      (Hpbrcu_runtime.Counter.get unreclaimed)
   end
   else if Atomic.get strict then raise (Double_reclaim b)
   else Atomic.incr uaf

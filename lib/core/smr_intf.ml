@@ -158,7 +158,10 @@ module type S = sig
 
   (** {1 Introspection} *)
 
-  val debug_stats : unit -> (string * int) list
-  (** Scheme-specific counters (epochs advanced, signals sent, restarts,
-      ejections …) for tests and experiment reports. *)
+  val stats : unit -> Hpbrcu_runtime.Stats.snapshot
+  (** Scheme counters (epochs advanced, signals sent, restarts, ejections …)
+      as a typed snapshot for tests and experiment reports.  Fields the
+      scheme does not own stay at {!Hpbrcu_runtime.Stats.empty}'s zero;
+      composite schemes merge their halves with
+      {!Hpbrcu_runtime.Stats.add}. *)
 end

@@ -58,7 +58,49 @@ let clear_deadline () = Atomic.set deadline infinity
 let check_deadline () =
   incr deadline_ticker;
   if !deadline_ticker land 1023 = 0 && Unix.gettimeofday () > Atomic.get deadline
-  then raise Deadline
+  then begin
+    Trace.emit Trace.Deadline_abort 0;
+    raise Deadline
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler profiling (fiber mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate scheduler-level observables of one fiber run: how often
+    control actually moved between fibers, how many stalls were injected or
+    requested, and how long stalled fibers waited past their wake-up tick
+    (scheduler-induced wake latency).  All zero in domain mode, where the
+    OS owns these numbers. *)
+type profile = {
+  switches : int;  (** scheduling decisions that changed the running fiber *)
+  stalls : int;  (** [Stall] suspensions (injected and explicit) *)
+  wakes : int;  (** resumptions of previously stalled fibers *)
+  wake_latency_total : int;
+      (** summed ticks between a fiber's wake-up time and its actual
+          resumption; divide by [wakes] for the mean *)
+}
+
+(* Written only by the single domain driving the fiber scheduler. *)
+let prof_switches = ref 0
+let prof_stalls = ref 0
+let prof_wakes = ref 0
+let prof_wake_latency = ref 0
+let prof_last_run = ref (-1) (* fiber index that ran last; -1 = none yet *)
+
+let profile () =
+  {
+    switches = !prof_switches;
+    stalls = !prof_stalls;
+    wakes = !prof_wakes;
+    wake_latency_total = !prof_wake_latency;
+  }
+
+let reset_profile () =
+  prof_switches := 0;
+  prof_stalls := 0;
+  prof_wakes := 0;
+  prof_wake_latency := 0
 
 (* ------------------------------------------------------------------ *)
 (* Stall injection (fiber mode)                                        *)
@@ -215,6 +257,20 @@ let schedule_step c =
     let prev = c.current in
     c.current <- idx;
     Domain.DLS.set tid_key f.ftid;
+    if idx <> !prof_last_run then begin
+      incr prof_switches;
+      Trace.emit Trace.Context_switch f.ftid;
+      prof_last_run := idx
+    end;
+    if f.wake_at > 0 then begin
+      (* Resuming a fiber that was stalled: the gap between its scheduled
+         wake-up and now is scheduler-induced wake latency. *)
+      incr prof_wakes;
+      let lat = c.tick - f.wake_at in
+      prof_wake_latency := !prof_wake_latency + lat;
+      Trace.emit Trace.Wake lat;
+      f.wake_at <- 0
+    end;
     let handler : (unit, unit) Effect.Deep.handler =
       {
         retc =
@@ -240,6 +296,8 @@ let schedule_step c =
             | Stall ticks ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    incr prof_stalls;
+                    Trace.emit Trace.Stall ticks;
                     f.wake_at <- c.tick + ticks;
                     f.state <- Paused k)
             | _ -> None);
@@ -273,6 +331,7 @@ let run_fibers ~seed ~switch_every ~nthreads body =
     }
   in
   ctx_ref := Some c;
+  prof_last_run := -1;
   let finish () = ctx_ref := None in
   (try
      while c.live > 0 && c.failure = None do
@@ -326,3 +385,11 @@ let run mode ~nthreads body =
   match mode with
   | Domains -> run_domains ~nthreads body
   | Fibers { seed; switch_every } -> run_fibers ~seed ~switch_every ~nthreads body
+
+(* Stats and Trace cannot depend on this module (we bump their counters),
+   so we inject the identity and clock providers here, at link time. *)
+let () =
+  assert (max_threads + 1 <= Stats.max_shards);
+  Stats.set_tid_provider self;
+  Trace.set_clock tick;
+  Trace.set_tid_provider self

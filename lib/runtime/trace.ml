@@ -1,0 +1,182 @@
+(** Deterministic per-thread event tracer (DESIGN.md §7).
+
+    When enabled, every interesting runtime event — epoch advances, signals,
+    rollbacks, checkpoints, retirements, reclamations, stalls, deadline
+    aborts, context switches, fiber wake-ups — is appended to a fixed-size
+    per-thread ring buffer as three unboxed ints (timestamp, event code,
+    argument).  The {b disabled} fast path is a single ref read and branch
+    and allocates nothing, so tracing can stay compiled into every scheme
+    hot path; the {b enabled} path allocates only once per thread (the ring
+    itself).
+
+    Timestamps come from the scheduler's virtual clock ({!Sched.tick}), so
+    in fiber mode a trace is a pure function of the simulator seed: the
+    same seed and [switch_every] produce a byte-identical event log, which
+    is what makes traces {e replayable} — re-run the seed, get the same
+    story, add printf only where the trace says to look.  In domain mode
+    ticks are 0 and only per-thread order is meaningful.
+
+    Like {!Stats}, this module must not depend on {!Sched} (the scheduler
+    emits events); {!Sched} injects the clock and thread-id providers at
+    init. *)
+
+type event =
+  | Epoch_advance  (** arg = new epoch/era *)
+  | Signal_sent  (** arg = receiver thread id *)
+  | Rollback  (** arg = 0 *)
+  | Checkpoint  (** arg = traversal buffer index flipped to *)
+  | Retire  (** arg = unreclaimed blocks after the retire *)
+  | Reclaim  (** arg = unreclaimed blocks after the reclaim *)
+  | Stall  (** arg = stall length in virtual ticks *)
+  | Deadline_abort  (** arg = 0 *)
+  | Context_switch  (** arg = resumed thread id *)
+  | Wake  (** arg = wake latency in virtual ticks *)
+
+let event_code = function
+  | Epoch_advance -> 0
+  | Signal_sent -> 1
+  | Rollback -> 2
+  | Checkpoint -> 3
+  | Retire -> 4
+  | Reclaim -> 5
+  | Stall -> 6
+  | Deadline_abort -> 7
+  | Context_switch -> 8
+  | Wake -> 9
+
+let event_of_code = function
+  | 0 -> Epoch_advance
+  | 1 -> Signal_sent
+  | 2 -> Rollback
+  | 3 -> Checkpoint
+  | 4 -> Retire
+  | 5 -> Reclaim
+  | 6 -> Stall
+  | 7 -> Deadline_abort
+  | 8 -> Context_switch
+  | 9 -> Wake
+  | _ -> invalid_arg "Trace.event_of_code"
+
+let event_name = function
+  | Epoch_advance -> "epoch-advance"
+  | Signal_sent -> "signal-sent"
+  | Rollback -> "rollback"
+  | Checkpoint -> "checkpoint"
+  | Retire -> "retire"
+  | Reclaim -> "reclaim"
+  | Stall -> "stall"
+  | Deadline_abort -> "deadline-abort"
+  | Context_switch -> "context-switch"
+  | Wake -> "wake"
+
+(* ------------------------------------------------------------------ *)
+(* Providers (installed by Sched at init)                              *)
+(* ------------------------------------------------------------------ *)
+
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let tid_provider : (unit -> int) ref = ref (fun () -> -1)
+
+let set_clock f = clock := f
+let set_tid_provider f = tid_provider := f
+
+(* ------------------------------------------------------------------ *)
+(* Rings                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One ring per logical tid (+1 slot for tid = -1).  Each record is three
+   ints: tick, event code, arg.  [n] counts events ever emitted, so the
+   ring holds the LAST [capacity] events and [dropped] is n - kept. *)
+type ring = { buf : int array; mutable n : int }
+
+let max_rings = Stats.max_shards
+let rings : ring option array = Array.make max_rings None
+let capacity = ref 4096
+let on = ref false
+
+let enabled () = !on
+
+let clear () =
+  Array.fill rings 0 max_rings None
+
+(** [enable ?capacity ()] clears previous traces and starts recording into
+    per-thread rings of [capacity] events (default 4096). *)
+let enable ?capacity:(cap = 4096) () =
+  clear ();
+  capacity := max 1 cap;
+  on := true
+
+let disable () = on := false
+
+(** Record one event.  Zero-allocation no-op when disabled; when enabled,
+    three int stores into the calling thread's ring. *)
+let emit ev arg =
+  if !on then begin
+    let i = !tid_provider () + 1 in
+    if i >= 0 && i < max_rings then begin
+      let r =
+        match rings.(i) with
+        | Some r -> r
+        | None ->
+            let r = { buf = Array.make (3 * !capacity) 0; n = 0 } in
+            rings.(i) <- Some r;
+            r
+      in
+      let slot = r.n mod !capacity * 3 in
+      r.buf.(slot) <- !clock ();
+      r.buf.(slot + 1) <- event_code ev;
+      r.buf.(slot + 2) <- arg;
+      r.n <- r.n + 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type record = { tick : int; tid : int; seq : int; event : event; arg : int }
+
+(** Events dropped to ring wraparound (per-thread overflow), summed. *)
+let dropped () =
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | None -> acc
+      | Some r -> acc + max 0 (r.n - !capacity))
+    0 rings
+
+(** [dump ()] decodes every ring into a single chronological log, ordered
+    by (tick, tid, per-thread sequence).  Deterministic in fiber mode. *)
+let dump () : record list =
+  let acc = ref [] in
+  for i = max_rings - 1 downto 0 do
+    match rings.(i) with
+    | None -> ()
+    | Some r ->
+        let tid = i - 1 in
+        let kept = min r.n !capacity in
+        for j = kept - 1 downto 0 do
+          let seq = r.n - kept + j in
+          let slot = seq mod !capacity * 3 in
+          acc :=
+            {
+              tick = r.buf.(slot);
+              tid;
+              seq;
+              event = event_of_code r.buf.(slot + 1);
+              arg = r.buf.(slot + 2);
+            }
+            :: !acc
+        done
+  done;
+  List.stable_sort
+    (fun a b ->
+      match compare a.tick b.tick with
+      | 0 -> ( match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    !acc
+
+let pp_record ppf r =
+  Fmt.pf ppf "%8d  t%-3d  %-15s %d" r.tick r.tid (event_name r.event) r.arg
+
+let record_to_string r =
+  Printf.sprintf "%8d  t%-3d  %-15s %d" r.tick r.tid (event_name r.event) r.arg

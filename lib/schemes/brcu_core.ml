@@ -17,6 +17,8 @@
 
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 
 exception Rollback
 (** Unwinds to the nearest [crit]; the scheme's [siglongjmp]. *)
@@ -41,10 +43,13 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
 
   (* TASKS (Algorithm 5 line 6): a lock-free list of epoch-tagged batches. *)
   let tasks : (int * task list) list Atomic.t = Atomic.make []
-  let advances = Atomic.make 0
-  let forced = Atomic.make 0
-  let rollbacks = Atomic.make 0
-  let signals = Atomic.make 0
+
+  (* Sharded: bumped on scheme hot paths (every rollback/signal/advance),
+     read only at snapshot time. *)
+  let advances = Stats.Counter.make ()
+  let forced = Stats.Counter.make ()
+  let rollbacks = Stats.Counter.make ()
+  let signals = Stats.Counter.make ()
 
   type handle = {
     l : local;
@@ -79,7 +84,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let handler l () =
     let st = Atomic.get l.status in
     if st = st_incs then begin
-      Atomic.incr rollbacks;
+      Stats.Counter.incr rollbacks;
+      Trace.emit Trace.Rollback 0;
       raise Rollback
     end
     else if st = st_inrm then
@@ -147,7 +153,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       (* A signal arrived inside the region: honour it now. *)
       assert (Atomic.get l.status = st_rbreq);
       Atomic.set l.status st_incs;
-      Atomic.incr rollbacks;
+      Stats.Counter.incr rollbacks;
+      Trace.emit Trace.Rollback 0;
       raise Rollback
     end
 
@@ -206,10 +213,11 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
         ()
       else begin
         if !violating <> [] then begin
-          Atomic.incr forced;
+          Stats.Counter.incr forced;
           List.iter
             (fun l ->
-              Atomic.incr signals;
+              Stats.Counter.incr signals;
+              Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
               if l == h.l then
                 (* Self-neutralization: Retire may run inside a (masked)
                    critical section, making the reclaimer its own lagging
@@ -225,7 +233,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
             !violating
         end;
         h.push_cnt <- 0;
-        if Atomic.compare_and_set global eg (eg + 1) then Atomic.incr advances;
+        if Atomic.compare_and_set global eg (eg + 1) then begin
+          Stats.Counter.incr advances;
+          Trace.emit Trace.Epoch_advance (eg + 1)
+        end;
         ignore (run_expired (eg - 1) : int)
       end
     end
@@ -245,7 +256,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
         let e = Atomic.get l.epoch in
         if e <> -1 && e < eg then lagging := true);
     if not !lagging then begin
-      if Atomic.compare_and_set global eg (eg + 1) then Atomic.incr advances;
+      if Atomic.compare_and_set global eg (eg + 1) then begin
+        Stats.Counter.incr advances;
+        Trace.emit Trace.Epoch_advance (eg + 1)
+      end;
       ignore (run_expired (eg - 1) : int)
     end
 
@@ -272,15 +286,18 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Array.fill locals_by_tid 0 (Array.length locals_by_tid) None;
     Registry.Participants.reset participants;
     Atomic.set global 2;
-    Atomic.set advances 0;
-    Atomic.set forced 0;
-    Atomic.set rollbacks 0;
-    Atomic.set signals 0
+    Stats.Counter.reset advances;
+    Stats.Counter.reset forced;
+    Stats.Counter.reset rollbacks;
+    Stats.Counter.reset signals
 
-  let debug_stats () =
-    [ ("brcu_epoch", Atomic.get global);
-      ("brcu_advances", Atomic.get advances);
-      ("brcu_forced_advances", Atomic.get forced);
-      ("brcu_rollbacks", Atomic.get rollbacks);
-      ("brcu_signals", Atomic.get signals) ]
+  let stats () =
+    {
+      Stats.empty with
+      epoch = Atomic.get global;
+      advances = Stats.Counter.value advances;
+      forced_advances = Stats.Counter.value forced;
+      rollbacks = Stats.Counter.value rollbacks;
+      signals = Stats.Counter.value signals;
+    }
 end

@@ -9,6 +9,8 @@
 
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 
 type task = { run : unit -> unit; stamp : int }
 
@@ -20,8 +22,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
 
   (* Deferred tasks of unregistered threads, adopted by later collectors. *)
   let orphans : task list Atomic.t = Atomic.make []
-  let advances = Atomic.make 0
-  let advance_failures = Atomic.make 0
+  let advances = Stats.Counter.make ()
+  let advance_failures = Stats.Counter.make ()
 
   type handle = {
     l : local;
@@ -65,11 +67,14 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
         let p = Atomic.get l.pin in
         if p <> -1 && p < e then lagging := true);
     if !lagging then begin
-      Atomic.incr advance_failures;
+      Stats.Counter.incr advance_failures;
       false
     end
     else begin
-      if Atomic.compare_and_set global e (e + 1) then Atomic.incr advances;
+      if Atomic.compare_and_set global e (e + 1) then begin
+        Stats.Counter.incr advances;
+        Trace.emit Trace.Epoch_advance (e + 1)
+      end;
       true
     end
 
@@ -142,11 +147,14 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     drain ();
     Registry.Participants.reset participants;
     Atomic.set global 2;
-    Atomic.set advances 0;
-    Atomic.set advance_failures 0
+    Stats.Counter.reset advances;
+    Stats.Counter.reset advance_failures
 
-  let debug_stats () =
-    [ ("epoch", Atomic.get global);
-      ("epoch_advances", Atomic.get advances);
-      ("epoch_advance_failures", Atomic.get advance_failures) ]
+  let stats () =
+    {
+      Stats.empty with
+      epoch = Atomic.get global;
+      advances = Stats.Counter.value advances;
+      advance_failures = Stats.Counter.value advance_failures;
+    }
 end

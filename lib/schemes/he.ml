@@ -17,6 +17,8 @@ module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Retired = Hpbrcu_core.Retired
 module Sched = Hpbrcu_runtime.Sched
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
@@ -33,7 +35,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     }
 
   let era = Atomic.make 1
-  let scans = Atomic.make 0
+  let scans = Stats.Counter.make ()
 
   (* Era reservation slots, scanned like HP's shield table. *)
   module Slots = struct
@@ -146,7 +148,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     end
 
   let scan h =
-    Atomic.incr scans;
+    Stats.Counter.incr scans;
     (match Atomic.get orphans with
     | [] -> ()
     | old ->
@@ -164,6 +166,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Retired.push h.batch ?free blk;
     if Retired.length h.batch >= C.config.batch then begin
       Atomic.incr era;
+      Trace.emit Trace.Epoch_advance (Atomic.get era);
       scan h
     end
 
@@ -199,7 +202,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     in
     drain ();
     Atomic.set era 1;
-    Atomic.set scans 0
+    Stats.Counter.reset scans
 
-  let debug_stats () = [ ("he_era", Atomic.get era); ("he_scans", Atomic.get scans) ]
+  let stats () =
+    {
+      Stats.empty with
+      era = Atomic.get era;
+      scans = Stats.Counter.value scans;
+    }
 end

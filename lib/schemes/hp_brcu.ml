@@ -18,6 +18,8 @@
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
@@ -26,11 +28,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let name = "HP-BRCU"
 
-  (* Traversal diagnostics (reported via debug_stats). *)
-  let tr_steps = Atomic.make 0
-  let tr_validate_fail = Atomic.make 0
-  let tr_traverses = Atomic.make 0
-  let tr_resumes = Atomic.make 0
+  (* Traversal diagnostics (reported via [stats]). *)
+  let tr_steps = Stats.Counter.make ()
+  let tr_validate_fail = Stats.Counter.make ()
+  let tr_traverses = Stats.Counter.make ()
+  let tr_resumes = Stats.Counter.make ()
 
 
   let caps : Caps.t =
@@ -58,7 +60,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let reset () =
     B.reset ();
     H.reset ();
-    List.iter (fun c -> Atomic.set c 0) [ tr_steps; tr_validate_fail; tr_traverses; tr_resumes ]
+    List.iter Stats.Counter.reset
+      [ tr_steps; tr_validate_fail; tr_traverses; tr_resumes ]
 
   type shield = H.shield
 
@@ -133,10 +136,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
        remover lost its unlink CAS. *)
     let started = ref false in
     let backup_period = C.config.backup_period in
-    Atomic.incr tr_traverses;
+    Stats.Counter.incr tr_traverses;
     let outcome =
       B.crit h.b (fun () ->
-          Atomic.incr tr_resumes;
+          Stats.Counter.incr tr_resumes;
           let resume =
             if not !started then begin
               let s = init () in
@@ -151,7 +154,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
               let c = Option.get curs.(!comp mod 2) in
               if validate c then Some c
               else begin
-                Atomic.incr tr_validate_fail;
+                Stats.Counter.incr tr_validate_fail;
                 None
               end
             end
@@ -165,10 +168,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
               let nb = (!comp + 1) mod 2 in
               protect bufs.(nb) !cur;
               curs.(nb) <- Some !cur;
-              incr comp
+              incr comp;
+              Trace.emit Trace.Checkpoint nb
             in
             let rec go i =
-              Atomic.incr tr_steps;
+              Stats.Counter.incr tr_steps;
               match step !cur with
               | Smr_intf.Finish (c, r) ->
                   cur := c;
@@ -188,12 +192,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     | `Done r -> Some (Option.get curs.(!comp mod 2), bufs.(!comp mod 2), r)
     | `Fail -> None
 
-  let debug_stats () =
-    B.debug_stats () @ H.debug_stats ()
-    @ [
-        ("tr_steps", Atomic.get tr_steps);
-        ("tr_traverses", Atomic.get tr_traverses);
-        ("tr_resumes", Atomic.get tr_resumes);
-        ("tr_validate_fail", Atomic.get tr_validate_fail);
-      ]
+  let stats () =
+    {
+      (Stats.add (B.stats ()) (H.stats ())) with
+      traverses = Stats.Counter.value tr_traverses;
+      traverse_steps = Stats.Counter.value tr_steps;
+      traverse_resumes = Stats.Counter.value tr_resumes;
+      validate_failures = Stats.Counter.value tr_validate_fail;
+    }
 end

@@ -12,6 +12,7 @@
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Retired = Hpbrcu_core.Retired
+module Stats = Hpbrcu_runtime.Stats
 
 module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let shields = Registry.Shields.create ()
@@ -19,8 +20,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   (* Blocks whose reclamation nobody currently owns: still subject to the
      shield scan.  Treiber list of entries. *)
   let orphans : Retired.entry list Atomic.t = Atomic.make []
-  let scans = Atomic.make 0
-  let reclaimed_by_scan = Atomic.make 0
+  let scans = Stats.Counter.make ()
+  let reclaimed_by_scan = Stats.Counter.make ()
 
   type handle = {
     batch : Retired.t;
@@ -82,7 +83,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       entry, then reclaim every unprotected retired block from the handle's
       batch and the orphan list, keeping the rest. *)
   let scan h =
-    Atomic.incr scans;
+    Stats.Counter.incr scans;
     let protected_ids = Registry.Shields.protected_ids shields in
     (* Patches of entries pending anywhere count as protected until their
        patron entry is reclaimed. *)
@@ -102,7 +103,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       Retired.reclaim_where h.batch (fun e ->
           not (Hashtbl.mem protected_ids (Block.id e.Retired.blk)))
     in
-    ignore (Atomic.fetch_and_add reclaimed_by_scan n)
+    Stats.Counter.add reclaimed_by_scan n
 
   (** Enable HP++-style patch publication for this handle. *)
   let enable_patches h =
@@ -175,10 +176,13 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     List.iter Retired.reclaim_entry (take_orphans ());
     List.iter (fun slot -> Atomic.set slot []) (Atomic.get published_patches);
     Atomic.set published_patches [];
-    Atomic.set scans 0;
-    Atomic.set reclaimed_by_scan 0
+    Stats.Counter.reset scans;
+    Stats.Counter.reset reclaimed_by_scan
 
-  let debug_stats () =
-    [ ("hp_scans", Atomic.get scans);
-      ("hp_scan_reclaimed", Atomic.get reclaimed_by_scan) ]
+  let stats () =
+    {
+      Stats.empty with
+      scans = Stats.Counter.value scans;
+      scan_reclaimed = Stats.Counter.value reclaimed_by_scan;
+    }
 end

@@ -131,5 +131,5 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     in
     phases ()
 
-  let debug_stats () = E.debug_stats () @ H.debug_stats ()
+  let stats () = Hpbrcu_runtime.Stats.add (E.stats ()) (H.stats ())
 end

@@ -103,5 +103,5 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let debug_stats = Core.debug_stats
+  let stats = Core.stats
 end

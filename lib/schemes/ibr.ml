@@ -16,6 +16,8 @@ module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Retired = Hpbrcu_core.Retired
 module Sched = Hpbrcu_runtime.Sched
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
@@ -32,7 +34,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     }
 
   let era = Atomic.make 1
-  let scans = Atomic.make 0
+  let scans = Stats.Counter.make ()
 
   type local = { lower : int Atomic.t; upper : int Atomic.t (* -1 = inactive *) }
 
@@ -114,7 +116,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   (* Reclaim blocks whose lifetime intersects no reservation. *)
   let scan h =
-    Atomic.incr scans;
+    Stats.Counter.incr scans;
     (match Atomic.get orphans with
     | [] -> ()
     | old ->
@@ -139,6 +141,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Retired.push h.batch ?free blk;
     if Retired.length h.batch >= C.config.batch then begin
       Atomic.incr era;
+      Trace.emit Trace.Epoch_advance (Atomic.get era);
       scan h
     end
 
@@ -170,7 +173,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     drain ();
     Registry.Participants.reset participants;
     Atomic.set era 1;
-    Atomic.set scans 0
+    Stats.Counter.reset scans
 
-  let debug_stats () = [ ("ibr_era", Atomic.get era); ("ibr_scans", Atomic.get scans) ]
+  let stats () =
+    {
+      Stats.empty with
+      era = Atomic.get era;
+      scans = Stats.Counter.value scans;
+    }
 end

@@ -26,6 +26,8 @@ module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 exception Rollback
@@ -50,9 +52,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let st_out = 0
   let st_incs = 1
   let participants : local Registry.Participants.t = Registry.Participants.create ()
-  let neutralizations = Atomic.make 0
-  let signals = Atomic.make 0
-  let rollbacks = Atomic.make 0
+  let neutralizations = Stats.Counter.make ()
+  let signals = Stats.Counter.make ()
+  let rollbacks = Stats.Counter.make ()
 
   type handle = { l : local; idx : int; hp : Core.handle; mutable pending : Retired.t }
 
@@ -92,7 +94,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
           r
       | exception Rollback ->
           Atomic.set l.status st_out;
-          Atomic.incr rollbacks;
+          Stats.Counter.incr rollbacks;
+          Trace.emit Trace.Rollback 0;
           Sched.yield ();
           go ()
       | exception e ->
@@ -126,11 +129,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   (* Neutralize everyone, then reclaim the pre-signal batch minus
      shield-protected blocks (delegated to the HP core's scan). *)
   let neutralize_and_reclaim h =
-    Atomic.incr neutralizations;
+    Stats.Counter.incr neutralizations;
     let mine = h.l in
     Registry.Participants.iter participants (fun l ->
         if l != mine then begin
-          Atomic.incr signals;
+          Stats.Counter.incr signals;
+          Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
           Signal.send l.box ~is_out:(fun () -> Atomic.get l.status = st_out)
         end);
     (* Move the snapshot into the HP batch and scan. *)
@@ -156,9 +160,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let reset () =
     Core.reset ();
     Registry.Participants.reset participants;
-    Atomic.set neutralizations 0;
-    Atomic.set signals 0;
-    Atomic.set rollbacks 0
+    Stats.Counter.reset neutralizations;
+    Stats.Counter.reset signals;
+    Stats.Counter.reset rollbacks
 
   (* NBR's traversal: one read-phase critical section from entry to
      destination, protecting the final cursor before the phase ends. *)
@@ -174,11 +178,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
         in
         go (init ()))
 
-  let debug_stats () =
-    Core.debug_stats ()
-    @ [
-        ("nbr_neutralizations", Atomic.get neutralizations);
-        ("nbr_signals", Atomic.get signals);
-        ("nbr_rollbacks", Atomic.get rollbacks);
-      ]
+  let stats () =
+    {
+      (Core.stats ()) with
+      Stats.neutralizations = Stats.Counter.value neutralizations;
+      signals = Stats.Counter.value signals;
+      rollbacks = Stats.Counter.value rollbacks;
+    }
 end

@@ -58,5 +58,5 @@ module Make () : Smr_intf.S = struct
   let traverse () ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let debug_stats () = []
+  let stats () = Hpbrcu_runtime.Stats.empty
 end

@@ -21,6 +21,8 @@ module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
@@ -44,9 +46,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let global = Atomic.make 2
   let participants : local Registry.Participants.t = Registry.Participants.create ()
-  let ejections = Atomic.make 0
-  let restarts = Atomic.make 0
-  let advances = Atomic.make 0
+  let ejections = Stats.Counter.make ()
+  let restarts = Stats.Counter.make ()
+  let advances = Stats.Counter.make ()
 
   type handle = {
     l : local;
@@ -93,7 +95,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
           r
       | exception Restart ->
           unpin h;
-          Atomic.incr restarts;
+          Stats.Counter.incr restarts;
+          Trace.emit Trace.Rollback 0;
           Sched.yield ();
           go ()
       | exception e ->
@@ -173,14 +176,18 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     else begin
       List.iter
         (fun l ->
-          Atomic.incr ejections;
+          Stats.Counter.incr ejections;
+          Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
           Signal.send l.box ~is_out:(fun () ->
               let p = Atomic.get l.pin in
               p = -1 || p >= e))
         !lagging;
       h.push_cnt <- 0;
       if not self_lags then
-        if Atomic.compare_and_set global e (e + 1) then Atomic.incr advances
+        if Atomic.compare_and_set global e (e + 1) then begin
+          Stats.Counter.incr advances;
+          Trace.emit Trace.Epoch_advance (e + 1)
+        end
     end;
     run_expired h
 
@@ -223,16 +230,19 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     HPC.reset ();
     Registry.Participants.reset participants;
     Atomic.set global 2;
-    Atomic.set ejections 0;
-    Atomic.set restarts 0;
-    Atomic.set advances 0
+    Stats.Counter.reset ejections;
+    Stats.Counter.reset restarts;
+    Stats.Counter.reset advances
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let debug_stats () =
-    [ ("pebr_epoch", Atomic.get global);
-      ("pebr_advances", Atomic.get advances);
-      ("pebr_ejections", Atomic.get ejections);
-      ("pebr_restarts", Atomic.get restarts) ]
+  let stats () =
+    {
+      Stats.empty with
+      epoch = Atomic.get global;
+      advances = Stats.Counter.value advances;
+      ejections = Stats.Counter.value ejections;
+      restarts = Stats.Counter.value restarts;
+    }
 end

@@ -42,9 +42,18 @@ module Shields = struct
           alloc t
         end
     | [] ->
-        let idx = Atomic.fetch_and_add t.hwm 1 in
+        (* Claim a fresh slot with a bounded CAS: a plain fetch_and_add
+           would keep growing [hwm] past capacity on every failed alloc,
+           and the clamps in [protected_ids]/[reset] would then mask the
+           overflow. Exhaustion must leave [hwm] untouched. *)
+        let idx = Atomic.get t.hwm in
         if idx >= max_shields then failwith "Shields.alloc: registry exhausted";
-        { slot = t.slots.(idx); idx; owner = t }
+        if Atomic.compare_and_set t.hwm idx (idx + 1) then
+          { slot = t.slots.(idx); idx; owner = t }
+        else begin
+          Hpbrcu_runtime.Sched.yield ();
+          alloc t
+        end
 
   let rec release (s : shield) =
     Atomic.set s.slot None;
@@ -112,10 +121,18 @@ module Participants = struct
           add t l
         end
     | [] ->
-        let idx = Atomic.fetch_and_add t.hwm 1 in
+        (* Same bounded-CAS claim as [Shields.alloc]: never bump [hwm]
+           past capacity on exhaustion. *)
+        let idx = Atomic.get t.hwm in
         if idx >= capacity then failwith "Participants.add: registry exhausted";
-        Atomic.set t.slots.(idx) (Some l);
-        idx
+        if Atomic.compare_and_set t.hwm idx (idx + 1) then begin
+          Atomic.set t.slots.(idx) (Some l);
+          idx
+        end
+        else begin
+          Hpbrcu_runtime.Sched.yield ();
+          add t l
+        end
 
   let rec remove t idx =
     Atomic.set t.slots.(idx) None;

@@ -49,11 +49,11 @@ type info = {
   name : string;
   caps : Hpbrcu_core.Caps.t;
   reset : unit -> unit;
-  stats : unit -> (string * int) list;
+  stats : unit -> Hpbrcu_runtime.Stats.snapshot;
 }
 
 let info (module S : Hpbrcu_core.Smr_intf.S) =
-  { name = S.name; caps = S.caps; reset = S.reset; stats = S.debug_stats }
+  { name = S.name; caps = S.caps; reset = S.reset; stats = S.stats }
 
 let all_info : info list =
   [

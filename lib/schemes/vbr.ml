@@ -23,6 +23,8 @@
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
@@ -39,7 +41,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     }
 
   let era = Atomic.make 1
-  let restarts = Atomic.make 0
+  let restarts = Stats.Counter.make ()
 
   type handle = { mutable start_era : int; mutable retire_count : int }
 
@@ -49,7 +51,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let reset () =
     Atomic.set era 1;
-    Atomic.set restarts 0
+    Stats.Counter.reset restarts
 
   type shield = unit
 
@@ -64,7 +66,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       h.start_era <- Atomic.get era;
       try body ()
       with Restart ->
-        Atomic.incr restarts;
+        Stats.Counter.incr restarts;
+        Trace.emit Trace.Rollback 0;
         Sched.yield ();
         go ()
     in
@@ -104,7 +107,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     h.retire_count <- h.retire_count + 1;
     if h.retire_count >= C.config.batch then begin
       h.retire_count <- 0;
-      Atomic.incr era
+      Atomic.incr era;
+      Trace.emit Trace.Epoch_advance (Atomic.get era)
     end
 
   let recycles = true
@@ -113,6 +117,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let debug_stats () =
-    [ ("vbr_era", Atomic.get era); ("vbr_restarts", Atomic.get restarts) ]
+  let stats () =
+    {
+      Stats.empty with
+      era = Atomic.get era;
+      restarts = Stats.Counter.value restarts;
+    }
 end

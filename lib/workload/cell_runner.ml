@@ -5,6 +5,7 @@ module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
 module Clock = Hpbrcu_runtime.Clock
+module Stats = Hpbrcu_runtime.Stats
 
 module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
   (* Pre-insert [prefill] distinct keys drawn as a random prefix of a
@@ -25,7 +26,34 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
     done;
     L.close_session s
 
-  let one_op t s rng (c : Spec.cell) =
+  (* Per-phase latency histograms.  [now] is the phase clock: virtual
+     ticks in fiber mode (deterministic from the seed), nanoseconds in
+     domain mode.  Lock-free records, so one histogram set serves all
+     workers. *)
+  type lat = {
+    now : unit -> int;
+    get : Stats.Histogram.t;
+    ins : Stats.Histogram.t;
+    rem : Stats.Histogram.t;
+  }
+
+  let make_lat (c : Spec.cell) =
+    let now =
+      match c.mode with
+      | Spec.Fibers _ -> Sched.tick
+      | Spec.Domains -> fun () -> int_of_float (Clock.now () *. 1e9)
+    in
+    {
+      now;
+      get = Stats.Histogram.make ();
+      ins = Stats.Histogram.make ();
+      rem = Stats.Histogram.make ();
+    }
+
+  let lat_unit (c : Spec.cell) =
+    match c.mode with Spec.Fibers _ -> "tick" | Spec.Domains -> "ns"
+
+  let one_op t s rng (c : Spec.cell) (lat : lat) =
     let k = Rng.int rng c.key_range in
     let p = Rng.int rng 100 in
     let read_pct, ins_pct =
@@ -35,18 +63,30 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       | Spec.Read_write -> (50, 25)
       | Spec.Write_only -> (0, 50)
     in
-    if p < read_pct then ignore (L.get t s k : bool)
-    else if p < read_pct + ins_pct then ignore (L.insert t s k (k * 3) : bool)
-    else ignore (L.remove t s k : bool)
+    let t0 = lat.now () in
+    if p < read_pct then begin
+      ignore (L.get t s k : bool);
+      Stats.Histogram.record lat.get (lat.now () - t0)
+    end
+    else if p < read_pct + ins_pct then begin
+      ignore (L.insert t s k (k * 3) : bool);
+      Stats.Histogram.record lat.ins (lat.now () - t0)
+    end
+    else begin
+      ignore (L.remove t s k : bool);
+      Stats.Histogram.record lat.rem (lat.now () - t0)
+    end
 
-  let run ?(create = L.create) (c : Spec.cell) ~(scheme_stats : unit -> (string * int) list)
-      ~(reset : unit -> unit) : Spec.result =
+  let run ?(create = L.create) (c : Spec.cell)
+      ~(scheme_stats : unit -> Stats.snapshot) ~(reset : unit -> unit) :
+      Spec.result =
     reset ();
     Alloc.reset ();
     Alloc.set_strict false;
     let t = create () in
     prefill t c;
     Alloc.reset_peak ();
+    let lat = make_lat c in
     let stop = Atomic.make false in
     let ops = Array.make c.threads 0 in
     let t0 = Clock.now () in
@@ -62,7 +102,7 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       (match c.limit with
       | Spec.Ops n ->
           for _ = 1 to n do
-            one_op t s rng c;
+            one_op t s rng c lat;
             ops.(tid) <- ops.(tid) + 1
           done
       | Spec.Duration d ->
@@ -70,7 +110,7 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
           let n = ref 0 in
           while not (Atomic.get stop) do
             (try
-               one_op t s rng c;
+               one_op t s rng c lat;
                incr n
              with Sched.Deadline -> Atomic.set stop true);
             if !n land budget_check = 0 && Clock.now () -. t0 >= d then
@@ -94,6 +134,13 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       peak_unreclaimed = st.Alloc.peak_unreclaimed;
       final_unreclaimed = st.Alloc.unreclaimed;
       uaf = st.Alloc.uaf;
-      stats = scheme_stats ();
+      scheme = scheme_stats ();
+      latency =
+        {
+          Spec.unit_ = lat_unit c;
+          get = Stats.Histogram.summary lat.get;
+          insert = Stats.Histogram.summary lat.ins;
+          remove = Stats.Histogram.summary lat.rem;
+        };
     }
 end

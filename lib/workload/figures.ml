@@ -69,6 +69,25 @@ let fig1_schemes = [ "NR"; "RCU"; "HP"; "NBR"; "HP-RCU"; "HP-BRCU" ]
 (* Long-running operations: Figures 1, 6, 22 (B.3), 37 (C.3)           *)
 (* ------------------------------------------------------------------ *)
 
+(* One machine-readable record per (figure, range, scheme) cell for
+   [--stats-json]; a no-op unless the accumulator is armed. *)
+let record_longrun_cell ~file ~range ~scheme (o : Longrun.outcome) =
+  Report.record_cell
+    [
+      ("figure", Report.Json.Str file);
+      ("kind", Report.Json.Str "longrun");
+      ("scheme", Report.Json.Str scheme);
+      ("key_range", Report.Json.Int range);
+      ("reader_tput_mops", Report.Json.Float o.Longrun.reader_tput);
+      ("writer_tput_mops", Report.Json.Float o.Longrun.writer_tput);
+      ("peak_unreclaimed", Report.Json.Int o.Longrun.peak_unreclaimed);
+      ("uaf", Report.Json.Int o.Longrun.uaf);
+      ("latency_unit", Report.Json.Str o.Longrun.latency_unit);
+      ("reader_latency", Report.json_of_summary o.Longrun.reader_latency);
+      ("writer_latency", Report.json_of_summary o.Longrun.writer_latency);
+      ("counters", Report.json_of_snapshot o.Longrun.scheme);
+    ]
+
 let longrun_tables ~title ~file p schemes =
   let header = "key_range" :: schemes in
   let rows_t = ref [] and rows_p = ref [] in
@@ -82,6 +101,11 @@ let longrun_tables ~title ~file p schemes =
       let outcomes =
         List.map (fun s -> (s, Longrun.run ~scheme:s cfg)) schemes
       in
+      List.iter
+        (function
+          | s, Some o -> record_longrun_cell ~file ~range ~scheme:s o
+          | _, None -> ())
+        outcomes;
       let base =
         match List.assoc "NR" outcomes with
         | Some o -> o.Longrun.reader_tput
@@ -106,10 +130,12 @@ let longrun_tables ~title ~file p schemes =
         :: !rows_p)
     p.longrun_ranges;
   let rows_t = List.rev !rows_t and rows_p = List.rev !rows_p in
-  Report.table ~title:(title ^ " — reader throughput ratio to NR") ~header rows_t;
-  Report.table ~title:(title ^ " — peak unreclaimed blocks") ~header rows_p;
-  Report.csv ~file:(file ^ "_throughput.csv") ~header rows_t;
-  Report.csv ~file:(file ^ "_peak.csv") ~header rows_p
+  Report.emit
+    ~sinks:[ Report.Table; Report.Csv (file ^ "_throughput.csv") ]
+    { Report.title = title ^ " — reader throughput ratio to NR"; header; rows = rows_t };
+  Report.emit
+    ~sinks:[ Report.Table; Report.Csv (file ^ "_peak.csv") ]
+    { Report.title = title ^ " — peak unreclaimed blocks"; header; rows = rows_p }
 
 (** Figure 1: long-running reads, the six headline schemes. *)
 let fig1 p = longrun_tables ~title:"Figure 1: long-running read operations"
@@ -124,6 +150,29 @@ let fig6 p =
 (* Thread sweeps (Figures 5, 7 and the appendix grids)                 *)
 (* ------------------------------------------------------------------ *)
 
+let record_sweep_cell ~file ~ds ~workload ~threads ~key_range ~scheme
+    (r : Spec.result) =
+  Report.record_cell
+    [
+      ("figure", Report.Json.Str file);
+      ("kind", Report.Json.Str "sweep");
+      ("ds", Report.Json.Str (Caps.ds_name ds));
+      ("workload", Report.Json.Str (Spec.workload_name workload));
+      ("scheme", Report.Json.Str scheme);
+      ("threads", Report.Json.Int threads);
+      ("key_range", Report.Json.Int key_range);
+      ("total_ops", Report.Json.Int r.Spec.total_ops);
+      ("throughput_mops", Report.Json.Float r.Spec.throughput);
+      ("peak_unreclaimed", Report.Json.Int r.Spec.peak_unreclaimed);
+      ("final_unreclaimed", Report.Json.Int r.Spec.final_unreclaimed);
+      ("uaf", Report.Json.Int r.Spec.uaf);
+      ("latency_unit", Report.Json.Str r.Spec.latency.Spec.unit_);
+      ("get_latency", Report.json_of_summary r.Spec.latency.Spec.get);
+      ("insert_latency", Report.json_of_summary r.Spec.latency.Spec.insert);
+      ("remove_latency", Report.json_of_summary r.Spec.latency.Spec.remove);
+      ("counters", Report.json_of_snapshot r.Spec.scheme);
+    ]
+
 let sweep ~title ~file p ~ds ~workload ~key_range ?(schemes = Matrix.scheme_names) () =
   let header = "threads" :: schemes in
   let rows_t = ref [] and rows_p = ref [] in
@@ -134,6 +183,12 @@ let sweep ~title ~file p ~ds ~workload ~key_range ?(schemes = Matrix.scheme_name
           ~mode:p.mode ~seed:p.seed ()
       in
       let res = List.map (fun s -> (s, Matrix.run_cell ~ds ~scheme:s cell)) schemes in
+      List.iter
+        (function
+          | s, Some r ->
+              record_sweep_cell ~file ~ds ~workload ~threads ~key_range ~scheme:s r
+          | _, None -> ())
+        res;
       rows_t :=
         (Report.i threads
         :: List.map
@@ -152,10 +207,12 @@ let sweep ~title ~file p ~ds ~workload ~key_range ?(schemes = Matrix.scheme_name
         :: !rows_p)
     p.threads;
   let rows_t = List.rev !rows_t and rows_p = List.rev !rows_p in
-  Report.table ~title:(title ^ " — throughput (Mop/s)") ~header rows_t;
-  Report.table ~title:(title ^ " — peak unreclaimed blocks") ~header rows_p;
-  Report.csv ~file:(file ^ "_throughput.csv") ~header rows_t;
-  Report.csv ~file:(file ^ "_peak.csv") ~header rows_p
+  Report.emit
+    ~sinks:[ Report.Table; Report.Csv (file ^ "_throughput.csv") ]
+    { Report.title = title ^ " — throughput (Mop/s)"; header; rows = rows_t };
+  Report.emit
+    ~sinks:[ Report.Table; Report.Csv (file ^ "_peak.csv") ]
+    { Report.title = title ^ " — peak unreclaimed blocks"; header; rows = rows_p }
 
 (** Figure 5: read-only workloads (HHSList small range, HashMap). *)
 let fig5 p =

@@ -13,6 +13,7 @@ module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
 module Clock = Hpbrcu_runtime.Clock
+module Stats = Hpbrcu_runtime.Stats
 module Schemes = Hpbrcu_schemes.Schemes
 module Ds = Hpbrcu_ds
 
@@ -35,10 +36,14 @@ type outcome = {
   writer_tput : float;
   peak_unreclaimed : int;
   uaf : int;
+  scheme : Stats.snapshot;  (** typed scheme counters at window end *)
+  latency_unit : string;  (** ["tick"] or ["ns"] *)
+  reader_latency : Stats.Histogram.summary;  (** per-[get] latency *)
+  writer_latency : Stats.Histogram.summary;  (** per-insert/remove latency *)
 }
 
 module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
-  let go (c : config) : outcome =
+  let go (c : config) ~(scheme_stats : unit -> Stats.snapshot) : outcome =
     Schemes.reset_all ();
     Alloc.reset ();
     Alloc.set_strict false;
@@ -55,6 +60,14 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
     let stop = Atomic.make false in
     let nthreads = c.readers + c.writers in
     let ops = Array.make nthreads 0 in
+    (* Op-latency histograms; tick clock in fiber mode, ns otherwise. *)
+    let now_lat =
+      match c.mode with
+      | Spec.Fibers _ -> Sched.tick
+      | Spec.Domains -> fun () -> int_of_float (Clock.now () *. 1e9)
+    in
+    let lat_readers = Stats.Histogram.make () in
+    let lat_writers = Stats.Histogram.make () in
     let t0 = Clock.now () in
     (* Starvation rescue: a reader that is neutralized faster than it can
        finish (the phenomenon under study!) never completes an operation,
@@ -67,11 +80,16 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       let reader = tid < c.readers in
       while not (Atomic.get stop) do
         (try
-           if reader then ignore (L.get t s (Rng.int rng c.key_range) : bool)
+           let l0 = now_lat () in
+           if reader then begin
+             ignore (L.get t s (Rng.int rng c.key_range) : bool);
+             Stats.Histogram.record lat_readers (now_lat () - l0)
+           end
            else begin
              let k = Rng.int rng c.hot_width in
              if Rng.bool rng then ignore (L.insert t s k 0 : bool)
-             else ignore (L.remove t s k : bool)
+             else ignore (L.remove t s k : bool);
+             Stats.Histogram.record lat_writers (now_lat () - l0)
            end;
            incr n
          with Sched.Deadline -> Atomic.set stop true);
@@ -96,6 +114,11 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       writer_tput = float_of_int (sum c.readers c.writers) /. elapsed /. 1e6;
       peak_unreclaimed = st.Alloc.peak_unreclaimed;
       uaf = st.Alloc.uaf;
+      scheme = scheme_stats ();
+      latency_unit =
+        (match c.mode with Spec.Fibers _ -> "tick" | Spec.Domains -> "ns");
+      reader_latency = Stats.Histogram.summary lat_readers;
+      writer_latency = Stats.Histogram.summary lat_writers;
     }
 end
 
@@ -107,9 +130,9 @@ let run ~scheme (c : config) : outcome option =
   if scheme = "HP" then
     let module L = Ds.Hm_list.Make (S) in
     let module R = Run (L) in
-    Some (R.go c)
+    Some (R.go c ~scheme_stats:S.stats)
   else if Matrix.supports (module S) Hpbrcu_core.Caps.HHSList then
     let module L = Ds.Harris_list.Make_hhs (S) in
     let module R = Run (L) in
-    Some (R.go c)
+    Some (R.go c ~scheme_stats:S.stats)
   else None

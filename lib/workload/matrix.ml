@@ -78,7 +78,7 @@ let run_cell ~(ds : Caps.ds_id) ~(scheme : string) (cell : Spec.cell) :
   if not (supports (module S) ds) then None
   else
     let reset () = Schemes.reset_all () in
-    let scheme_stats () = S.debug_stats () in
+    let scheme_stats () = S.stats () in
     let r =
       match ds with
       | Caps.HList ->

@@ -47,6 +47,26 @@ let cell ?(threads = 4) ?(key_range = 1024) ?prefill ?(workload = Read_write)
   let prefill = match prefill with Some p -> p | None -> key_range / 2 in
   { threads; key_range; prefill; workload; limit; mode; seed }
 
+module Stats = Hpbrcu_runtime.Stats
+
+(** Per-phase operation-latency summaries for one cell.  Units are virtual
+    ticks in fiber mode and nanoseconds in domain mode ([unit_] says
+    which); tick-based summaries are deterministic from the seed. *)
+type latency = {
+  unit_ : string;  (** ["tick"] or ["ns"] *)
+  get : Stats.Histogram.summary;
+  insert : Stats.Histogram.summary;
+  remove : Stats.Histogram.summary;
+}
+
+let no_latency unit_ =
+  {
+    unit_;
+    get = Stats.Histogram.empty_summary;
+    insert = Stats.Histogram.empty_summary;
+    remove = Stats.Histogram.empty_summary;
+  }
+
 type result = {
   total_ops : int;
   elapsed : float;  (** seconds *)
@@ -54,7 +74,8 @@ type result = {
   peak_unreclaimed : int;
   final_unreclaimed : int;
   uaf : int;
-  stats : (string * int) list;  (** scheme debug counters *)
+  scheme : Stats.snapshot;  (** typed scheme counters *)
+  latency : latency;
 }
 
 let pp_result ppf r =

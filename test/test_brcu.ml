@@ -5,6 +5,7 @@
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Config = Hpbrcu_core.Config
+module Stats = Hpbrcu_runtime.Stats
 
 module Cfg = struct
   let config =
@@ -82,11 +83,9 @@ let test_selective_signal () =
         B.unregister h
       end);
   ignore !rolled_back;
-  let stats = B.debug_stats () in
-  Alcotest.(check bool) "signals were sent" true
-    (List.assoc "brcu_signals" stats > 0);
-  Alcotest.(check bool) "rollbacks happened" true
-    (List.assoc "brcu_rollbacks" stats > 0)
+  let stats = B.stats () in
+  Alcotest.(check bool) "signals were sent" true (stats.Stats.signals > 0);
+  Alcotest.(check bool) "rollbacks happened" true (stats.Stats.rollbacks > 0)
 
 (* Abort-masking: a signal delivered inside a mask defers the rollback to
    the region's exit, and the masked body is never torn. *)
@@ -129,8 +128,8 @@ let test_mask_defers_rollback () =
       end);
   (* Every mask body that started ran to completion (never torn). *)
   Alcotest.(check bool) "mask bodies completed" true (!mask_completed >= 1);
-  let stats = B.debug_stats () in
-  if List.assoc "brcu_signals" stats > 0 then
+  let stats = B.stats () in
+  if stats.Stats.signals > 0 then
     Alcotest.(check bool) "rollback deferred to mask exit" true
       (!rollbacks_seen >= 1 || !mask_completed >= 1)
 

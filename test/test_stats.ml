@@ -1,0 +1,277 @@
+(* The observability layer (DESIGN.md §7): histogram bucket geometry and
+   percentile extraction, sharded counters, the tracer's ring buffers, the
+   registry-exhaustion bound, and — the headline property — that a fiber
+   run's trace and stats snapshot are a pure function of the seed. *)
+
+module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
+module Sched = Hpbrcu_runtime.Sched
+module Registry = Hpbrcu_schemes.Registry
+module H = Stats.Histogram
+module W = Hpbrcu_workload
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket geometry                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Values below [sub] land in their own unit bucket: exact percentiles. *)
+let test_buckets_exact_below_sub () =
+  for v = 0 to H.sub - 1 do
+    Alcotest.(check int) "identity bucket" v (H.bucket_of v);
+    Alcotest.(check int) "exact lower bound" v (H.lower_bound v)
+  done
+
+(* lower_bound inverts bucket_of on every bucket boundary. *)
+let test_bucket_roundtrip () =
+  for i = 0 to H.nbuckets - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "bucket %d" i)
+      i
+      (H.bucket_of (H.lower_bound i))
+  done
+
+(* bucket_of is monotone and reporting a bucket's lower bound under-reads
+   the true value by at most the advertised 12.5% relative error. *)
+let test_bucket_error_bound () =
+  let probe v =
+    let b = H.bucket_of v in
+    let lo = H.lower_bound b in
+    Alcotest.(check bool) "lower_bound <= v" true (lo <= v);
+    Alcotest.(check bool)
+      (Printf.sprintf "error bound at %d" v)
+      true
+      (float_of_int (v - lo) <= (0.125 *. float_of_int v) +. 1e-9);
+    if b + 1 < H.nbuckets then
+      Alcotest.(check bool) "below next bucket" true (v < H.lower_bound (b + 1))
+  in
+  List.iter probe
+    [ 0; 1; 15; 16; 17; 31; 32; 33; 100; 1000; 12345; (1 lsl 20) + 7; max_int / 2 ];
+  (* Monotone across a dense range spanning several octaves. *)
+  for v = 0 to 5000 do
+    Alcotest.(check bool) "monotone" true (H.bucket_of v <= H.bucket_of (v + 1))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Percentile extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentiles_exact_small () =
+  let h = H.make () in
+  for v = 0 to 9 do
+    for _ = 1 to 10 do
+      H.record h v
+    done
+  done;
+  let s = H.summary h in
+  Alcotest.(check int) "count" 100 s.H.count;
+  Alcotest.(check int) "sum" 450 s.H.sum;
+  Alcotest.(check int) "p50" 4 s.H.p50;
+  Alcotest.(check int) "p90" 8 s.H.p90;
+  Alcotest.(check int) "p99" 9 s.H.p99;
+  Alcotest.(check int) "max" 9 s.H.max
+
+let test_percentiles_quantized () =
+  let h = H.make () in
+  H.record h 1000;
+  let s = H.summary h in
+  Alcotest.(check int) "count" 1 s.H.count;
+  (* Percentiles report the bucket's lower bound; max is tracked exactly. *)
+  Alcotest.(check int) "p50 = bucket floor" (H.lower_bound (H.bucket_of 1000)) s.H.p50;
+  Alcotest.(check int) "p99 = p50 (one sample)" s.H.p50 s.H.p99;
+  Alcotest.(check int) "max exact" 1000 s.H.max
+
+let test_percentiles_edges () =
+  let h = H.make () in
+  Alcotest.(check bool) "empty summary" true (H.summary h = H.empty_summary);
+  H.record h (-5);
+  (* Negative samples clamp to 0 rather than corrupting the layout. *)
+  let s = H.summary h in
+  Alcotest.(check int) "clamped count" 1 s.H.count;
+  Alcotest.(check int) "clamped p50" 0 s.H.p50;
+  Alcotest.(check int) "clamped max" 0 s.H.max;
+  H.reset h;
+  Alcotest.(check bool) "reset" true (H.summary h = H.empty_summary)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded counters                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_shards_sum () =
+  let c = Stats.Counter.make () in
+  Stats.Counter.incr c;
+  (* tid = -1: the outside-any-worker shard *)
+  Sched.run
+    (Sched.Fibers { seed = 3; switch_every = 1 })
+    ~nthreads:4
+    (fun _ ->
+      for _ = 1 to 100 do
+        Stats.Counter.incr c;
+        Sched.yield ()
+      done);
+  Alcotest.(check int) "sum over shards" 401 (Stats.Counter.value c);
+  Stats.Counter.add c 9;
+  Alcotest.(check int) "add" 410 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer ring buffers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_wraparound () =
+  Trace.enable ~capacity:8 ();
+  for i = 0 to 19 do
+    Trace.emit Trace.Retire i
+  done;
+  let recs = Trace.dump () in
+  Alcotest.(check int) "kept = capacity" 8 (List.length recs);
+  Alcotest.(check int) "dropped" 12 (Trace.dropped ());
+  Alcotest.(check (list int))
+    "the LAST events survive, in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun r -> r.Trace.arg) recs);
+  List.iter
+    (fun r -> Alcotest.(check int) "outside-worker tid" (-1) r.Trace.tid)
+    recs;
+  Trace.disable ();
+  (* Disabled: emit is a no-op, the old dump stays readable. *)
+  Trace.emit Trace.Retire 99;
+  Alcotest.(check int) "no emit when disabled" 8 (List.length (Trace.dump ()));
+  Alcotest.(check int) "no drop when disabled" 12 (Trace.dropped ())
+
+let test_trace_enable_clears () =
+  Trace.enable ~capacity:8 ();
+  Trace.emit Trace.Rollback 0;
+  Trace.enable ~capacity:8 ();
+  Alcotest.(check int) "enable clears old rings" 0 (List.length (Trace.dump ()));
+  Trace.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry exhaustion never moves the high-water mark                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_shields_exhaustion () =
+  let t = Registry.Shields.create () in
+  let all =
+    Array.init Registry.Shields.max_shields (fun _ -> Registry.Shields.alloc t)
+  in
+  let hwm () = Atomic.get t.Registry.Shields.hwm in
+  Alcotest.(check int) "full" Registry.Shields.max_shields (hwm ());
+  for _ = 1 to 3 do
+    (try
+       ignore (Registry.Shields.alloc t : Registry.Shields.shield);
+       Alcotest.fail "alloc past capacity succeeded"
+     with Failure _ -> ());
+    (* The regression: a fetch_and_add here kept growing hwm on every
+       failed alloc, silently masked by downstream clamps. *)
+    Alcotest.(check int) "hwm untouched by failure" Registry.Shields.max_shields
+      (hwm ())
+  done;
+  Registry.Shields.release all.(7);
+  let s = Registry.Shields.alloc t in
+  Alcotest.(check int) "recycled via free list" 7 s.Registry.Shields.idx;
+  Alcotest.(check int) "hwm still untouched" Registry.Shields.max_shields (hwm ())
+
+let test_participants_exhaustion () =
+  let t = Registry.Participants.create () in
+  let idxs =
+    Array.init Registry.Participants.capacity (fun i ->
+        Registry.Participants.add t i)
+  in
+  let hwm () = Atomic.get t.Registry.Participants.hwm in
+  Alcotest.(check int) "full" Registry.Participants.capacity (hwm ());
+  for _ = 1 to 3 do
+    (try
+       ignore (Registry.Participants.add t 0 : int);
+       Alcotest.fail "add past capacity succeeded"
+     with Failure _ -> ());
+    Alcotest.(check int) "hwm untouched by failure"
+      Registry.Participants.capacity (hwm ())
+  done;
+  Registry.Participants.remove t idxs.(5);
+  Alcotest.(check int) "recycled via free list" idxs.(5)
+    (Registry.Participants.add t 42);
+  Alcotest.(check int) "hwm still untouched" Registry.Participants.capacity
+    (hwm ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: trace and snapshot are pure functions of the seed      *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced () =
+  (* Drain leftovers (deferred tasks, allocator counters) from whatever ran
+     before, so both traced runs start from the same world state. *)
+  Hpbrcu_schemes.Schemes.reset_all ();
+  Hpbrcu_alloc.Alloc.reset ();
+  Trace.enable ~capacity:(1 lsl 16) ();
+  let cell =
+    W.Spec.cell ~threads:4 ~key_range:128 ~prefill:64 ~workload:W.Spec.Read_write
+      ~limit:(W.Spec.Ops 150) ~mode:(W.Spec.Fibers 17) ~seed:17 ()
+  in
+  let r =
+    match W.Matrix.run_cell ~ds:Hpbrcu_core.Caps.HHSList ~scheme:"HP-BRCU" cell with
+    | Some r -> r
+    | None -> Alcotest.fail "HP-BRCU must support HHSList"
+  in
+  let t = Trace.dump () in
+  Trace.disable ();
+  (r, t)
+
+let test_fiber_determinism () =
+  let r1, t1 = run_traced () in
+  let r2, t2 = run_traced () in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length t1 > 100);
+  Alcotest.(check int) "same event count" (List.length t1) (List.length t2);
+  Alcotest.(check bool) "byte-identical event logs" true (t1 = t2);
+  Alcotest.(check int) "equal op counts" r1.W.Spec.total_ops r2.W.Spec.total_ops;
+  Alcotest.(check bool) "equal scheme snapshots" true
+    (r1.W.Spec.scheme = r2.W.Spec.scheme);
+  Alcotest.(check bool) "equal latency summaries (tick clock)" true
+    (r1.W.Spec.latency = r2.W.Spec.latency);
+  Alcotest.(check string) "latency in ticks" "tick" r1.W.Spec.latency.W.Spec.unit_;
+  (* The run exercised the machinery the snapshot reports on. *)
+  Alcotest.(check bool) "traversals counted" true (r1.W.Spec.scheme.Stats.traverses > 0)
+
+(* A different seed must give a different interleaving story. *)
+let test_fiber_seed_sensitivity () =
+  let _, t1 = run_traced () in
+  Trace.enable ~capacity:(1 lsl 16) ();
+  let cell =
+    W.Spec.cell ~threads:4 ~key_range:128 ~prefill:64 ~workload:W.Spec.Read_write
+      ~limit:(W.Spec.Ops 150) ~mode:(W.Spec.Fibers 18) ~seed:17 ()
+  in
+  ignore (W.Matrix.run_cell ~ds:Hpbrcu_core.Caps.HHSList ~scheme:"HP-BRCU" cell);
+  let t2 = Trace.dump () in
+  Trace.disable ();
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t2)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact-below-sub" `Quick test_buckets_exact_below_sub;
+          Alcotest.test_case "roundtrip" `Quick test_bucket_roundtrip;
+          Alcotest.test_case "error-bound" `Quick test_bucket_error_bound;
+          Alcotest.test_case "percentiles-exact" `Quick test_percentiles_exact_small;
+          Alcotest.test_case "percentiles-quantized" `Quick test_percentiles_quantized;
+          Alcotest.test_case "edges" `Quick test_percentiles_edges;
+        ] );
+      ("counter", [ Alcotest.test_case "shards-sum" `Quick test_counter_shards_sum ]);
+      ( "trace",
+        [
+          Alcotest.test_case "ring-wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "enable-clears" `Quick test_trace_enable_clears;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "shields-exhaustion" `Quick test_shields_exhaustion;
+          Alcotest.test_case "participants-exhaustion" `Quick
+            test_participants_exhaustion;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trace-replayable" `Quick test_fiber_determinism;
+          Alcotest.test_case "seed-sensitivity" `Quick test_fiber_seed_sensitivity;
+        ] );
+    ]
