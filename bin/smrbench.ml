@@ -225,6 +225,71 @@ let trace_cmd =
       const run $ scheme_arg $ ds_arg $ ops_arg $ threads_arg $ seed_arg
       $ range_arg $ last_arg)
 
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~doc:"Run the grid under seeds 1..$(docv).")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Full-size cells (larger range and op budgets); default quick.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Quick cells (the default; overrides --full).")
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scheme" ]
+          ~doc:"Comma-separated scheme subset (default: all twelve).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan" ]
+          ~doc:
+            "Comma-separated fault-plan subset (baseline|stall-storm|\
+             crash-reader|crash-many|signal-chaos|pool-squeeze).")
+  in
+  let no_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "no-replay" ] ~doc:"Skip the traced determinism probes.")
+  in
+  let split s = String.split_on_char ',' s |> List.map String.trim in
+  let run seeds full quick scheme plan no_replay =
+    let p = if full && not quick then W.Chaos.full else W.Chaos.quick in
+    let schemes =
+      match scheme with None -> W.Chaos.all_schemes | Some s -> split s
+    in
+    let plans =
+      match plan with
+      | None -> W.Chaos.all_plans
+      | Some s -> List.map W.Chaos.plan_of_name (split s)
+    in
+    let seeds = List.init (max 1 seeds) (fun i -> i + 1) in
+    let r =
+      W.Chaos.run_grid ~schemes ~plans ~seeds ~replay:(not no_replay)
+        ~verbose:true p
+    in
+    Fmt.pr "%a" W.Chaos.pp_report r;
+    if W.Chaos.report_ok r then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the scheme matrix under deterministic fault-injection plans \
+          (crashed/stalled readers, lost signals, pool exhaustion) and check \
+          the termination, safety and boundedness invariants")
+    Term.(
+      const run $ seeds_arg $ full_arg $ quick_arg $ scheme_arg $ plan_arg
+      $ no_replay_arg)
+
 let table_cmd name pp =
   Cmd.v
     (Cmd.info name ~doc:("Print the paper's " ^ name))
@@ -247,6 +312,7 @@ let main =
       sweep_cmd;
       longrun_cmd;
       trace_cmd;
+      chaos_cmd;
       table_cmd "table1" W.Figures.table1;
       table_cmd "table2" W.Figures.table2;
     ]

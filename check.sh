@@ -6,6 +6,12 @@ set -eu
 dune build
 dune runtest
 
+# Chaos smoke gate: the full scheme matrix under every fault plan, three
+# seeds, with the traced determinism probes.  Exits non-zero on any
+# invariant violation (non-termination, use-after-free, bound overshoot,
+# missing EBR collapse, replay mismatch).
+dune exec bin/smrbench.exe -- chaos --seeds 3 --quick
+
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

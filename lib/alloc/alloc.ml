@@ -52,7 +52,8 @@ let reset () =
   Atomic.set retired 0;
   Atomic.set reclaimed 0;
   Hpbrcu_runtime.Counter.reset unreclaimed;
-  Atomic.set uaf 0
+  Atomic.set uaf 0;
+  Pool.reset_stats ()
 
 (** Re-arm only the peak tracker (measure the peak of a window). *)
 let reset_peak () = Hpbrcu_runtime.Counter.reset_peak unreclaimed

@@ -41,9 +41,21 @@ type t = {
   starvation : starvation;
       (** Table 2: starvation-freedom in long-running operations *)
   supports : ds_id -> support;
+  bound : nthreads:int -> int option;
+      (** Declared worst-case unreclaimed-block high-water for [nthreads]
+          workers under adversarial stalls and crashes — the quantitative
+          form of [robust_stalled], checked per cell by the chaos harness
+          ([smrbench chaos]).  Each scheme derives it from its own config
+          (e.g. HP-BRCU's [2GN + GN² + H] with
+          [G = max_local_tasks × force_threshold], paper §5); [None] means
+          unbounded: one stalled or crashed reader can pin arbitrarily
+          much garbage (EBR-family, Figure 1). *)
 }
 
 let yes_all _ = Yes
+
+(** The [bound] of the non-robust schemes (NR, RCU, HP-RCU). *)
+let unbounded ~nthreads:_ = None
 
 (* --------------------------------------------------------------- *)
 (* Paper Table 1 (full 19-row version), as static data.             *)

@@ -1,0 +1,211 @@
+(** Seeded, deterministic fault injection (DESIGN.md §8).
+
+    The paper's robustness claims are about what happens when the world
+    misbehaves: readers preempted mid critical-section for unbounded time
+    (Figure 1), readers that die without ever acknowledging a signal,
+    deliveries that are lost or arrive late.  This module turns those
+    adversaries into {e data}: a {!plan} is a list of {!rule}s, each of
+    which fires a fault {!action} at deterministic occurrence counts of an
+    instrumented {!site}.  No wall clock and no extra RNG are involved —
+    the n-th yield of thread 3 is the n-th yield of thread 3 under any
+    replay of the same simulator seed — so a chaos run is exactly as
+    reproducible as a fault-free one.
+
+    Sites and who consults them:
+
+    - {!Yield} — every {!Sched.yield}; actions [Stall]/[Crash].
+    - {!Signal_send} — every {!Signal.send}, matched against the
+      {e receiver}'s tid; actions [Drop_signal]/[Delay_signal].
+    - {!Pool_acquire} — every {!Pool.acquire}; action [Exhaust_pool]
+      (pretend the free list is empty, forcing a fresh allocation).
+
+    Layering: this module sits below {!Sched} (which consults {!on_yield})
+    and must therefore not depend on it; it reports through {!Trace} and
+    its own occurrence counters only.  Faults are meaningful in fiber mode
+    only — callers gate on [Sched.fiber_mode] — because a real domain
+    cannot be crashed from the outside. *)
+
+type action =
+  | Stall of int  (** suspend the fiber for [n] virtual ticks *)
+  | Crash
+      (** the fiber never runs again; no unwinding, so whatever it
+          published (pinned epoch, in-CS status, protected shields) stays
+          frozen — the simulator's model of a seg-faulted thread *)
+  | Drop_signal  (** the pending flag is never posted *)
+  | Delay_signal of int
+      (** the pending flag is posted but not deliverable for [n] ticks *)
+  | Exhaust_pool  (** this [Pool.acquire] misses, forcing a fresh block *)
+
+type site = Yield | Signal_send | Pool_acquire
+
+type rule = {
+  site : site;
+  tid : int;  (** thread the rule applies to; [-1] = any.  For
+                  {!Signal_send} this is the {e receiver}'s tid. *)
+  start : int;  (** 0-based occurrence index at which the rule first fires *)
+  period : int;  (** [0] = fire exactly once (at [start]); [k > 0] = fire
+                     at [start], [start+k], [start+2k], … *)
+  action : action;
+}
+
+type plan = { label : string; rules : rule list }
+
+let no_faults = { label = "none"; rules = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Installed plan + per-rule occurrence counters                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Occurrence counters are per (rule, tid) so that "crash thread 0 at its
+   800th yield" means thread 0's own 800th yield, not the 800th yield of
+   whoever happens to run — that is what makes a rule deterministic under
+   the seeded scheduler.  [-1]-tid (any) rules also count in the calling
+   thread's slot, so "every k-th occurrence" is per thread; either way the
+   firing pattern is schedule-independent given the seed. *)
+let counter_width = 257 (* tids -1..255, same layout as Stats shards *)
+
+let plan_ref = ref no_faults
+let counters : int array array ref = ref [||]
+let on = ref false
+
+(* Injected-fault tallies, reset by [install]. *)
+let n_stalls = Atomic.make 0
+let n_crashes = Atomic.make 0
+let n_drops = Atomic.make 0
+let n_delays = Atomic.make 0
+let n_pool = Atomic.make 0
+
+type injected = {
+  stalls : int;
+  crashes : int;
+  drops : int;
+  delays : int;
+  pool_misses : int;
+}
+
+let injected () =
+  {
+    stalls = Atomic.get n_stalls;
+    crashes = Atomic.get n_crashes;
+    drops = Atomic.get n_drops;
+    delays = Atomic.get n_delays;
+    pool_misses = Atomic.get n_pool;
+  }
+
+let total_injected () =
+  let i = injected () in
+  i.stalls + i.crashes + i.drops + i.delays + i.pool_misses
+
+(** [active ()] — cheap gate for the hot paths: one ref read. *)
+let[@inline] active () = !on
+
+let install p =
+  plan_ref := p;
+  counters :=
+    Array.init (List.length p.rules) (fun _ -> Array.make counter_width 0);
+  Atomic.set n_stalls 0;
+  Atomic.set n_crashes 0;
+  Atomic.set n_drops 0;
+  Atomic.set n_delays 0;
+  Atomic.set n_pool 0;
+  on := p.rules <> []
+
+let clear () = install no_faults
+let current () = !plan_ref
+
+(* [fire site ~tid] — advance the occurrence counter of every rule matching
+   (site, tid) and return the action of the first rule whose schedule hits
+   this occurrence.  Counters advance even when no rule fires, so a rule's
+   [start] indexes real site occurrences, not previous faults. *)
+let fire site ~tid =
+  let rules = !plan_ref.rules in
+  let cnts = !counters in
+  let slot = tid + 1 in
+  let slot = if slot < 0 || slot >= counter_width then 0 else slot in
+  let result = ref None in
+  List.iteri
+    (fun i r ->
+      if r.site = site && (r.tid = -1 || r.tid = tid) then begin
+        let row = cnts.(i) in
+        let c = row.(slot) in
+        row.(slot) <- c + 1;
+        if !result = None then begin
+          let hit =
+            if c < r.start then false
+            else if r.period <= 0 then c = r.start
+            else (c - r.start) mod r.period = 0
+          in
+          if hit then result := Some r.action
+        end
+      end)
+    rules;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Site hooks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Consulted by {!Sched.yield} for the current fiber.  Returns the stall
+    or crash to inject, if any. *)
+let on_yield ~tid =
+  if not !on then None
+  else
+    match fire Yield ~tid with
+    | Some (Stall n) when n > 0 ->
+        Atomic.incr n_stalls;
+        Trace.emit Trace.Fault_stall n;
+        Some (`Stall n)
+    | Some Crash ->
+        Atomic.incr n_crashes;
+        (* Fault_crash is emitted by the scheduler, which knows the fiber. *)
+        Some `Crash
+    | _ -> None
+
+(** Consulted by {!Signal.send}; [tid] is the {e receiver}. *)
+let on_send ~tid =
+  if not !on then None
+  else
+    match fire Signal_send ~tid with
+    | Some Drop_signal ->
+        Atomic.incr n_drops;
+        Trace.emit Trace.Signal_dropped tid;
+        Some `Drop
+    | Some (Delay_signal n) when n > 0 ->
+        Atomic.incr n_delays;
+        Some (`Delay n)
+    | _ -> None
+
+(** Consulted by {!Pool.acquire}; [true] = pretend the pool is empty. *)
+let on_pool_acquire ~tid =
+  !on
+  &&
+  match fire Pool_acquire ~tid with
+  | Some Exhaust_pool ->
+      Atomic.incr n_pool;
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (chaos reports)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let action_to_string = function
+  | Stall n -> Printf.sprintf "stall(%d)" n
+  | Crash -> "crash"
+  | Drop_signal -> "drop-signal"
+  | Delay_signal n -> Printf.sprintf "delay-signal(%d)" n
+  | Exhaust_pool -> "exhaust-pool"
+
+let site_to_string = function
+  | Yield -> "yield"
+  | Signal_send -> "send"
+  | Pool_acquire -> "pool"
+
+let rule_to_string r =
+  Printf.sprintf "%s@%s[tid=%d,start=%d,period=%d]"
+    (action_to_string r.action) (site_to_string r.site) r.tid r.start r.period
+
+let plan_to_string p =
+  match p.rules with
+  | [] -> p.label
+  | rs -> p.label ^ ": " ^ String.concat " " (List.map rule_to_string rs)

@@ -55,13 +55,16 @@ let deadline_ticker = ref 0 (* racy on purpose; only paces the clock reads *)
 let set_deadline t = Atomic.set deadline t
 let clear_deadline () = Atomic.set deadline infinity
 
-let check_deadline () =
-  incr deadline_ticker;
-  if !deadline_ticker land 1023 = 0 && Unix.gettimeofday () > Atomic.get deadline
-  then begin
-    Trace.emit Trace.Deadline_abort 0;
-    raise Deadline
-  end
+(* Virtual-tick deadline, the fiber-mode analogue of [set_deadline]: the
+   wall clock is nondeterministic, so a duration-limited fiber cell could
+   abort at a different virtual tick on each run of the same seed.  Tick
+   deadlines make the abort point a pure function of the seed.  [max_int]
+   = unarmed.  ([check_deadline] itself is defined below, after the fiber
+   context, because it reads the virtual clock.) *)
+let tick_deadline : int Atomic.t = Atomic.make max_int
+
+let set_tick_deadline t = Atomic.set tick_deadline t
+let clear_tick_deadline () = Atomic.set tick_deadline max_int
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler profiling (fiber mode)                                    *)
@@ -124,6 +127,33 @@ let set_stall_inject ~period ~ticks =
 let self () = Domain.DLS.get tid_key
 
 (* ------------------------------------------------------------------ *)
+(* Crash registry (fiber mode)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A crashed fiber never runs again and never unwinds, so it can never
+   acknowledge a signal.  The registry is the simulator's analogue of
+   [pthread_kill] returning [ESRCH]: {!Signal.send} consults it to return
+   [Dead_receiver] instead of waiting forever, and the schemes use that
+   escape to quarantine the dead participant (DESIGN.md §8). *)
+let crashed = Array.make max_threads false
+let crashed_total = ref 0
+
+let is_crashed tid = tid >= 0 && tid < max_threads && crashed.(tid)
+let crashed_count () = !crashed_total
+
+(** [mark_crashed ~tid] records a thread as dead without scheduler help;
+    used by tests and by domain-mode harnesses that abandon a worker. *)
+let mark_crashed ~tid =
+  if tid >= 0 && tid < max_threads && not crashed.(tid) then begin
+    crashed.(tid) <- true;
+    incr crashed_total
+  end
+
+let reset_crashed () =
+  Array.fill crashed 0 max_threads false;
+  crashed_total := 0
+
+(* ------------------------------------------------------------------ *)
 (* Fiber simulator                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -158,11 +188,48 @@ exception Fiber_aborted
 type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Stall : int -> unit Effect.t
 
+type _ Effect.t += Crash : unit Effect.t
+(** Injected by {!Fault}: the scheduler drops the continuation without
+    unwinding it, so the fiber's published state (pinned epoch, in-CS
+    status, protected shields) stays frozen forever — a seg-faulted
+    thread, not a cleanly exiting one. *)
+
 let fiber_mode () = !ctx_ref <> None
 
 (** Virtual time in fiber mode (one tick per scheduling decision); [0] in
     domain mode.  Used by tests to bound stall durations. *)
 let tick () = match !ctx_ref with Some c -> c.tick | None -> 0
+
+let check_deadline () =
+  match !ctx_ref with
+  | Some c ->
+      (* Fiber mode: the deterministic tick deadline decides.  The wall
+         clock is consulted only when a wall deadline is actually armed
+         (duration-limited cells, which are wall-bound by definition);
+         ops-limited and chaos runs never arm one, so their replay is a
+         pure function of the seed. *)
+      if c.tick >= Atomic.get tick_deadline then begin
+        Trace.emit Trace.Deadline_abort 0;
+        raise Deadline
+      end;
+      incr deadline_ticker;
+      if
+        !deadline_ticker land 1023 = 0
+        && Atomic.get deadline < infinity
+        && Unix.gettimeofday () > Atomic.get deadline
+      then begin
+        Trace.emit Trace.Deadline_abort 0;
+        raise Deadline
+      end
+  | None ->
+      incr deadline_ticker;
+      if
+        !deadline_ticker land 1023 = 0
+        && Unix.gettimeofday () > Atomic.get deadline
+      then begin
+        Trace.emit Trace.Deadline_abort 0;
+        raise Deadline
+      end
 
 (** [yield ()] is a potential context-switch point.  In fiber mode the
     scheduler may transfer control to another fiber; in domain mode it is a
@@ -171,6 +238,12 @@ let yield () =
   check_deadline ();
   match !ctx_ref with
   | Some c ->
+      if Fault.active () then begin
+        match Fault.on_yield ~tid:(Domain.DLS.get tid_key) with
+        | Some (`Stall n) -> Effect.perform (Stall n)
+        | Some `Crash -> Effect.perform Crash
+        | None -> ()
+      end;
       let p = Atomic.get stall_period in
       if p > 0 then begin
         incr stall_counter;
@@ -300,6 +373,19 @@ let schedule_step c =
                     Trace.emit Trace.Stall ticks;
                     f.wake_at <- c.tick + ticks;
                     f.state <- Paused k)
+            | Crash ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    (* Deliberately NOT discontinued: a crash must not run
+                       finalizers or unwind critical sections.  The stack
+                       is abandoned to the GC with all its published
+                       atomic state still visible to the other fibers. *)
+                    ignore (Sys.opaque_identity k);
+                    f.state <- Done;
+                    c.live <- c.live - 1;
+                    crashed.(f.ftid) <- true;
+                    incr crashed_total;
+                    Trace.emit Trace.Fault_crash f.ftid)
             | _ -> None);
       }
     in
@@ -332,6 +418,7 @@ let run_fibers ~seed ~switch_every ~nthreads body =
   in
   ctx_ref := Some c;
   prof_last_run := -1;
+  reset_crashed ();
   let finish () = ctx_ref := None in
   (try
      while c.live > 0 && c.failure = None do
@@ -364,6 +451,7 @@ let run_fibers ~seed ~switch_every ~nthreads body =
   | None -> ()
 
 let run_domains ~nthreads body =
+  reset_crashed ();
   let worker i () =
     Domain.DLS.set tid_key i;
     Fun.protect ~finally:(fun () -> Domain.DLS.set tid_key (-1)) (fun () -> body i)

@@ -15,8 +15,8 @@
     - the receiver calls {!poll} from every scheme-mediated pointer read; a
       pending delivery runs the installed handler (which typically raises
       the scheme's [Rollback]) {e before} the read is allowed to proceed, so
-      once {!send} has returned, the receiver cannot dereference anything
-      without first having executed its handler.
+      once {!send} has returned [Delivered], the receiver cannot
+      dereference anything without first having executed its handler.
 
     The handler runs in the receiver's context, like a real signal handler.
     A receiver that is "out" (not in any critical section — analogous to a
@@ -24,21 +24,44 @@
     {!send} also completes when [is_out ()] holds, because the paper's
     handler is a no-op in that state.
 
+    {b Graceful degradation} (DESIGN.md §8).  [pthread_kill] can fail: the
+    target may be dead ([ESRCH]) or simply never scheduled again.  The old
+    [send] waited forever in that case, so one crashed reader hung every
+    reclaimer.  [send] now returns an {!outcome}: [Dead_receiver] when the
+    target is in {!Sched}'s crash registry, and [No_ack] when a {e bounded}
+    wait with exponential backoff expires without an acknowledgement.
+    Callers must treat [No_ack] as "the reader may still be running" — it
+    is NOT safe to reclaim past an unacked live reader; only a confirmed
+    [Dead_receiver] may be quarantined.
+
     Real signals cost a kernel round trip (~1–10 µs); benchmarks can charge
     a synthetic sender-side cost via {!set_send_cost} so that
     signal-frequency effects (NBR's weakness) stay visible on the simulated
     substrate. *)
 
+type outcome =
+  | Delivered  (** the receiver ran its handler, or was observed out *)
+  | Dead_receiver  (** the receiver is crashed and can never ack (ESRCH) *)
+  | No_ack  (** bounded wait expired; the receiver may be live but stuck *)
+
 type box = {
   pending : bool Atomic.t;
+  not_before : int Atomic.t;
+      (* virtual tick before which a delayed delivery is invisible to the
+         receiver (fault injection); 0 = deliverable immediately *)
   acks : int Atomic.t;  (* deliveries handled by the receiver *)
   sent : int Atomic.t;  (* diagnostics: signals ever sent to this box *)
   mutable owner_tid : int;  (* for waking a stalled fiber, like EINTR *)
 }
 
 let make () =
-  { pending = Atomic.make false; acks = Atomic.make 0; sent = Atomic.make 0;
-    owner_tid = -1 }
+  {
+    pending = Atomic.make false;
+    not_before = Atomic.make 0;
+    acks = Atomic.make 0;
+    sent = Atomic.make 0;
+    owner_tid = -1;
+  }
 
 (** [attach box] binds the box to the calling thread so that {!send} can
     interrupt its simulated stalls (signals interrupt blocked syscalls). *)
@@ -63,39 +86,118 @@ let burn n =
   done;
   burn_sink := !acc
 
-(** [send box ~is_out] delivers a signal.  Mirrors Assumption 1 of the
-    paper ("the signaled thread is suspended before the signaling thread
-    returns"):
+(* A pending delivery is visible to the receiver only once the virtual
+   clock passes [not_before] (delayed-delivery fault; 0 in normal runs). *)
+let[@inline] deliverable box =
+  Atomic.get box.pending && Sched.tick () >= Atomic.get box.not_before
 
-    - In fiber mode, posting the pending flag suffices: fibers interleave
-      only at yields, and every scheme places its poll and the subsequent
-      memory access inside one yield-free region, so the receiver cannot
-      touch memory again without first running its handler.  (A sleeping
-      receiver is woken, as a signal interrupts a blocked syscall.)
+(* Bounded-wait budgets.  Fiber mode counts virtual ticks, so the bound is
+   deterministic; a live receiver polls within a handful of scheduling
+   steps, so 4096 ticks is orders of magnitude above any honest ack.
+   Domain mode backs off exponentially from busy-spins to capped 1 ms
+   sleeps — generous against OS descheduling (a ~100 ms total budget)
+   while still bounded against a genuinely hung receiver. *)
+let fiber_wait_ticks = 4096
+let domain_wait_rounds = 160
+
+let wait_fiber box ~before ~is_out =
+  let t0 = Sched.tick () in
+  let rec go () =
+    if Atomic.get box.acks > before then Delivered
+    else if is_out () then Delivered
+    else if Sched.is_crashed box.owner_tid then Dead_receiver
+    else if Sched.tick () - t0 > fiber_wait_ticks then No_ack
+    else begin
+      Sched.yield_now ();
+      go ()
+    end
+  in
+  go ()
+
+let wait_domain box ~before ~is_out =
+  let attempt = ref 0 and result = ref None in
+  while !result = None do
+    if
+      Atomic.get box.acks > before
+      || (not (Atomic.get box.pending))
+      || is_out ()
+    then result := Some Delivered
+    else if Sched.is_crashed box.owner_tid then result := Some Dead_receiver
+    else if !attempt >= domain_wait_rounds then result := Some No_ack
+    else begin
+      Sched.check_deadline ();
+      if !attempt < 64 then Domain.cpu_relax ()
+      else begin
+        (* 1 µs, 2 µs, 4 µs, … capped at 1 ms per round. *)
+        let exp = min (!attempt - 64) 10 in
+        Unix.sleepf (float_of_int (1 lsl exp) *. 1e-6)
+      end;
+      incr attempt
+    end
+  done;
+  Option.get !result
+
+(** [send box ~is_out] delivers a signal and reports the {!outcome}.
+    Mirrors Assumption 1 of the paper ("the signaled thread is suspended
+    before the signaling thread returns"):
+
+    - In fault-free fiber mode, posting the pending flag suffices: fibers
+      interleave only at yields, and every scheme places its poll and the
+      subsequent memory access inside one yield-free region, so the
+      receiver cannot touch memory again without first running its
+      handler.  (A sleeping receiver is woken, as a signal interrupts a
+      blocked syscall.)
+    - When faults are active, the posted flag may have been dropped or
+      delayed, so the shortcut is unsound (the scheme would reclaim under
+      a reader that never saw the signal); {!send} instead waits for a
+      verified acknowledgement, bounded in virtual ticks.
     - In domain mode, threads are truly parallel and the poll/access pair
-      is not atomic, so the sender waits until the receiver acknowledges
-      the delivery or is observed outside any critical section. *)
+      is not atomic, so the sender always waits — now with exponential
+      backoff and a bounded budget instead of forever. *)
 let send box ~is_out =
   Atomic.incr box.sent;
   let cost = Atomic.get send_cost in
   if cost > 0 then burn cost;
-  let before = Atomic.get box.acks in
-  Atomic.set box.pending true;
-  if Sched.fiber_mode () then begin
-    if box.owner_tid >= 0 then Sched.interrupt ~tid:box.owner_tid
+  if Sched.is_crashed box.owner_tid then Dead_receiver
+  else begin
+    let before = Atomic.get box.acks in
+    if Sched.fiber_mode () then begin
+      let posted =
+        if Fault.active () then begin
+          match Fault.on_send ~tid:box.owner_tid with
+          | Some `Drop -> false
+          | Some (`Delay n) ->
+              Atomic.set box.not_before (Sched.tick () + n);
+              Atomic.set box.pending true;
+              true
+          | None ->
+              Atomic.set box.not_before 0;
+              Atomic.set box.pending true;
+              true
+        end
+        else begin
+          Atomic.set box.not_before 0;
+          Atomic.set box.pending true;
+          true
+        end
+      in
+      if box.owner_tid >= 0 then Sched.interrupt ~tid:box.owner_tid;
+      if posted && not (Fault.active ()) then Delivered
+      else wait_fiber box ~before ~is_out
+    end
+    else begin
+      Atomic.set box.pending true;
+      wait_domain box ~before ~is_out
+    end
   end
-  else
-    Sched.wait_until (fun () ->
-        Atomic.get box.acks > before
-        || (not (Atomic.get box.pending))
-        || is_out ())
 
-(** [poll box ~handler] — receiver side.  If a delivery is pending, consume
-    it and run [handler] (which may raise, exactly like a [siglongjmp]ing
-    signal handler).  The acknowledgement is published {e before} the
-    handler runs so a raising handler still releases the sender. *)
+(** [poll box ~handler] — receiver side.  If a delivery is pending (and its
+    injected delay, if any, has elapsed), consume it and run [handler]
+    (which may raise, exactly like a [siglongjmp]ing signal handler).  The
+    acknowledgement is published {e before} the handler runs so a raising
+    handler still releases the sender. *)
 let poll box ~handler =
-  if Atomic.get box.pending then begin
+  if deliverable box then begin
     Atomic.set box.pending false;
     Atomic.incr box.acks;
     handler ()
@@ -105,7 +207,7 @@ let poll box ~handler =
     handler; used when leaving a critical section (a late signal aimed at a
     section that already ended must not kill the next one). *)
 let consume_quietly box =
-  if Atomic.get box.pending then begin
+  if deliverable box then begin
     Atomic.set box.pending false;
     Atomic.incr box.acks
   end

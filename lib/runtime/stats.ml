@@ -203,6 +203,8 @@ end
       [forced_advances];
     - signal machinery: [signals], [neutralizations], [rollbacks],
       [ejections], [restarts];
+    - graceful degradation under faults (DESIGN.md §8): [signal_timeouts],
+      [quarantines], [leaked];
     - hazard-pointer machinery: [scans], [scan_reclaimed];
     - the Traverse combinator: [traverses], [traverse_steps],
       [traverse_resumes], [validate_failures]. *)
@@ -217,6 +219,12 @@ type snapshot = {
   rollbacks : int;  (** critical sections rolled back to a checkpoint *)
   ejections : int;  (** readers ejected from the epoch (PEBR) *)
   restarts : int;  (** whole operations restarted from scratch *)
+  signal_timeouts : int;
+      (** bounded signal waits that expired without an ack ([No_ack]) *)
+  quarantines : int;  (** crashed participants removed from registries *)
+  leaked : int;
+      (** blocks parked on the leaked-but-bounded quarantine list: retired
+          under an epoch a crashed reader still pins, never reclaimed *)
   scans : int;  (** shield-table reclamation scans *)
   scan_reclaimed : int;  (** blocks reclaimed by those scans *)
   traverses : int;  (** Traverse combinator invocations *)
@@ -237,6 +245,9 @@ let empty =
     rollbacks = 0;
     ejections = 0;
     restarts = 0;
+    signal_timeouts = 0;
+    quarantines = 0;
+    leaked = 0;
     scans = 0;
     scan_reclaimed = 0;
     traverses = 0;
@@ -259,6 +270,9 @@ let add a b =
     rollbacks = a.rollbacks + b.rollbacks;
     ejections = a.ejections + b.ejections;
     restarts = a.restarts + b.restarts;
+    signal_timeouts = a.signal_timeouts + b.signal_timeouts;
+    quarantines = a.quarantines + b.quarantines;
+    leaked = a.leaked + b.leaked;
     scans = a.scans + b.scans;
     scan_reclaimed = a.scan_reclaimed + b.scan_reclaimed;
     traverses = a.traverses + b.traverses;
@@ -284,6 +298,9 @@ let to_fields ?(keep_zeros = false) s =
       ("rollbacks", s.rollbacks);
       ("ejections", s.ejections);
       ("restarts", s.restarts);
+      ("signal_timeouts", s.signal_timeouts);
+      ("quarantines", s.quarantines);
+      ("leaked", s.leaked);
       ("scans", s.scans);
       ("scan_reclaimed", s.scan_reclaimed);
       ("traverses", s.traverses);

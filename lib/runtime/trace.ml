@@ -31,6 +31,10 @@ type event =
   | Deadline_abort  (** arg = 0 *)
   | Context_switch  (** arg = resumed thread id *)
   | Wake  (** arg = wake latency in virtual ticks *)
+  | Fault_stall  (** arg = injected stall length in virtual ticks *)
+  | Fault_crash  (** arg = crashed thread id *)
+  | Signal_dropped  (** arg = receiver thread id *)
+  | Participant_quarantined  (** arg = quarantined thread id *)
 
 let event_code = function
   | Epoch_advance -> 0
@@ -43,6 +47,10 @@ let event_code = function
   | Deadline_abort -> 7
   | Context_switch -> 8
   | Wake -> 9
+  | Fault_stall -> 10
+  | Fault_crash -> 11
+  | Signal_dropped -> 12
+  | Participant_quarantined -> 13
 
 let event_of_code = function
   | 0 -> Epoch_advance
@@ -55,6 +63,10 @@ let event_of_code = function
   | 7 -> Deadline_abort
   | 8 -> Context_switch
   | 9 -> Wake
+  | 10 -> Fault_stall
+  | 11 -> Fault_crash
+  | 12 -> Signal_dropped
+  | 13 -> Participant_quarantined
   | _ -> invalid_arg "Trace.event_of_code"
 
 let event_name = function
@@ -68,6 +80,10 @@ let event_name = function
   | Deadline_abort -> "deadline-abort"
   | Context_switch -> "context-switch"
   | Wake -> "wake"
+  | Fault_stall -> "fault-stall"
+  | Fault_crash -> "fault-crash"
+  | Signal_dropped -> "signal-dropped"
+  | Participant_quarantined -> "quarantined"
 
 (* ------------------------------------------------------------------ *)
 (* Providers (installed by Sched at init)                              *)

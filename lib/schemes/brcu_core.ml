@@ -36,6 +36,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     epoch : int Atomic.t;  (* -1 = ⊥ *)
     status : int Atomic.t;
     box : Signal.box;
+    quarantined : bool Atomic.t;  (* confirmed crashed; no longer blocks *)
   }
 
   let global = Atomic.make 2
@@ -44,12 +45,22 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   (* TASKS (Algorithm 5 line 6): a lock-free list of epoch-tagged batches. *)
   let tasks : (int * task list) list Atomic.t = Atomic.make []
 
+  (* Quarantine parking lot (DESIGN.md §8): batches a crashed reader still
+     pins move here and are never run during the run — leaked, but bounded:
+     a crashed reader pins only epochs ≤ its announced one, so at most the
+     batches already queued at quarantine time land here.  [reset] (between
+     cells, when every fiber is gone) finally reclaims them. *)
+  let leaked : (int * task list) list Atomic.t = Atomic.make []
+
   (* Sharded: bumped on scheme hot paths (every rollback/signal/advance),
      read only at snapshot time. *)
   let advances = Stats.Counter.make ()
   let forced = Stats.Counter.make ()
   let rollbacks = Stats.Counter.make ()
   let signals = Stats.Counter.make ()
+  let signal_timeouts = Stats.Counter.make ()
+  let quarantines = Stats.Counter.make ()
+  let leaked_blocks = Stats.Counter.make ()
 
   type handle = {
     l : local;
@@ -68,7 +79,12 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
 
   let register () =
     let l =
-      { epoch = Atomic.make (-1); status = Atomic.make st_out; box = Signal.make () }
+      {
+        epoch = Atomic.make (-1);
+        status = Atomic.make st_out;
+        box = Signal.make ();
+        quarantined = Atomic.make false;
+      }
     in
     Signal.attach l.box;
     let idx = Registry.Participants.add participants l in
@@ -193,6 +209,82 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       expired;
     !n
 
+  (* Quarantine a participant whose box answered [Dead_receiver]: it is a
+     confirmed crash (never runs again, never dereferences again), so its
+     frozen epoch may stop blocking advancement.  Its record leaves the
+     registry, and every queued batch its announced epoch could still pin
+     (tag ≤ current global) moves to the [leaked] parking lot — leaked
+     because we must never run a task a dead-but-pinning reader protects,
+     bounded because no new batch can acquire a tag the dead reader pins.
+     Quarantining a LIVE reader would be a use-after-free: only the crash
+     registry's verdict, never a timeout, reaches this path. *)
+  let quarantine l =
+    if Atomic.compare_and_set l.quarantined false true then begin
+      Stats.Counter.incr quarantines;
+      Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
+      Registry.Participants.remove_where participants (fun l' -> l' == l);
+      let eg = Atomic.get global in
+      let rec take () =
+        let old = Atomic.get tasks in
+        if old = [] then []
+        else if Atomic.compare_and_set tasks old [] then old
+        else begin
+          Sched.yield ();
+          take ()
+        end
+      in
+      let all = take () in
+      let pinned, kept = List.partition (fun (e, _) -> e <= eg) all in
+      List.iter (fun b -> push_batch (fst b) (snd b)) kept;
+      if pinned <> [] then begin
+        let n = List.fold_left (fun a (_, b) -> a + List.length b) 0 pinned in
+        Stats.Counter.add leaked_blocks n;
+        let rec park () =
+          let old = Atomic.get leaked in
+          if not (Atomic.compare_and_set leaked old (pinned @ old)) then begin
+            Sched.yield ();
+            park ()
+          end
+        in
+        park ()
+      end
+    end
+
+  (* Capped, backed-off neutralization of one lagging reader.  [Delivered]
+     is the paper's fast path; [Dead_receiver] quarantines; [No_ack] after
+     [signal_retry_cap] attempts means a live reader that is not
+     acknowledging (stalled past every backoff) — reclamation must NOT
+     proceed past it, so the caller skips this round's advance. *)
+  let signal_retry_cap = 3
+
+  let neutralize l ~eg =
+    let is_out () =
+      let e = Atomic.get l.epoch in
+      e = -1 || e >= eg
+    in
+    let rec attempt n =
+      Stats.Counter.incr signals;
+      Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
+      match Signal.send l.box ~is_out with
+      | Signal.Delivered -> true
+      | Signal.Dead_receiver ->
+          quarantine l;
+          true
+      | Signal.No_ack ->
+          Stats.Counter.incr signal_timeouts;
+          if n >= signal_retry_cap then false
+          else begin
+            (* Exponential backoff between retries: 2^n unconditional
+               switch points, giving the receiver 2, 4, 8 … chances to
+               reach a poll before we bother it again. *)
+            for _ = 1 to 1 lsl n do
+              Sched.yield_now ()
+            done;
+            attempt (n + 1)
+          end
+    in
+    attempt 1
+
   (* Flush the local batch and try to advance the epoch, signaling lagging
      readers once the force threshold is reached (Algorithm 5 lines 25-34). *)
   let flush_and_advance h =
@@ -212,32 +304,38 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
         (* Give up for now (line 31). *)
         ()
       else begin
+        let unacked = ref false in
         if !violating <> [] then begin
           Stats.Counter.incr forced;
           List.iter
             (fun l ->
-              Stats.Counter.incr signals;
-              Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-              if l == h.l then
+              if l == h.l then begin
                 (* Self-neutralization: Retire may run inside a (masked)
                    critical section, making the reclaimer its own lagging
                    reader.  A real signal to self runs the handler inline;
                    so do we.  Inside a mask this records the rollback
                    request; in a bare critical section it aborts the rest
                    of this flush, exactly as a self-longjmp would. *)
+                Stats.Counter.incr signals;
+                Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
                 handler l ()
-              else
-                Signal.send l.box ~is_out:(fun () ->
-                    let e = Atomic.get l.epoch in
-                    e = -1 || e >= eg))
+              end
+              else if not (neutralize l ~eg) then unacked := true)
             !violating
         end;
         h.push_cnt <- 0;
-        if Atomic.compare_and_set global eg (eg + 1) then begin
-          Stats.Counter.incr advances;
-          Trace.emit Trace.Epoch_advance (eg + 1)
-        end;
-        ignore (run_expired (eg - 1) : int)
+        if !unacked then
+          (* A live reader never acked: advancing would reclaim under it.
+             Degrade gracefully — keep the batches queued and try again
+             after the next force_threshold flushes. *)
+          ()
+        else begin
+          if Atomic.compare_and_set global eg (eg + 1) then begin
+            Stats.Counter.incr advances;
+            Trace.emit Trace.Epoch_advance (eg + 1)
+          end;
+          ignore (run_expired (eg - 1) : int)
+        end
       end
     end
 
@@ -274,22 +372,28 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Registry.Participants.remove participants h.idx
 
   let reset () =
-    let rec drain () =
-      match Atomic.get tasks with
+    let rec drain cell =
+      match Atomic.get cell with
       | [] -> ()
       | old ->
-          if Atomic.compare_and_set tasks old [] then
+          if Atomic.compare_and_set cell old [] then
             List.iter (fun (_, b) -> List.iter (fun t -> t.run ()) b) old
-          else drain ()
+          else drain cell
     in
-    drain ();
+    drain tasks;
+    (* The run is over and every fiber (crashed ones included) is gone, so
+       the quarantine parking lot can finally be reclaimed. *)
+    drain leaked;
     Array.fill locals_by_tid 0 (Array.length locals_by_tid) None;
     Registry.Participants.reset participants;
     Atomic.set global 2;
     Stats.Counter.reset advances;
     Stats.Counter.reset forced;
     Stats.Counter.reset rollbacks;
-    Stats.Counter.reset signals
+    Stats.Counter.reset signals;
+    Stats.Counter.reset signal_timeouts;
+    Stats.Counter.reset quarantines;
+    Stats.Counter.reset leaked_blocks
 
   let stats () =
     {
@@ -299,5 +403,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       forced_advances = Stats.Counter.value forced;
       rollbacks = Stats.Counter.value rollbacks;
       signals = Stats.Counter.value signals;
+      signal_timeouts = Stats.Counter.value signal_timeouts;
+      quarantines = Stats.Counter.value quarantines;
+      leaked = Stats.Counter.value leaked_blocks;
     }
 end

@@ -23,6 +23,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = NoOverhead;
       starvation = Free;
       supports = Caps.yes_all;
+      (* One stalled/crashed reader pins its epoch forever; every batch
+         retired after that stays queued — Figure 1's unbounded growth. *)
+      bound = Caps.unbounded;
     }
 
   type handle = E.handle

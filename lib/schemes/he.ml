@@ -32,6 +32,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ValidationOnly;
       starvation = Fine;
       supports = Caps.supports_hp;
+      (* Hazard-era reservations pin only blocks whose lifetime overlaps
+         the reserved interval — per-thread batch plus reservations, like
+         HP with era-granularity slack. *)
+      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 3));
     }
 
   let era = Atomic.make 1

@@ -29,6 +29,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ProtectAndValidate;
       starvation = Fine;
       supports = Caps.supports_hp;
+      (* Classic HP bound: each thread holds at most one full batch plus
+         its shield-protected blocks; a crashed thread leaks exactly that
+         much and no more (shields pin single nodes, not epochs).  The
+         slack factor absorbs orphan adoption races. *)
+      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 2));
     }
 
   type handle = Core.handle

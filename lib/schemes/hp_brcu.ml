@@ -43,6 +43,15 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = NoOverhead;
       starvation = Fine;
       supports = Caps.supports_optimistic;
+      (* Paper §5: with G = max_local_tasks × force_threshold a thread
+         schedules at most G deferred tasks per epoch, giving at most
+         2GN + GN² unreclaimed in the BRCU stage plus H for the HP stage's
+         per-thread batches and shields. *)
+      bound =
+        (fun ~nthreads ->
+          let g = C.config.max_local_tasks * C.config.force_threshold in
+          let n = nthreads in
+          Some ((2 * g * n) + (g * n * n) + (n * (C.config.batch + 64))));
     }
 
   type handle = { b : B.handle; h : H.handle }

@@ -174,6 +174,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let reset () =
     Registry.Shields.reset shields;
     List.iter Retired.reclaim_entry (take_orphans ());
+    (* The deferred-retire scan trigger must not carry residue into the
+       next cell: a leftover count shifts when the first scans fire, which
+       would make re-runs of the same seed diverge. *)
+    Atomic.set orphan_count 0;
     List.iter (fun slot -> Atomic.set slot []) (Atomic.get published_patches);
     Atomic.set published_patches [];
     Stats.Counter.reset scans;

@@ -33,6 +33,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = NoOverhead;
       starvation = Fine;
       supports = Caps.supports_optimistic;
+      (* The RCU half is plain unbounded RCU (Table 2: not stall-robust);
+         a crashed reader pins the epoch list without limit. *)
+      bound = Caps.unbounded;
     }
 
   type handle = { e : E.handle; h : H.handle }

@@ -38,6 +38,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ProtectAndValidate;
       starvation = Fine;
       supports = Caps.supports_optimistic;
+      (* HP++ adds patched (unlink-protected) nodes on top of HP's batch:
+         a crashed reader can additionally pin the nodes its patches
+         cover, still O(batch) per thread. *)
+      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 3));
     }
 
   type handle = Core.handle

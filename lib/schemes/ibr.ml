@@ -31,6 +31,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ValidationOnly;
       starvation = Fine;
       supports = Caps.supports_hp;
+      (* Interval reservations: a stalled reader pins only blocks born
+         before its reserved upper era, so the leak per crash is bounded
+         by what was live at crash time — batch-plus-reservations slack,
+         like HE. *)
+      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 3));
     }
 
   let era = Atomic.make 1

@@ -45,6 +45,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = NoOverhead;
       starvation = Coarse;
       supports = Caps.supports_nbr;
+      (* Per thread: the pending snapshot plus the HP-core batch, each at
+         most [batch] before a neutralization round fires; a crashed
+         reader leaks at most that plus its shields. *)
+      bound =
+        (fun ~nthreads -> Some (nthreads * ((C.config.batch * 2) + 64) * 2));
     }
 
   type local = { status : int Atomic.t; box : Signal.box }
@@ -55,6 +60,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let neutralizations = Stats.Counter.make ()
   let signals = Stats.Counter.make ()
   let rollbacks = Stats.Counter.make ()
+  let signal_timeouts = Stats.Counter.make ()
+  let quarantines = Stats.Counter.make ()
 
   type handle = { l : local; idx : int; hp : Core.handle; mutable pending : Retired.t }
 
@@ -127,20 +134,42 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Alloc.check_access blk
 
   (* Neutralize everyone, then reclaim the pre-signal batch minus
-     shield-protected blocks (delegated to the HP core's scan). *)
+     shield-protected blocks (delegated to the HP core's scan).
+
+     Graceful degradation (DESIGN.md §8): a [Dead_receiver] is a confirmed
+     crash — it will never read again, so it leaves the registry
+     (quarantine) and stops being signaled.  A [No_ack] is a live reader
+     that did not acknowledge within the bounded wait: reclaiming past it
+     would be a use-after-free, so the whole round is skipped — the
+     pending batch stays queued and the next retirement retries.  NBR's
+     footprint degrades (that is what Table 2's robustness rows measure),
+     but never its safety. *)
   let neutralize_and_reclaim h =
     Stats.Counter.incr neutralizations;
     let mine = h.l in
+    let all_acked = ref true in
     Registry.Participants.iter participants (fun l ->
         if l != mine then begin
           Stats.Counter.incr signals;
           Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-          Signal.send l.box ~is_out:(fun () -> Atomic.get l.status = st_out)
+          match
+            Signal.send l.box ~is_out:(fun () -> Atomic.get l.status = st_out)
+          with
+          | Signal.Delivered -> ()
+          | Signal.Dead_receiver ->
+              Stats.Counter.incr quarantines;
+              Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
+              Registry.Participants.remove_where participants (fun l' -> l' == l)
+          | Signal.No_ack ->
+              Stats.Counter.incr signal_timeouts;
+              all_acked := false
         end);
-    (* Move the snapshot into the HP batch and scan. *)
-    Retired.iter h.pending (fun e -> Retired.push_entry h.hp.Core.batch e);
-    ignore (Retired.drain h.pending : Retired.entry list);
-    Core.scan h.hp
+    if !all_acked then begin
+      (* Move the snapshot into the HP batch and scan. *)
+      Retired.iter h.pending (fun e -> Retired.push_entry h.hp.Core.batch e);
+      ignore (Retired.drain h.pending : Retired.entry list);
+      Core.scan h.hp
+    end
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
@@ -162,7 +191,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Registry.Participants.reset participants;
     Stats.Counter.reset neutralizations;
     Stats.Counter.reset signals;
-    Stats.Counter.reset rollbacks
+    Stats.Counter.reset rollbacks;
+    Stats.Counter.reset signal_timeouts;
+    Stats.Counter.reset quarantines
 
   (* NBR's traversal: one read-phase critical section from entry to
      destination, protecting the final cursor before the phase ends. *)
@@ -184,5 +215,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       Stats.neutralizations = Stats.Counter.value neutralizations;
       signals = Stats.Counter.value signals;
       rollbacks = Stats.Counter.value rollbacks;
+      signal_timeouts = Stats.Counter.value signal_timeouts;
+      quarantines = Stats.Counter.value quarantines;
     }
 end

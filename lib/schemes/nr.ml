@@ -21,6 +21,7 @@ module Make () : Smr_intf.S = struct
       per_node = NoOverhead;
       starvation = Free;
       supports = Caps.yes_all;
+      bound = Caps.unbounded;
     }
 
   type handle = unit

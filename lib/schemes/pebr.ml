@@ -38,6 +38,13 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ProtectAndValidate;
       starvation = Coarse;
       supports = Caps.supports_optimistic;
+      (* Ejection keeps the epoch moving, so queued tasks expire within
+         two epochs once the patience threshold passes; a crashed reader
+         leaks its local batch and is quarantined. *)
+      bound =
+        (fun ~nthreads ->
+          Some
+            (nthreads * C.config.batch * (C.config.pebr_eject_threshold + 2) * 2));
     }
 
   exception Restart
@@ -49,6 +56,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let ejections = Stats.Counter.make ()
   let restarts = Stats.Counter.make ()
   let advances = Stats.Counter.make ()
+  let signal_timeouts = Stats.Counter.make ()
+  let quarantines = Stats.Counter.make ()
 
   type handle = {
     l : local;
@@ -174,16 +183,32 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     h.push_cnt <- h.push_cnt + 1;
     if !lagging <> [] && h.push_cnt < C.config.pebr_eject_threshold then ()
     else begin
+      (* Every ejection must be confirmed before the epoch may advance: a
+         dropped ejection with an advance on top would reclaim under a
+         still-pinned reader.  [Dead_receiver] quarantines the crashed
+         participant (its frozen pin stops blocking — it never reads
+         again); [No_ack] vetoes this round's advance. *)
+      let all_ejected = ref true in
       List.iter
         (fun l ->
           Stats.Counter.incr ejections;
           Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-          Signal.send l.box ~is_out:(fun () ->
-              let p = Atomic.get l.pin in
-              p = -1 || p >= e))
+          match
+            Signal.send l.box ~is_out:(fun () ->
+                let p = Atomic.get l.pin in
+                p = -1 || p >= e)
+          with
+          | Signal.Delivered -> ()
+          | Signal.Dead_receiver ->
+              Stats.Counter.incr quarantines;
+              Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
+              Registry.Participants.remove_where participants (fun l' -> l' == l)
+          | Signal.No_ack ->
+              Stats.Counter.incr signal_timeouts;
+              all_ejected := false)
         !lagging;
       h.push_cnt <- 0;
-      if not self_lags then
+      if (not self_lags) && !all_ejected then
         if Atomic.compare_and_set global e (e + 1) then begin
           Stats.Counter.incr advances;
           Trace.emit Trace.Epoch_advance (e + 1)
@@ -232,7 +257,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Atomic.set global 2;
     Stats.Counter.reset ejections;
     Stats.Counter.reset restarts;
-    Stats.Counter.reset advances
+    Stats.Counter.reset advances;
+    Stats.Counter.reset signal_timeouts;
+    Stats.Counter.reset quarantines
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
@@ -244,5 +271,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       advances = Stats.Counter.value advances;
       ejections = Stats.Counter.value ejections;
       restarts = Stats.Counter.value restarts;
+      signal_timeouts = Stats.Counter.value signal_timeouts;
+      quarantines = Stats.Counter.value quarantines;
     }
 end

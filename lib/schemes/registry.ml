@@ -148,6 +148,21 @@ module Participants = struct
       match Atomic.get t.slots.(i) with None -> () | Some l -> f l
     done
 
+  (** [remove_where t pred] clears every slot whose participant satisfies
+      [pred] — the teardown path for {e crashed} tids, which can never call
+      [unregister] themselves.  Unlike {!remove}, the index is {e not}
+      recycled: the dead thread's handle still holds it, and handing it to
+      a new participant would let a stale [remove idx] evict the wrong
+      record.  Burned slots are reclaimed by {!reset} between runs, so the
+      leak is bounded by the number of crashes per run. *)
+  let remove_where t pred =
+    let n = min (Atomic.get t.hwm) capacity in
+    for i = 0 to n - 1 do
+      match Atomic.get t.slots.(i) with
+      | Some l when pred l -> Atomic.set t.slots.(i) None
+      | _ -> ()
+    done
+
   let reset t =
     let n = min (Atomic.get t.hwm) capacity in
     for i = 0 to n - 1 do

@@ -38,6 +38,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       per_node = ValidationOnly;
       starvation = Coarse;
       supports = Caps.supports_optimistic;
+      (* VBR returns blocks to its type-stable pool immediately at retire;
+         versions, not quiescence, protect readers.  Unreclaimed blocks
+         are only the per-thread retire batches in flight. *)
+      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 2));
     }
 
   let era = Atomic.make 1

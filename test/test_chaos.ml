@@ -1,0 +1,74 @@
+(* Chaos-harness invariants on a reduced grid (the full matrix runs in
+   `smrbench chaos`; see check.sh).  Covers every fault class: a crashed
+   reader, dropped/delayed signals, and the fault-free baseline, across
+   one scheme per robustness mechanism — EBR (unbounded by design, the
+   discriminator), HP (ignores stalls), NBR + HP-BRCU (signal-based,
+   exercising quarantine), VBR (pool-based). *)
+
+module Chaos = Hpbrcu_workload.Chaos
+
+let schemes = [ "RCU"; "HP"; "NBR"; "HP-BRCU"; "VBR" ]
+let plans = [ Chaos.Baseline; Chaos.Crash_reader; Chaos.Signal_chaos ]
+
+(* One grid run shared by the tests below (the cells are deterministic, so
+   splitting it would only repeat work). *)
+let report =
+  lazy (Chaos.run_grid ~schemes ~plans ~seeds:[ 1 ] ~replay:true Chaos.quick)
+
+let test_invariants () =
+  let r = Lazy.force report in
+  Alcotest.(check int)
+    "every cell ran" (List.length schemes * List.length plans)
+    (List.length r.Chaos.cells);
+  List.iter
+    (fun (c, v) ->
+      Alcotest.failf "invariant violated: %s/%s seed=%d: %s" c.Chaos.scheme
+        c.Chaos.plan c.Chaos.seed v)
+    r.Chaos.violations
+
+let test_discriminator () =
+  let r = Lazy.force report in
+  match r.Chaos.ratios with
+  | [ (1, ratio, ok) ] ->
+      if not ok then
+        Alcotest.failf
+          "RCU crash/baseline peak ratio %.1fx — EBR collapse under a \
+           crashed reader should exceed 10x"
+          ratio
+  | l -> Alcotest.failf "expected one discriminator entry, got %d" (List.length l)
+
+let test_crash_quarantine () =
+  (* The crashed-reader plan must actually crash somebody, and the
+     signal-based schemes must quarantine the corpse rather than hang. *)
+  let r = Lazy.force report in
+  List.iter
+    (fun (c : Chaos.cell) ->
+      if c.plan = "crash-reader" then begin
+        Alcotest.(check int)
+          (c.scheme ^ ": one reader crashed") 1 c.crashes;
+        if c.scheme = "NBR" || c.scheme = "HP-BRCU" then
+          Alcotest.(check bool)
+            (c.scheme ^ ": crashed reader quarantined") true
+            (c.snap.Hpbrcu_runtime.Stats.quarantines >= 1)
+      end)
+    r.Chaos.cells
+
+let test_replay () =
+  let r = Lazy.force report in
+  List.iter
+    (fun (s, pl, seed, why) ->
+      Alcotest.failf "replay mismatch %s/%s seed=%d: %s" s pl seed why)
+    r.Chaos.replay_mismatches
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "invariants hold" `Quick test_invariants;
+          Alcotest.test_case "EBR collapse discriminator" `Quick
+            test_discriminator;
+          Alcotest.test_case "crashes quarantined" `Quick test_crash_quarantine;
+          Alcotest.test_case "traces replay byte-identically" `Quick test_replay;
+        ] );
+    ]

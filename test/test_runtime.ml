@@ -5,6 +5,17 @@ module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
 module Rng = Hpbrcu_runtime.Rng
 module Counter = Hpbrcu_runtime.Counter
+module Fault = Hpbrcu_runtime.Fault
+
+let outcome : Signal.outcome Alcotest.testable =
+  let pp ppf (o : Signal.outcome) =
+    Fmt.string ppf
+      (match o with
+      | Signal.Delivered -> "Delivered"
+      | Signal.Dead_receiver -> "Dead_receiver"
+      | Signal.No_ack -> "No_ack")
+  in
+  Alcotest.testable pp ( = )
 
 (* ---------------- Rng ---------------- *)
 
@@ -152,15 +163,18 @@ let test_signal_delivery_fiber () =
           Sched.yield ()
         done
       end
-      else Signal.send box ~is_out:(fun () -> false));
+      else
+        ignore (Signal.send box ~is_out:(fun () -> false) : Signal.outcome));
   Alcotest.(check int) "handler ran once" 1 !handled
 
 let test_signal_out_receiver_releases_sender () =
   let box = Signal.make () in
   (* Receiver never polls; sender must still return because is_out. *)
+  let o = ref Signal.No_ack in
   Sched.run (Sched.Fibers { seed = 8; switch_every = 1 }) ~nthreads:1 (fun _ ->
-      Signal.send box ~is_out:(fun () -> true));
-  Alcotest.(check int) "sent" 1 (Signal.sent box)
+      o := Signal.send box ~is_out:(fun () -> true));
+  Alcotest.(check int) "sent" 1 (Signal.sent box);
+  Alcotest.check outcome "out receiver = delivered" Signal.Delivered !o
 
 let test_signal_consume_quietly () =
   let box = Signal.make () in
@@ -172,7 +186,206 @@ let test_signal_consume_quietly () =
         (* After a quiet consume, no handler must fire. *)
         Signal.poll box ~handler:(fun () -> Alcotest.fail "handler after consume")
       end
-      else Signal.send box ~is_out:(fun () -> false))
+      else
+        ignore (Signal.send box ~is_out:(fun () -> false) : Signal.outcome))
+
+(* Double delivery before any poll coalesces on the single pending flag:
+   exactly one handler run, like POSIX signals of one signo. *)
+let test_signal_double_send_coalesces () =
+  let box = Signal.make () in
+  let handled = ref 0 in
+  Sched.run (Sched.Fibers { seed = 12; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        (* Stay away from polls until both sends have landed. *)
+        for _ = 1 to 40 do Sched.yield () done;
+        Signal.poll box ~handler:(fun () -> incr handled);
+        Signal.poll box ~handler:(fun () -> incr handled)
+      end
+      else begin
+        ignore (Signal.send box ~is_out:(fun () -> false) : Signal.outcome);
+        ignore (Signal.send box ~is_out:(fun () -> false) : Signal.outcome)
+      end);
+  Alcotest.(check int) "two sends recorded" 2 (Signal.sent box);
+  Alcotest.(check int) "one coalesced delivery" 1 !handled
+
+(* A crashed receiver can never ack: send must return Dead_receiver
+   instead of hanging (the ESRCH escape of DESIGN.md §8). *)
+let test_signal_dead_receiver () =
+  Fault.install
+    {
+      Fault.label = "crash-t0";
+      rules =
+        [
+          {
+            Fault.site = Fault.Yield;
+            tid = 0;
+            start = 5;
+            period = 0;
+            action = Fault.Crash;
+          };
+        ];
+    };
+  let box = Signal.make () in
+  let o = ref Signal.Delivered in
+  Sched.run (Sched.Fibers { seed = 13; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        (* Crashes at its 5th yield, well before any poll. *)
+        for _ = 1 to 1000 do
+          Sched.yield ()
+        done
+      end
+      else begin
+        (* Give the victim time to crash, then signal it. *)
+        for _ = 1 to 50 do
+          Sched.yield_now ()
+        done;
+        o := Signal.send box ~is_out:(fun () -> false)
+      end);
+  Fault.clear ();
+  Alcotest.(check int) "one crash" 1 (Sched.crashed_count ());
+  Alcotest.check outcome "dead receiver detected" Signal.Dead_receiver !o
+
+(* A live receiver that never polls (and is not out) must produce No_ack
+   within the bounded wait, not hang the sender forever. *)
+let test_signal_no_ack_bounded () =
+  (* Any active plan disables the fiber-mode post-and-return shortcut, so
+     the sender takes the verified bounded wait.  The rule below injects
+     nothing (start is far beyond the run's yield count). *)
+  Fault.install
+    {
+      Fault.label = "armed-but-idle";
+      rules =
+        [
+          {
+            Fault.site = Fault.Yield;
+            tid = -1;
+            start = max_int;
+            period = 0;
+            action = Fault.Stall 1;
+          };
+        ];
+    };
+  let box = Signal.make () in
+  let o = ref Signal.Delivered in
+  Sched.run (Sched.Fibers { seed = 14; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        (* Alive, in a critical section, and never polling: the worst
+           case short of a crash. *)
+        for _ = 1 to 20_000 do
+          Sched.yield ()
+        done
+      end
+      else o := Signal.send box ~is_out:(fun () -> false));
+  Fault.clear ();
+  Alcotest.check outcome "bounded wait expired" Signal.No_ack !o
+
+(* Dropped delivery: the pending flag is never posted, the receiver's
+   handler never runs, and the sender learns it got no ack. *)
+let test_signal_drop_fault () =
+  Fault.install
+    {
+      Fault.label = "drop-all";
+      rules =
+        [
+          {
+            Fault.site = Fault.Signal_send;
+            tid = -1;
+            start = 0;
+            period = 1;
+            action = Fault.Drop_signal;
+          };
+        ];
+    };
+  let box = Signal.make () in
+  let handled = ref 0 in
+  let o = ref Signal.Delivered in
+  Sched.run (Sched.Fibers { seed = 15; switch_every = 1 }) ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Signal.attach box;
+        for _ = 1 to 10_000 do
+          Signal.poll box ~handler:(fun () -> incr handled);
+          Sched.yield ()
+        done
+      end
+      else o := Signal.send box ~is_out:(fun () -> false));
+  let injected = Fault.injected () in
+  Fault.clear ();
+  Alcotest.(check int) "drop recorded" 1 injected.Fault.drops;
+  Alcotest.(check int) "handler never ran" 0 !handled;
+  Alcotest.check outcome "sender saw no ack" Signal.No_ack !o
+
+(* ---------------- faults ---------------- *)
+
+(* An injected crash freezes the fiber: code after the crash point never
+   runs, the rest of the run completes, and the crash registry knows. *)
+let test_fault_crash_freezes_fiber () =
+  Fault.install
+    {
+      Fault.label = "crash-t1";
+      rules =
+        [
+          {
+            Fault.site = Fault.Yield;
+            tid = 1;
+            start = 10;
+            period = 0;
+            action = Fault.Crash;
+          };
+        ];
+    };
+  let progressed = Array.make 3 0 in
+  let after_crash = ref false in
+  Sched.run (Sched.Fibers { seed = 21; switch_every = 1 }) ~nthreads:3 (fun tid ->
+      for _ = 1 to 100 do
+        progressed.(tid) <- progressed.(tid) + 1;
+        Sched.yield ()
+      done;
+      if tid = 1 then after_crash := true);
+  let injected = Fault.injected () in
+  Fault.clear ();
+  Alcotest.(check int) "one crash injected" 1 injected.Fault.crashes;
+  Alcotest.(check bool) "victim is registered crashed" true (Sched.is_crashed 1);
+  Alcotest.(check bool) "victim stopped early" true (progressed.(1) < 100);
+  Alcotest.(check bool) "victim never resumed" false !after_crash;
+  Alcotest.(check int) "survivor 0 finished" 100 progressed.(0);
+  Alcotest.(check int) "survivor 2 finished" 100 progressed.(2)
+
+(* Injected stalls follow the rule's deterministic schedule and are
+   reproducible: same seed, same plan, same progress log. *)
+let test_fault_stall_deterministic () =
+  let run () =
+    Fault.install
+      {
+        Fault.label = "stall-storm";
+        rules =
+          [
+            {
+              Fault.site = Fault.Yield;
+              tid = -1;
+              start = 13;
+              period = 29;
+              action = Fault.Stall 97;
+            };
+          ];
+      };
+    let log = ref [] in
+    Sched.run (Sched.Fibers { seed = 22; switch_every = 2 }) ~nthreads:4
+      (fun tid ->
+        for _ = 1 to 50 do
+          log := (tid, Sched.tick ()) :: !log;
+          Sched.yield ()
+        done);
+    let injected = Fault.injected () in
+    Fault.clear ();
+    (!log, injected.Fault.stalls)
+  in
+  let l1, s1 = run () and l2, s2 = run () in
+  Alcotest.(check bool) "stalls were injected" true (s1 > 0);
+  Alcotest.(check int) "same stall count" s1 s2;
+  Alcotest.(check (list (pair int int))) "same progress log" l1 l2
 
 (* ---------------- deadline ---------------- *)
 
@@ -189,6 +402,28 @@ let test_deadline_aborts_spin () =
   in
   Sched.clear_deadline ();
   Alcotest.(check bool) "deadline fired" true aborted
+
+(* Satellite: fiber-mode deadlines are virtual-tick-based, so the same
+   seed aborts at exactly the same virtual tick on every run. *)
+let test_tick_deadline_deterministic () =
+  let abort_tick () =
+    Sched.set_tick_deadline 5_000;
+    let t = ref 0 in
+    (try
+       Sched.run (Sched.Fibers { seed = 23; switch_every = 2 }) ~nthreads:4
+         (fun _ ->
+           while true do
+             t := Sched.tick ();
+             Sched.yield ()
+           done)
+     with Sched.Deadline -> ());
+    Sched.clear_tick_deadline ();
+    !t
+  in
+  let a = abort_tick () and b = abort_tick () in
+  Alcotest.(check bool) "aborted near the armed tick" true
+    (a >= 4_990 && a <= 5_000);
+  Alcotest.(check int) "same abort tick on replay" a b
 
 (* ---------------- counters ---------------- *)
 
@@ -245,8 +480,25 @@ let () =
           Alcotest.test_case "delivery" `Quick test_signal_delivery_fiber;
           Alcotest.test_case "out-release" `Quick test_signal_out_receiver_releases_sender;
           Alcotest.test_case "consume-quietly" `Quick test_signal_consume_quietly;
+          Alcotest.test_case "double-send-coalesces" `Quick
+            test_signal_double_send_coalesces;
+          Alcotest.test_case "dead-receiver" `Quick test_signal_dead_receiver;
+          Alcotest.test_case "no-ack-bounded" `Quick test_signal_no_ack_bounded;
+          Alcotest.test_case "drop-fault" `Quick test_signal_drop_fault;
         ] );
-      ("deadline", [ Alcotest.test_case "aborts-spin" `Quick test_deadline_aborts_spin ]);
+      ( "faults",
+        [
+          Alcotest.test_case "crash-freezes-fiber" `Quick
+            test_fault_crash_freezes_fiber;
+          Alcotest.test_case "stall-deterministic" `Quick
+            test_fault_stall_deterministic;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "aborts-spin" `Quick test_deadline_aborts_spin;
+          Alcotest.test_case "tick-deterministic" `Quick
+            test_tick_deadline_deterministic;
+        ] );
       ( "counter",
         [
           Alcotest.test_case "peak" `Quick test_counter_peak;
