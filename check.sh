@@ -12,6 +12,12 @@ dune runtest
 # missing EBR collapse, replay mismatch).
 dune exec bin/smrbench.exe -- chaos --seeds 3 --quick
 
+# Steady-state allocation gate (DESIGN.md §9): every gated reclamation
+# kernel (retire, scan, pin/unpin, failed advance) must stay at zero
+# minor-heap words per cycle (threshold 0.05 words/op absorbs probe
+# calibration noise).
+dune exec bin/smrbench.exe -- bench-reclaim --gate --quick --out /tmp/BENCH_reclaim.ci.json
+
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

@@ -1,0 +1,106 @@
+(** Reusable scratch set of ints for reclamation scans.
+
+    A scan snapshots every protected id (shield contents, reserved eras,
+    published patches) into one of these, sorts it in place, and then
+    binary-searches it once per retired block — the allocation-free
+    replacement for the per-scan [Hashtbl] (DESIGN.md §9).  Ids must be
+    non-negative (block ids and eras are).  The backing arrays grow
+    geometrically and are never shrunk, so a handle that keeps its scratch
+    reaches a steady state where [clear]/[add]/[sort]/[mem] allocate
+    nothing.
+
+    [sort] is an LSD radix sort (8-bit digits) ping-ponging between the id
+    array and a same-sized scratch buffer: all passes are sequential
+    sweeps, which matters — a comparison sort's scattered accesses made
+    16k-element scans several times slower than the Hashtbl they replace,
+    while radix is ~15× faster than in-place heapsort at that size.
+
+    Helpers are deliberately module-level and tail-recursive: an inner
+    closure or [ref] loop counter would put words on the minor heap in the
+    middle of the hot path this module exists to keep silent. *)
+
+type t = {
+  mutable ids : int array;
+  mutable n : int;
+  mutable scratch : int array;  (* radix ping-pong buffer, sized lazily *)
+  counts : int array;  (* 256 digit counters, reused across passes *)
+}
+
+let create () =
+  { ids = Array.make 64 0; n = 0; scratch = [||]; counts = Array.make 256 0 }
+
+let clear t = t.n <- 0
+let length t = t.n
+
+let add t id =
+  if t.n = Array.length t.ids then begin
+    let a = Array.make (2 * t.n) 0 in
+    Array.blit t.ids 0 a 0 t.n;
+    t.ids <- a
+  end;
+  t.ids.(t.n) <- id;
+  t.n <- t.n + 1
+
+let rec max_of a n i m =
+  if i >= n then m else max_of a n (i + 1) (if a.(i) > m then a.(i) else m)
+
+(* Turn digit counts into exclusive prefix sums (scatter start offsets). *)
+let rec prefix counts d acc =
+  if d < 256 then begin
+    let c = counts.(d) in
+    counts.(d) <- acc;
+    prefix counts (d + 1) (acc + c)
+  end
+
+(* One counting pass per 8-bit digit, least significant first; returns
+   whichever of [src]/[dst] holds the fully sorted data. *)
+let rec radix_go counts src dst n shift maxv =
+  if maxv lsr shift = 0 then src
+  else begin
+    Array.fill counts 0 256 0;
+    for i = 0 to n - 1 do
+      let d = (src.(i) lsr shift) land 0xff in
+      counts.(d) <- counts.(d) + 1
+    done;
+    prefix counts 0 0;
+    for i = 0 to n - 1 do
+      let v = src.(i) in
+      let d = (v lsr shift) land 0xff in
+      dst.(counts.(d)) <- v;
+      counts.(d) <- counts.(d) + 1
+    done;
+    radix_go counts dst src n (shift + 8) maxv
+  end
+
+(** Sort the live prefix ascending.  No allocation once [scratch] has
+    caught up with [ids] (both grow geometrically and stay). *)
+let sort t =
+  let n = t.n in
+  if n > 1 then begin
+    if Array.length t.scratch < Array.length t.ids then
+      t.scratch <- Array.make (Array.length t.ids) 0;
+    let m = max_of t.ids n 0 0 in
+    let r = radix_go t.counts t.ids t.scratch n 0 m in
+    if r != t.ids then Array.blit r 0 t.ids 0 n
+  end
+
+(* First index in [lo, hi) whose element is >= [id]. *)
+let rec lower_bound a id lo hi =
+  if lo < hi then begin
+    let mid = (lo + hi) lsr 1 in
+    if a.(mid) < id then lower_bound a id (mid + 1) hi
+    else lower_bound a id lo mid
+  end
+  else lo
+
+(** Membership by binary search; requires a preceding {!sort}. *)
+let mem t id =
+  let i = lower_bound t.ids id 0 t.n in
+  i < t.n && t.ids.(i) = id
+
+(** Is any element within [lo, hi] (inclusive)?  Requires a preceding
+    {!sort}.  This is HE's era-intersection test: a reservation hits a
+    retired block iff some reserved era falls inside its lifetime. *)
+let mem_range t lo hi =
+  let i = lower_bound t.ids lo 0 t.n in
+  i < t.n && t.ids.(i) <= hi

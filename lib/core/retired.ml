@@ -2,52 +2,152 @@
 
     Every scheme accumulates retirements thread-locally and acts (scans
     shields, advances epochs, signals) once a batch fills — the paper's
-    per-128-retirement trigger.  This module is that shared buffer. *)
+    per-128-retirement trigger.  This module is that shared buffer.
+
+    Representation (DESIGN.md §9): a growable array of {e mutable} entry
+    records.  [push] overwrites a preallocated slot, and [reclaim_where]
+    compacts survivors in place by swapping records — no [List.partition],
+    no recount, and zero minor-heap words in steady state.  Records are
+    reused across cells; only [drain]/[drain_array] (the cold
+    orphan-handoff path) copy entries out, because the slots behind them
+    are immediately recycled.
+
+    The compaction visits entries in push (FIFO) order — a deterministic
+    order, so traced replays of the same seed still agree byte-for-byte
+    (the list representation reclaimed in LIFO order; either is fine, what
+    matters is that the order is a pure function of the push sequence). *)
 
 module Block = Hpbrcu_alloc.Block
 
 type entry = {
-  blk : Block.t;
-  free : (unit -> unit) option;  (** post-reclaim finalizer (pooling) *)
-  stamp : int;  (** scheme-specific tag: epoch/era at retirement *)
-  patches : Block.t list;
+  mutable blk : Block.t;
+  mutable free : (unit -> unit) option;
+      (** post-reclaim finalizer (pooling) *)
+  mutable stamp : int;  (** scheme-specific tag: epoch/era at retirement *)
+  mutable patches : Block.t list;
       (** blocks protected on the retirer's behalf while this entry is
           pending (HP++'s protect-on-retire) *)
 }
 
-type t = { mutable items : entry list; mutable count : int }
+(* Placeholder occupying empty slots; never retired or reclaimed. *)
+let dummy_block = Block.make ()
 
-let create () = { items = []; count = 0 }
+let fresh_slot () = { blk = dummy_block; free = None; stamp = 0; patches = [] }
+
+type t = {
+  mutable slots : entry array;  (* slots.(0 .. count-1) are live *)
+  mutable count : int;
+  mutable npatches : int;  (* total patch-list length over live entries *)
+}
+
+let create () =
+  { slots = Array.init 8 (fun _ -> fresh_slot ()); count = 0; npatches = 0 }
 
 let length t = t.count
 let is_empty t = t.count = 0
 
+(** Number of patch blocks held by pending entries; scans use it to skip
+    the patch pass entirely when nothing is patched. *)
+let npatches t = t.npatches
+
+(** Direct slot access for allocation-free scan loops; [i < length t]. *)
+let get t i = t.slots.(i)
+
+let grow t =
+  let old = t.slots in
+  let n = Array.length old in
+  t.slots <- Array.init (2 * n) (fun i -> if i < n then old.(i) else fresh_slot ())
+
 let push t ?free ?(stamp = 0) ?(patches = []) blk =
-  t.items <- { blk; free; stamp; patches } :: t.items;
+  if t.count = Array.length t.slots then grow t;
+  let e = t.slots.(t.count) in
+  e.blk <- blk;
+  e.free <- free;
+  e.stamp <- stamp;
+  e.patches <- patches;
+  (match patches with
+  | [] -> ()
+  | ps -> t.npatches <- t.npatches + List.length ps);
   t.count <- t.count + 1
 
-let push_entry t e =
-  t.items <- e :: t.items;
-  t.count <- t.count + 1
+let push_entry t e = push t ?free:e.free ~stamp:e.stamp ~patches:e.patches e.blk
 
-(** Remove and return all entries. *)
-let drain t =
-  let items = t.items in
-  t.items <- [];
+let clear_slot e =
+  e.blk <- dummy_block;
+  e.free <- None;
+  e.stamp <- 0;
+  e.patches <- []
+
+(** Remove all entries as fresh records (the slots behind them are reused,
+    so aliasing live slots out of the batch would be unsound). *)
+let drain_array t =
+  let n = t.count in
+  let a =
+    Array.init n (fun i ->
+        let e = t.slots.(i) in
+        { blk = e.blk; free = e.free; stamp = e.stamp; patches = e.patches })
+  in
+  for i = 0 to n - 1 do
+    clear_slot t.slots.(i)
+  done;
   t.count <- 0;
-  items
+  t.npatches <- 0;
+  a
+
+(** Remove and return all entries (copies; see {!drain_array}). *)
+let drain t = Array.to_list (drain_array t)
 
 let reclaim_entry e =
   Hpbrcu_alloc.Alloc.reclaim e.blk;
   match e.free with None -> () | Some f -> f ()
 
-(** Keep the entries failing [pred]; reclaim those satisfying it.  Returns
-    the number reclaimed. *)
-let reclaim_where t pred =
-  let kept, freed = List.partition (fun e -> not (pred e)) t.items in
-  t.items <- kept;
-  t.count <- List.length kept;
-  List.iter reclaim_entry freed;
-  List.length freed
+(* Tail-recursive compaction.  Invariant: slots[0, kept) hold survivors,
+   slots[kept, i) hold cleared records, so reclaiming clears in place and
+   keeping swaps the survivor down past the cleared run — the array's
+   record population is conserved either way.  Plain loop state (no refs,
+   no closures beyond the caller's [pred]). *)
+let rec compact t pred i kept freed =
+  if i >= t.count then begin
+    t.count <- kept;
+    freed
+  end
+  else begin
+    let e = t.slots.(i) in
+    if pred e then begin
+      (match e.patches with
+      | [] -> ()
+      | ps -> t.npatches <- t.npatches - List.length ps);
+      reclaim_entry e;
+      clear_slot e;
+      compact t pred (i + 1) kept (freed + 1)
+    end
+    else begin
+      if kept < i then begin
+        let k = t.slots.(kept) in
+        t.slots.(kept) <- e;
+        t.slots.(i) <- k
+      end;
+      compact t pred (i + 1) (kept + 1) freed
+    end
+  end
 
-let iter t f = List.iter f t.items
+(** Reclaim the entries satisfying [pred], keeping the rest (in order).
+    Returns the number reclaimed.  Callers on hot paths keep [pred] cached
+    in their handle so the scan itself allocates nothing. *)
+let reclaim_where t pred = compact t pred 0 0 0
+
+(** Move every entry of [t] into [into], emptying [t].  Entry records are
+    copied field-wise into [into]'s slots; nothing is shared. *)
+let transfer t ~into =
+  for i = 0 to t.count - 1 do
+    let e = t.slots.(i) in
+    push_entry into e;
+    clear_slot e
+  done;
+  t.count <- 0;
+  t.npatches <- 0
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.slots.(i)
+  done

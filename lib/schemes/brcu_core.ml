@@ -13,12 +13,23 @@
 
     The resulting bound (paper §5): a thread schedules at most
     [G = max_local_tasks × force_threshold] deferred tasks per epoch, giving
-    at most [2GN + GN² + H] unreclaimed blocks. *)
+    at most [2GN + GN² + H] unreclaimed blocks.
+
+    Hot-path discipline (DESIGN.md §9): the TASKS list is a
+    {!Hpbrcu_core.Segstack} whose segment stamps are the epoch tags (so
+    expiry splits whole segments without touching items), local batches are
+    reusable {!Hpbrcu_core.Vec}s, and give-up flushes consult a cached
+    lagging-reader witness before walking the registry.  The witness check
+    excludes quarantined readers — a crashed reader leaves the registry
+    while its announcement stays frozen, and a cache that kept citing it
+    would veto advancement forever. *)
 
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
+module Vec = Hpbrcu_core.Vec
+module Segstack = Hpbrcu_core.Segstack
 
 exception Rollback
 (** Unwinds to the nearest [crit]; the scheme's [siglongjmp]. *)
@@ -31,6 +42,8 @@ let st_rbreq = 3
 
 type task = { run : unit -> unit; stamp : int }
 
+let dummy_task = { run = ignore; stamp = 0 }
+
 module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   type local = {
     epoch : int Atomic.t;  (* -1 = ⊥ *)
@@ -42,15 +55,16 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let global = Atomic.make 2
   let participants : local Registry.Participants.t = Registry.Participants.create ()
 
-  (* TASKS (Algorithm 5 line 6): a lock-free list of epoch-tagged batches. *)
-  let tasks : (int * task list) list Atomic.t = Atomic.make []
+  (* TASKS (Algorithm 5 line 6): a lock-free stack of epoch-stamped
+     segments; the stamp is the batch's epoch tag. *)
+  let tasks : task Segstack.t = Segstack.create ()
 
   (* Quarantine parking lot (DESIGN.md §8): batches a crashed reader still
      pins move here and are never run during the run — leaked, but bounded:
      a crashed reader pins only epochs ≤ its announced one, so at most the
      batches already queued at quarantine time land here.  [reset] (between
      cells, when every fiber is gone) finally reclaims them. *)
-  let leaked : (int * task list) list Atomic.t = Atomic.make []
+  let leaked : task Segstack.t = Segstack.create ()
 
   (* Sharded: bumped on scheme hot paths (every rollback/signal/advance),
      read only at snapshot time. *)
@@ -62,11 +76,18 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let quarantines = Stats.Counter.make ()
   let leaked_blocks = Stats.Counter.make ()
 
+  (* Cached lagging-reader witness (same protocol as {!Epoch_core}): a
+     failed give-up walk records the epoch and one violating reader; while
+     the global is unchanged and that reader is still announced below it —
+     and NOT quarantined — later give-up walks are skipped.  Re-validated
+     on every check, so it can only err towards the full walk. *)
+  let lag_epoch = Atomic.make (-1)
+  let lag_local : local option Atomic.t = Atomic.make None
+
   type handle = {
     l : local;
     idx : int;
-    mutable ltasks : task list;
-    mutable ln : int;
+    ltasks : task Vec.t;
     mutable push_cnt : int;  (* Algorithm 5 line 13 *)
   }
 
@@ -91,7 +112,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     let tid = Sched.self () in
     if tid >= 0 && tid < Array.length locals_by_tid then
       locals_by_tid.(tid) <- Some l;
-    { l; idx; ltasks = []; ln = 0; push_cnt = 0 }
+    { l; idx; ltasks = Vec.create dummy_task; push_cnt = 0 }
 
   let epoch () = Atomic.get global
 
@@ -177,37 +198,17 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let mask h body =
     if Atomic.get h.l.status <> st_incs then body () else mask_in_cs h body
 
-  let rec push_batch eg batch =
-    let old = Atomic.get tasks in
-    if not (Atomic.compare_and_set tasks old ((eg, batch) :: old)) then begin
-      Sched.yield ();
-      push_batch eg batch
-    end
-
-  (* Pop every batch tagged ≤ limit and run it (Algorithm 5 line 34). *)
+  (* Pop every segment stamped ≤ limit and run it (Algorithm 5 line 34).
+     Surviving segments go back with one CAS before any task runs. *)
   let run_expired limit =
-    let rec take () =
-      let old = Atomic.get tasks in
-      if old = [] then []
-      else if Atomic.compare_and_set tasks old [] then old
-      else begin
-        Sched.yield ();
-        take ()
-      end
-    in
-    let all = take () in
-    let expired, kept = List.partition (fun (e, _) -> e <= limit) all in
-    List.iter (fun b -> push_batch (fst b) (snd b)) kept;
-    let n = ref 0 in
-    List.iter
-      (fun (_, batch) ->
-        List.iter
-          (fun t ->
-            t.run ();
-            incr n)
-          batch)
-      expired;
-    !n
+    match Segstack.take_all tasks with
+    | None -> 0
+    | Some _ as chain ->
+        let expired, kept = Segstack.split chain (fun e -> e <= limit) in
+        Segstack.push_chain tasks kept;
+        let n = Segstack.total expired in
+        Segstack.iter expired (fun t -> t.run ());
+        n
 
   (* Quarantine a participant whose box answered [Dead_receiver]: it is a
      confirmed crash (never runs again, never dereferences again), so its
@@ -224,30 +225,16 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
       Registry.Participants.remove_where participants (fun l' -> l' == l);
       let eg = Atomic.get global in
-      let rec take () =
-        let old = Atomic.get tasks in
-        if old = [] then []
-        else if Atomic.compare_and_set tasks old [] then old
-        else begin
-          Sched.yield ();
-          take ()
-        end
-      in
-      let all = take () in
-      let pinned, kept = List.partition (fun (e, _) -> e <= eg) all in
-      List.iter (fun b -> push_batch (fst b) (snd b)) kept;
-      if pinned <> [] then begin
-        let n = List.fold_left (fun a (_, b) -> a + List.length b) 0 pinned in
-        Stats.Counter.add leaked_blocks n;
-        let rec park () =
-          let old = Atomic.get leaked in
-          if not (Atomic.compare_and_set leaked old (pinned @ old)) then begin
-            Sched.yield ();
-            park ()
-          end
-        in
-        park ()
-      end
+      (match Segstack.take_all tasks with
+      | None -> ()
+      | Some _ as chain ->
+          let pinned, kept = Segstack.split chain (fun e -> e <= eg) in
+          Segstack.push_chain tasks kept;
+          (match pinned with
+          | None -> ()
+          | Some _ ->
+              Stats.Counter.add leaked_blocks (Segstack.total pinned);
+              Segstack.push_chain leaked pinned))
     end
 
   (* Capped, backed-off neutralization of one lagging reader.  [Delivered]
@@ -285,80 +272,111 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     in
     attempt 1
 
+  (* Does the cached witness still show a violating reader at global [eg]?
+     Quarantined witnesses never count: their announcement is frozen, and
+     the quarantine path already stopped them from blocking advancement. *)
+  let cached_violating eg =
+    Atomic.get lag_epoch = eg
+    && (match Atomic.get lag_local with
+       | None -> false
+       | Some l ->
+           (not (Atomic.get l.quarantined))
+           &&
+           let e = Atomic.get l.epoch in
+           e <> -1 && e < eg)
+
+  let cache_witness eg l =
+    Atomic.set lag_local (Some l);
+    Atomic.set lag_epoch eg
+
   (* Flush the local batch and try to advance the epoch, signaling lagging
      readers once the force threshold is reached (Algorithm 5 lines 25-34). *)
   let flush_and_advance h =
-    if h.ltasks <> [] then begin
+    if not (Vec.is_empty h.ltasks) then begin
       let eg = Atomic.get global in
       (* SC fences around the load (line 25) are implied by SC atomics. *)
-      push_batch eg h.ltasks;
-      h.ltasks <- [];
-      h.ln <- 0;
+      Segstack.push_arr tasks ~stamp:eg (Vec.to_array h.ltasks);
+      Vec.clear h.ltasks;
       h.push_cnt <- h.push_cnt + 1;
-      (* Find violating readers: announced epoch ≠ ⊥ and < Eg. *)
-      let violating = ref [] in
-      Registry.Participants.iter participants (fun l ->
-          let e = Atomic.get l.epoch in
-          if e <> -1 && e < eg then violating := l :: !violating);
-      if !violating <> [] && h.push_cnt < C.config.force_threshold then
-        (* Give up for now (line 31). *)
+      if h.push_cnt < C.config.force_threshold && cached_violating eg then
+        (* Give up for now (line 31): the cached reader still lags and we
+           are below the force threshold, so the walk's outcome is known. *)
         ()
       else begin
-        let unacked = ref false in
-        if !violating <> [] then begin
-          Stats.Counter.incr forced;
-          List.iter
-            (fun l ->
-              if l == h.l then begin
-                (* Self-neutralization: Retire may run inside a (masked)
-                   critical section, making the reclaimer its own lagging
-                   reader.  A real signal to self runs the handler inline;
-                   so do we.  Inside a mask this records the rollback
-                   request; in a bare critical section it aborts the rest
-                   of this flush, exactly as a self-longjmp would. *)
-                Stats.Counter.incr signals;
-                Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-                handler l ()
-              end
-              else if not (neutralize l ~eg) then unacked := true)
-            !violating
-        end;
-        h.push_cnt <- 0;
-        if !unacked then
-          (* A live reader never acked: advancing would reclaim under it.
-             Degrade gracefully — keep the batches queued and try again
-             after the next force_threshold flushes. *)
+        (* Find violating readers: announced epoch ≠ ⊥ and < Eg. *)
+        let violating = ref [] in
+        Registry.Participants.iter participants (fun l ->
+            let e = Atomic.get l.epoch in
+            if e <> -1 && e < eg then violating := l :: !violating);
+        (match !violating with
+        | [] -> ()
+        | l :: _ -> cache_witness eg l);
+        if !violating <> [] && h.push_cnt < C.config.force_threshold then
+          (* Give up for now (line 31). *)
           ()
         else begin
-          if Atomic.compare_and_set global eg (eg + 1) then begin
-            Stats.Counter.incr advances;
-            Trace.emit Trace.Epoch_advance (eg + 1)
+          let unacked = ref false in
+          if !violating <> [] then begin
+            Stats.Counter.incr forced;
+            List.iter
+              (fun l ->
+                if l == h.l then begin
+                  (* Self-neutralization: Retire may run inside a (masked)
+                     critical section, making the reclaimer its own lagging
+                     reader.  A real signal to self runs the handler inline;
+                     so do we.  Inside a mask this records the rollback
+                     request; in a bare critical section it aborts the rest
+                     of this flush, exactly as a self-longjmp would. *)
+                  Stats.Counter.incr signals;
+                  Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
+                  handler l ()
+                end
+                else if not (neutralize l ~eg) then unacked := true)
+              !violating
           end;
-          ignore (run_expired (eg - 1) : int)
+          h.push_cnt <- 0;
+          if !unacked then
+            (* A live reader never acked: advancing would reclaim under it.
+               Degrade gracefully — keep the batches queued and try again
+               after the next force_threshold flushes. *)
+            ()
+          else begin
+            if Atomic.compare_and_set global eg (eg + 1) then begin
+              Stats.Counter.incr advances;
+              Trace.emit Trace.Epoch_advance (eg + 1)
+            end;
+            ignore (run_expired (eg - 1) : int)
+          end
         end
       end
     end
 
   (** Defer (Algorithm 5 line 22). *)
   let defer h run =
-    h.ltasks <- { run; stamp = 0 } :: h.ltasks;
-    h.ln <- h.ln + 1;
-    if h.ln >= C.config.max_local_tasks then flush_and_advance h
+    Vec.push h.ltasks { run; stamp = 0 };
+    if Vec.length h.ltasks >= C.config.max_local_tasks then flush_and_advance h
 
   let flush h =
     flush_and_advance h;
     (* One more advance attempt so freshly-pushed batches can expire. *)
     let eg = Atomic.get global in
-    let lagging = ref false in
-    Registry.Participants.iter participants (fun l ->
-        let e = Atomic.get l.epoch in
-        if e <> -1 && e < eg then lagging := true);
-    if not !lagging then begin
-      if Atomic.compare_and_set global eg (eg + 1) then begin
-        Stats.Counter.incr advances;
-        Trace.emit Trace.Epoch_advance (eg + 1)
-      end;
-      ignore (run_expired (eg - 1) : int)
+    if cached_violating eg then ()
+    else begin
+      let lagging = ref None in
+      Registry.Participants.iter participants (fun l ->
+          match !lagging with
+          | Some _ -> ()
+          | None ->
+              let e = Atomic.get l.epoch in
+              if e <> -1 && e < eg then lagging := Some l);
+      match !lagging with
+      | Some l -> cache_witness eg l
+      | None ->
+          if Atomic.compare_and_set global eg (eg + 1) then begin
+            Stats.Counter.incr advances;
+            Trace.emit Trace.Epoch_advance (eg + 1)
+          end;
+          ignore (run_expired (eg - 1) : int)
     end
 
   let unregister h =
@@ -372,13 +390,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Registry.Participants.remove participants h.idx
 
   let reset () =
-    let rec drain cell =
-      match Atomic.get cell with
-      | [] -> ()
-      | old ->
-          if Atomic.compare_and_set cell old [] then
-            List.iter (fun (_, b) -> List.iter (fun t -> t.run ()) b) old
-          else drain cell
+    let drain stack =
+      match Segstack.take_all stack with
+      | None -> ()
+      | Some _ as chain -> Segstack.iter chain (fun t -> t.run ())
     in
     drain tasks;
     (* The run is over and every fiber (crashed ones included) is gone, so
@@ -387,6 +402,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Array.fill locals_by_tid 0 (Array.length locals_by_tid) None;
     Registry.Participants.reset participants;
     Atomic.set global 2;
+    Atomic.set lag_epoch (-1);
+    Atomic.set lag_local None;
     Stats.Counter.reset advances;
     Stats.Counter.reset forced;
     Stats.Counter.reset rollbacks;

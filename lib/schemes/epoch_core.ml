@@ -5,14 +5,24 @@
     global epoch into a local announcement; concurrent critical sections'
     epochs differ by at most one (the global only advances when every
     pinned epoch equals it); a task deferred at epoch [e] is safe to run at
-    [e + 2]. *)
+    [e + 2].
+
+    Hot-path discipline (DESIGN.md §9): deferred tasks live in a reusable
+    {!Hpbrcu_core.Vec} partitioned in place, orphan batches travel as
+    {!Hpbrcu_core.Segstack} segments that carry their counts, and a failed
+    [try_advance] caches the laggard it saw so repeated failures skip the
+    participant walk until the cached witness stops lagging. *)
 
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
+module Vec = Hpbrcu_core.Vec
+module Segstack = Hpbrcu_core.Segstack
 
 type task = { run : unit -> unit; stamp : int }
+
+let dummy_task = { run = ignore; stamp = 0 }
 
 module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   type local = { pin : int Atomic.t (* -1 = unpinned *) }
@@ -21,22 +31,40 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let participants : local Registry.Participants.t = Registry.Participants.create ()
 
   (* Deferred tasks of unregistered threads, adopted by later collectors. *)
-  let orphans : task list Atomic.t = Atomic.make []
+  let orphans : task Segstack.t = Segstack.create ()
   let advances = Stats.Counter.make ()
   let advance_failures = Stats.Counter.make ()
+
+  (* Cached laggard witness: when [try_advance] fails at global epoch [e],
+     it records [e] and the lagging participant it saw.  As long as the
+     global is still [e] and that participant is still pinned below it, a
+     later attempt must fail for the same reason — skip the walk.  The
+     witness is re-validated on every check, so any interleaving (including
+     the witness unpinning and someone else lagging) at worst falls back to
+     the full walk; it never claims an advance is possible. *)
+  let lag_epoch = Atomic.make (-1)
+  let lag_local : local option Atomic.t = Atomic.make None
 
   type handle = {
     l : local;
     idx : int;
     mutable nest : int;
-    mutable tasks : task list;
-    mutable ntasks : int;
+    tasks : task Vec.t;
+    expired : task Vec.t;  (* scratch for [run_expired]'s partition *)
+    mutable running : bool;  (* reentrancy guard: tasks may defer *)
   }
 
   let register () =
     let l = { pin = Atomic.make (-1) } in
     let idx = Registry.Participants.add participants l in
-    { l; idx; nest = 0; tasks = []; ntasks = 0 }
+    {
+      l;
+      idx;
+      nest = 0;
+      tasks = Vec.create dummy_task;
+      expired = Vec.create dummy_task;
+      running = false;
+    }
 
   let epoch () = Atomic.get global
 
@@ -58,48 +86,76 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     pin h;
     Fun.protect ~finally:(fun () -> unpin h) body
 
+  (* Full participant walk; returns the first lagging local, if any. *)
+  let find_lagging e =
+    let lagging = ref None in
+    Registry.Participants.iter participants (fun l ->
+        match !lagging with
+        | Some _ -> ()
+        | None ->
+            let p = Atomic.get l.pin in
+            if p <> -1 && p < e then lagging := Some l);
+    !lagging
+
+  (* Does the cached witness still prove that no advance from [e] can
+     succeed?  Sound under any race: [p <> -1 && p < e] read now is exactly
+     the condition the walk would rediscover. *)
+  let cached_lagging e =
+    Atomic.get lag_epoch = e
+    && (match Atomic.get lag_local with
+       | None -> false
+       | Some l ->
+           let p = Atomic.get l.pin in
+           p <> -1 && p < e)
+
   (* The global epoch can advance from [e] only when no participant is
      pinned at an epoch < [e]; pins never exceed the global they read. *)
   let try_advance () =
     let e = Atomic.get global in
-    let lagging = ref false in
-    Registry.Participants.iter participants (fun l ->
-        let p = Atomic.get l.pin in
-        if p <> -1 && p < e then lagging := true);
-    if !lagging then begin
+    if cached_lagging e then begin
       Stats.Counter.incr advance_failures;
       false
     end
-    else begin
-      if Atomic.compare_and_set global e (e + 1) then begin
-        Stats.Counter.incr advances;
-        Trace.emit Trace.Epoch_advance (e + 1)
-      end;
-      true
-    end
+    else
+      match find_lagging e with
+      | Some l ->
+          (* Order matters for the fast path's soundness-by-revalidation:
+             publish the witness before the epoch tag that activates it. *)
+          Atomic.set lag_local (Some l);
+          Atomic.set lag_epoch e;
+          Stats.Counter.incr advance_failures;
+          false
+      | None ->
+          if Atomic.compare_and_set global e (e + 1) then begin
+            Stats.Counter.incr advances;
+            Trace.emit Trace.Epoch_advance (e + 1)
+          end;
+          true
 
-  let rec adopt_orphans h =
-    match Atomic.get orphans with
-    | [] -> ()
-    | old ->
-        if Atomic.compare_and_set orphans old [] then begin
-          h.tasks <- List.rev_append old h.tasks;
-          h.ntasks <- h.ntasks + List.length old
-        end
-        else begin
-          Sched.yield ();
-          adopt_orphans h
-        end
+  let adopt_orphans h =
+    match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain (fun t -> Vec.push h.tasks t)
 
   (* Run every local task whose stamp is ≤ global - 2 (Fraser's safety
-     margin).  Returns the number executed. *)
+     margin).  Returns the number executed.  Reentrant calls (a task's free
+     callback deferring enough to trigger another collect) are cut off so
+     the [expired] scratch is never clobbered mid-iteration. *)
   let run_expired h =
-    let limit = Atomic.get global - 2 in
-    let expired, kept = List.partition (fun t -> t.stamp <= limit) h.tasks in
-    h.tasks <- kept;
-    h.ntasks <- List.length kept;
-    List.iter (fun t -> t.run ()) expired;
-    List.length expired
+    if h.running then 0
+    else begin
+      h.running <- true;
+      let limit = Atomic.get global - 2 in
+      Vec.clear h.expired;
+      Vec.partition_into h.tasks (fun t -> t.stamp <= limit) h.expired;
+      let n = Vec.length h.expired in
+      (try Vec.iter h.expired (fun t -> t.run ())
+       with e ->
+         h.running <- false;
+         raise e);
+      h.running <- false;
+      n
+    end
 
   (** Attempt an epoch advance and collect expired deferred tasks; the
       per-[batch]-retirements trigger of §6.  Returns tasks executed. *)
@@ -111,42 +167,28 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   (** [defer h task] schedules [task] to run once all current critical
       sections have ended (RCU's Defer, Algorithm 2). *)
   let defer h run =
-    h.tasks <- { run; stamp = Atomic.get global } :: h.tasks;
-    h.ntasks <- h.ntasks + 1;
-    if h.ntasks >= C.config.batch then ignore (advance_and_collect h : int)
-
-  let rec push_orphans ts =
-    if ts <> [] then begin
-      let old = Atomic.get orphans in
-      if not (Atomic.compare_and_set orphans old (List.rev_append ts old)) then begin
-        Sched.yield ();
-        push_orphans ts
-      end
-    end
+    Vec.push h.tasks { run; stamp = Atomic.get global };
+    if Vec.length h.tasks >= C.config.batch then
+      ignore (advance_and_collect h : int)
 
   let flush h = ignore (advance_and_collect h : int)
 
   let unregister h =
     assert (h.nest = 0);
     ignore (advance_and_collect h : int);
-    push_orphans h.tasks;
-    h.tasks <- [];
-    h.ntasks <- 0;
+    Segstack.push_arr orphans (Vec.to_array h.tasks);
+    Vec.clear h.tasks;
     Registry.Participants.remove participants h.idx
 
   (** End-of-experiment: no threads registered, run everything. *)
   let reset () =
-    let rec drain () =
-      match Atomic.get orphans with
-      | [] -> ()
-      | old ->
-          if Atomic.compare_and_set orphans old [] then
-            List.iter (fun t -> t.run ()) old
-          else drain ()
-    in
-    drain ();
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain (fun t -> t.run ()));
     Registry.Participants.reset participants;
     Atomic.set global 2;
+    Atomic.set lag_epoch (-1);
+    Atomic.set lag_local None;
     Stats.Counter.reset advances;
     Stats.Counter.reset advance_failures
 

@@ -57,28 +57,36 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
             alloc ()
           end
       | [] ->
-          let i = Atomic.fetch_and_add hwm 1 in
+          (* Bounded CAS, as in [Registry.Shields.alloc]: a fetch_and_add
+             would grow [hwm] past capacity on every failed alloc and the
+             clamps below would mask the overflow. *)
+          let i = Atomic.get hwm in
           if i >= max_slots then failwith "HE: era slots exhausted";
-          i
+          if Atomic.compare_and_set hwm i (i + 1) then i
+          else begin
+            Sched.yield ();
+            alloc ()
+          end
 
-    let rec release i =
+    let release i =
       Atomic.set slots.(i) (-1);
-      let old = Atomic.get free in
-      if not (Atomic.compare_and_set free old (i :: old)) then begin
-        Sched.yield ();
-        release i
-      end
-
-    (* Does any reservation intersect [lo, hi]? *)
-    let intersects lo hi =
-      let n = min (Atomic.get hwm) max_slots in
-      let rec go i =
-        i < n
-        &&
-        let e = Atomic.get slots.(i) in
-        (e >= lo && e <= hi) || go (i + 1)
+      let rec give () =
+        let old = Atomic.get free in
+        if not (Atomic.compare_and_set free old (i :: old)) then begin
+          Sched.yield ();
+          give ()
+        end
       in
-      go 0
+      give ()
+
+    (* Snapshot all active reservations into the caller's scratch set. *)
+    let snapshot (ids : Idset.t) =
+      Idset.clear ids;
+      let n = min (Atomic.get hwm) max_slots in
+      for i = 0 to n - 1 do
+        let e = Atomic.get slots.(i) in
+        if e <> -1 then Idset.add ids e
+      done
 
     let reset () =
       let n = min (Atomic.get hwm) max_slots in
@@ -89,9 +97,25 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       Atomic.set free []
   end
 
-  type handle = { batch : Retired.t; mutable my_slots : int list }
+  type handle = {
+    batch : Retired.t;
+    mutable my_slots : int list;
+    eras : Idset.t;  (* scratch: reserved eras, rebuilt per scan *)
+    scan_pred : Retired.entry -> bool;  (* built once; reads [eras] *)
+  }
 
-  let register () = { batch = Retired.create (); my_slots = [] }
+  let register () =
+    let eras = Idset.create () in
+    {
+      batch = Retired.create ();
+      my_slots = [];
+      eras;
+      scan_pred =
+        (fun e ->
+          let b = e.Retired.blk in
+          (* Reclaimable iff no reserved era falls in [birth, retire]. *)
+          not (Idset.mem_range eras (Block.birth_era b) (Block.retire_era b)));
+    }
 
   type shield = int (* slot index *)
 
@@ -140,29 +164,17 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let deref _ blk = Alloc.check_access blk
 
   (* Batches of departed threads, adopted by later scanners. *)
-  let orphans : Retired.entry list Atomic.t = Atomic.make []
-
-  let rec push_orphans es =
-    if es <> [] then begin
-      let old = Atomic.get orphans in
-      if not (Atomic.compare_and_set orphans old (List.rev_append es old)) then begin
-        Sched.yield ();
-        push_orphans es
-      end
-    end
+  let orphans : Retired.entry Segstack.t = Segstack.create ()
 
   let scan h =
     Stats.Counter.incr scans;
-    (match Atomic.get orphans with
-    | [] -> ()
-    | old ->
-        if Atomic.compare_and_set orphans old [] then
-          List.iter (fun e -> Retired.push_entry h.batch e) old);
-    ignore
-      (Retired.reclaim_where h.batch (fun e ->
-           let b = e.Retired.blk in
-           not (Slots.intersects (Block.birth_era b) (Block.retire_era b)))
-        : int)
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain ->
+        Segstack.iter chain (fun e -> Retired.push_entry h.batch e));
+    Slots.snapshot h.eras;
+    Idset.sort h.eras;
+    ignore (Retired.reclaim_where h.batch h.scan_pred : int)
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
@@ -187,7 +199,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     flush h;
     (* Leftovers may still be covered by other threads' reservations:
        orphan them for adoption by later scans. *)
-    push_orphans (Retired.drain h.batch);
+    Segstack.push_arr orphans (Retired.drain_array h.batch);
     List.iter Slots.release h.my_slots;
     h.my_slots <- []
 
@@ -196,15 +208,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let reset () =
     Slots.reset ();
-    let rec drain () =
-      match Atomic.get orphans with
-      | [] -> ()
-      | old ->
-          if Atomic.compare_and_set orphans old [] then
-            List.iter Retired.reclaim_entry old
-          else drain ()
-    in
-    drain ();
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
     Atomic.set era 1;
     Stats.Counter.reset scans
 

@@ -82,7 +82,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let deref _ blk = Alloc.check_access blk
 
-  let retire h ?free ?patch:_ ?(claimed = false) blk = Core.retire h ?free ~claimed blk
+  let retire h ?free ?patch:_ ?(claimed = false) blk =
+    Core.retire h ?free ~patches:[] ~claimed blk
   let recycles = false
   let current_era () = 0
 

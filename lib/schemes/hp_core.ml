@@ -7,19 +7,41 @@
     unprotected entries (Algorithm 1, Retire/Reclaim).  A global orphan list
     holds (a) batches of threads that unregistered and (b) blocks retired by
     {e deferred} tasks of the epoch schemes, which may execute on any
-    thread. *)
+    thread.
+
+    Hot-path discipline (DESIGN.md §9): the scan snapshots every protected
+    id into a per-handle scratch {!Hpbrcu_core.Idset}, sorts it once, and
+    binary-searches it per retired block through a predicate closure built
+    at [register] time — so a steady-state retire/scan cycle allocates
+    nothing. *)
 
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
 module Retired = Hpbrcu_core.Retired
+module Idset = Hpbrcu_core.Idset
+module Segstack = Hpbrcu_core.Segstack
 module Stats = Hpbrcu_runtime.Stats
+
+(* Allocation-free folds over patch lists; module-level so the scan loop
+   doesn't close over anything. *)
+let rec add_patch_ids ids = function
+  | [] -> ()
+  | b :: tl ->
+      Idset.add ids (Block.id b);
+      add_patch_ids ids tl
+
+let rec add_published ids = function
+  | [] -> ()
+  | slot :: tl ->
+      add_patch_ids ids (Atomic.get slot);
+      add_published ids tl
 
 module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let shields = Registry.Shields.create ()
 
   (* Blocks whose reclamation nobody currently owns: still subject to the
-     shield scan.  Treiber list of entries. *)
-  let orphans : Retired.entry list Atomic.t = Atomic.make []
+     shield scan.  Segment stack of entries. *)
+  let orphans : Retired.entry Segstack.t = Segstack.create ()
   let scans = Stats.Counter.make ()
   let reclaimed_by_scan = Stats.Counter.make ()
 
@@ -28,9 +50,20 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     mutable my_shields : Registry.Shields.shield list;
     mutable patch_slot : Block.t list Atomic.t option;
         (* present only under HP++: the handle's published patch set *)
+    scan_ids : Idset.t;  (* scratch: protected ids, rebuilt per scan *)
+    scan_pred : Retired.entry -> bool;
+        (* built once; reads [scan_ids], so allocates nothing per scan *)
   }
 
-  let register () = { batch = Retired.create (); my_shields = []; patch_slot = None }
+  let register () =
+    let scan_ids = Idset.create () in
+    {
+      batch = Retired.create ();
+      my_shields = [];
+      patch_slot = None;
+      scan_ids;
+      scan_pred = (fun e -> not (Idset.mem scan_ids (Block.id e.Retired.blk)));
+    }
 
   type shield = Registry.Shields.shield
 
@@ -41,30 +74,6 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
 
   let protect = Registry.Shields.protect
   let clear = Registry.Shields.clear
-
-  let rec push_orphans entries =
-    if entries <> [] then begin
-      let old = Atomic.get orphans in
-      if
-        not
-          (Atomic.compare_and_set orphans old (List.rev_append entries old))
-      then begin
-        Hpbrcu_runtime.Sched.yield ();
-        push_orphans entries
-      end
-    end
-
-  let take_orphans () =
-    let rec go () =
-      let old = Atomic.get orphans in
-      if old = [] then []
-      else if Atomic.compare_and_set orphans old [] then old
-      else begin
-        Hpbrcu_runtime.Sched.yield ();
-        go ()
-      end
-    in
-    go ()
 
   (* Patch protections of other threads' pending entries must also defer
      reclamation (HP++).  Batches are thread-local, so each thread
@@ -84,25 +93,22 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       batch and the orphan list, keeping the rest. *)
   let scan h =
     Stats.Counter.incr scans;
-    let protected_ids = Registry.Shields.protected_ids shields in
+    Registry.Shields.snapshot shields h.scan_ids;
     (* Patches of entries pending anywhere count as protected until their
        patron entry is reclaimed. *)
-    List.iter
-      (fun slot ->
-        List.iter
-          (fun b -> Hashtbl.replace protected_ids (Block.id b) ())
-          (Atomic.get slot))
-      (Atomic.get published_patches);
-    let adopted = take_orphans () in
-    List.iter (fun e -> Retired.push_entry h.batch e) adopted;
-    Retired.iter h.batch (fun e ->
-        List.iter
-          (fun b -> Hashtbl.replace protected_ids (Block.id b) ())
-          e.Retired.patches);
-    let n =
-      Retired.reclaim_where h.batch (fun e ->
-          not (Hashtbl.mem protected_ids (Block.id e.Retired.blk)))
-    in
+    (match Atomic.get published_patches with
+    | [] -> ()
+    | slots -> add_published h.scan_ids slots);
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain ->
+        Segstack.iter chain (fun e -> Retired.push_entry h.batch e));
+    if Retired.npatches h.batch > 0 then
+      for i = 0 to Retired.length h.batch - 1 do
+        add_patch_ids h.scan_ids (Retired.get h.batch i).Retired.patches
+      done;
+    Idset.sort h.scan_ids;
+    let n = Retired.reclaim_where h.batch h.scan_pred in
     Stats.Counter.add reclaimed_by_scan n
 
   (** Enable HP++-style patch publication for this handle. *)
@@ -111,21 +117,35 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     h.patch_slot <- Some slot;
     publish_patch_slot slot
 
-  (* Re-publish this handle's current patch set after batch changes. *)
+  (* Re-publish this handle's current patch set after batch changes.  When
+     no pending entry holds patches the published set collapses to [] with
+     a single conditional store — the common case under HP++ is that most
+     retirements carry no patches. *)
   let republish h =
     match h.patch_slot with
     | None -> ()
     | Some slot ->
-        let acc = ref [] in
-        Retired.iter h.batch (fun e ->
-            acc := List.rev_append e.Retired.patches !acc);
-        Atomic.set slot !acc
+        if Retired.npatches h.batch = 0 then begin
+          if Atomic.get slot != [] then Atomic.set slot []
+        end
+        else begin
+          let acc = ref [] in
+          for i = 0 to Retired.length h.batch - 1 do
+            acc :=
+              List.rev_append (Retired.get h.batch i).Retired.patches !acc
+          done;
+          Atomic.set slot !acc
+        end
 
-  (** HP-Retire: batch locally; scan when the batch fills. *)
-  let retire h ?free ?(patches = []) ?(claimed = false) blk =
+  (** HP-Retire: batch locally; scan when the batch fills.  [patches] and
+      [claimed] are plain labelled arguments — optional-with-default would
+      make every call box a [Some], putting words on this hot path. *)
+  let retire h ?free ~patches ~claimed blk =
     if not claimed then Alloc.retire blk;
-    Retired.push h.batch ?free ~patches blk;
-    if patches <> [] || h.patch_slot <> None then republish h;
+    (match patches with
+    | [] -> Retired.push h.batch ?free blk
+    | ps -> Retired.push h.batch ?free ~patches:ps blk);
+    (match h.patch_slot with None -> () | Some _ -> republish h);
     if Retired.length h.batch >= C.config.batch then begin
       scan h;
       republish h
@@ -147,7 +167,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   (** The deferred half of two-step retirement (Algorithm 4): called by the
       epoch scheme's expired-task executor. *)
   let retire_deferred ?free blk =
-    push_orphans [ { Retired.blk; free; stamp = 0; patches = [] } ];
+    Segstack.push_one orphans { Retired.blk; free; stamp = 0; patches = [] };
     Atomic.incr orphan_count
 
   (** Scan if deferred retirements have piled up past the batch size. *)
@@ -166,14 +186,16 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
        adoption. *)
     scan h;
     republish h;
-    push_orphans (Retired.drain h.batch);
+    Segstack.push_arr orphans (Retired.drain_array h.batch);
     List.iter Registry.Shields.release h.my_shields;
     h.my_shields <- []
 
   (** Reclaim everything unconditionally (end of experiment; no readers). *)
   let reset () =
     Registry.Shields.reset shields;
-    List.iter Retired.reclaim_entry (take_orphans ());
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
     (* The deferred-retire scan trigger must not carry residue into the
        next cell: a leftover count shifts when the first scans fire, which
        would make re-runs of the same seed diverge. *)

@@ -101,6 +101,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let retire h ?free ?(patch = []) ?(claimed = false) blk =
     Core.retire h ?free ~patches:patch ~claimed blk
+
   let recycles = false
   let current_era () = 0
 

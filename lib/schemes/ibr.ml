@@ -20,6 +20,69 @@ module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
 
+(* Reusable snapshot of the (lower, upper) reservation pairs, queried per
+   retired block.  Sorted by lower with prefix-maxed uppers, an interval
+   query becomes one binary search: some reservation [lw, up] intersects
+   [lo, hi] iff among the pairs with lw ≤ hi the largest upper is ≥ lo.
+   Helpers are module-level and tail-recursive so a scan allocates nothing
+   (DESIGN.md §9). *)
+type scratch = {
+  mutable lo : int array;
+  mutable up : int array;
+  mutable n : int;
+}
+
+let push_pair sc lw u =
+  if sc.n = Array.length sc.lo then begin
+    let cap = 2 * sc.n in
+    let nlo = Array.make cap 0 in
+    let nup = Array.make cap 0 in
+    Array.blit sc.lo 0 nlo 0 sc.n;
+    Array.blit sc.up 0 nup 0 sc.n;
+    sc.lo <- nlo;
+    sc.up <- nup
+  end;
+  sc.lo.(sc.n) <- lw;
+  sc.up.(sc.n) <- u;
+  sc.n <- sc.n + 1
+
+(* Insertion sort of the parallel arrays by [lo]; n is registry-bounded
+   and snapshots are nearly sorted run-to-run, so this stays cheap. *)
+let rec shift_down lo up j kl ku =
+  if j > 0 && lo.(j - 1) > kl then begin
+    lo.(j) <- lo.(j - 1);
+    up.(j) <- up.(j - 1);
+    shift_down lo up (j - 1) kl ku
+  end
+  else begin
+    lo.(j) <- kl;
+    up.(j) <- ku
+  end
+
+let sort_pairs lo up n =
+  for i = 1 to n - 1 do
+    shift_down lo up i lo.(i) up.(i)
+  done
+
+let prefix_max up n =
+  for i = 1 to n - 1 do
+    if up.(i) < up.(i - 1) then up.(i) <- up.(i - 1)
+  done
+
+(* Number of elements of a.(0 .. h-1) that are ≤ key (a sorted). *)
+let rec last_le a key l h =
+  if l < h then begin
+    let m = (l + h) lsr 1 in
+    if a.(m) <= key then last_le a key (m + 1) h else last_le a key l m
+  end
+  else l
+
+(* Does any snapshotted reservation intersect [lo, hi]?  Requires
+   [sort_pairs] + [prefix_max]. *)
+let covered sc lo hi =
+  let k = last_le sc.lo hi 0 sc.n in
+  k > 0 && sc.up.(k - 1) >= lo
+
 module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let name = "IBR"
 
@@ -44,14 +107,43 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   type local = { lower : int Atomic.t; upper : int Atomic.t (* -1 = inactive *) }
 
   let participants : local Registry.Participants.t = Registry.Participants.create ()
-  let orphans : Retired.entry list Atomic.t = Atomic.make []
+  let orphans : Retired.entry Segstack.t = Segstack.create ()
 
-  type handle = { l : local; idx : int; batch : Retired.t; mutable nest : int }
+  type handle = {
+    l : local;
+    idx : int;
+    batch : Retired.t;
+    mutable nest : int;
+    sc : scratch;  (* reservation snapshot, rebuilt per scan *)
+    snap : local -> unit;  (* built once; appends into [sc] *)
+    pred : Retired.entry -> bool;  (* built once; queries [sc] *)
+  }
 
   let register () =
     let l = { lower = Atomic.make (-1); upper = Atomic.make (-1) } in
     let idx = Registry.Participants.add participants l in
-    { l; idx; batch = Retired.create (); nest = 0 }
+    let sc =
+      {
+        lo = Array.make Registry.Participants.capacity 0;
+        up = Array.make Registry.Participants.capacity 0;
+        n = 0;
+      }
+    in
+    {
+      l;
+      idx;
+      batch = Retired.create ();
+      nest = 0;
+      sc;
+      snap =
+        (fun l ->
+          let lw = Atomic.get l.lower and up = Atomic.get l.upper in
+          if lw <> -1 then push_pair sc lw up);
+      pred =
+        (fun e ->
+          let b = e.Retired.blk in
+          not (covered sc (Block.birth_era b) (Block.retire_era b)));
+    }
 
   type shield = unit
 
@@ -110,35 +202,18 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let deref _ blk = Alloc.check_access blk
 
-  let rec push_orphans es =
-    if es <> [] then begin
-      let old = Atomic.get orphans in
-      if not (Atomic.compare_and_set orphans old (List.rev_append es old)) then begin
-        Sched.yield ();
-        push_orphans es
-      end
-    end
-
   (* Reclaim blocks whose lifetime intersects no reservation. *)
   let scan h =
     Stats.Counter.incr scans;
-    (match Atomic.get orphans with
-    | [] -> ()
-    | old ->
-        if Atomic.compare_and_set orphans old [] then
-          List.iter (fun e -> Retired.push_entry h.batch e) old);
-    let covered lo hi =
-      let hit = ref false in
-      Registry.Participants.iter participants (fun l ->
-          let lw = Atomic.get l.lower and up = Atomic.get l.upper in
-          if lw <> -1 && lw <= hi && lo <= up then hit := true);
-      !hit
-    in
-    ignore
-      (Retired.reclaim_where h.batch (fun e ->
-           let b = e.Retired.blk in
-           not (covered (Block.birth_era b) (Block.retire_era b)))
-        : int)
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain ->
+        Segstack.iter chain (fun e -> Retired.push_entry h.batch e));
+    h.sc.n <- 0;
+    Registry.Participants.iter participants h.snap;
+    sort_pairs h.sc.lo h.sc.up h.sc.n;
+    prefix_max h.sc.up h.sc.n;
+    ignore (Retired.reclaim_where h.batch h.pred : int)
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
@@ -160,22 +235,16 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let unregister h =
     assert (h.nest = 0);
     flush h;
-    push_orphans (Retired.drain h.batch);
+    Segstack.push_arr orphans (Retired.drain_array h.batch);
     Registry.Participants.remove participants h.idx
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
   let reset () =
-    let rec drain () =
-      match Atomic.get orphans with
-      | [] -> ()
-      | old ->
-          if Atomic.compare_and_set orphans old [] then
-            List.iter Retired.reclaim_entry old
-          else drain ()
-    in
-    drain ();
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
     Registry.Participants.reset participants;
     Atomic.set era 1;
     Stats.Counter.reset scans

@@ -166,8 +166,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
         end);
     if !all_acked then begin
       (* Move the snapshot into the HP batch and scan. *)
-      Retired.iter h.pending (fun e -> Retired.push_entry h.hp.Core.batch e);
-      ignore (Retired.drain h.pending : Retired.entry list);
+      Retired.transfer h.pending ~into:h.hp.Core.batch;
       Core.scan h.hp
     end
 

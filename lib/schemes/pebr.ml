@@ -64,8 +64,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     idx : int;
     hp : HPC.handle;
     mutable nest : int;
-    mutable tasks : Epoch_core.task list;
-    mutable ntasks : int;
+    tasks : Epoch_core.task Vec.t;
+    expired : Epoch_core.task Vec.t;  (* scratch for [run_expired] *)
+    mutable running : bool;  (* reentrancy guard: tasks may retire *)
     mutable push_cnt : int;
   }
 
@@ -73,7 +74,16 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     let l = { pin = Atomic.make (-1); box = Signal.make () } in
     Signal.attach l.box;
     let idx = Registry.Participants.add participants l in
-    { l; idx; hp = HPC.register (); nest = 0; tasks = []; ntasks = 0; push_cnt = 0 }
+    {
+      l;
+      idx;
+      hp = HPC.register ();
+      nest = 0;
+      tasks = Vec.create Epoch_core.dummy_task;
+      expired = Vec.create Epoch_core.dummy_task;
+      running = false;
+      push_cnt = 0;
+    }
 
   type shield = HPC.shield
 
@@ -137,35 +147,28 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Alloc.check_access blk
 
   (* Unexpired tasks of departed threads, adopted during later advances. *)
-  let orphans : Epoch_core.task list Atomic.t = Atomic.make []
-
-  let rec push_orphans ts =
-    if ts <> [] then begin
-      let old = Atomic.get orphans in
-      if not (Atomic.compare_and_set orphans old (List.rev_append ts old)) then begin
-        Sched.yield ();
-        push_orphans ts
-      end
-    end
+  let orphans : Epoch_core.task Segstack.t = Segstack.create ()
 
   let adopt_orphans h =
-    match Atomic.get orphans with
-    | [] -> ()
-    | old ->
-        if Atomic.compare_and_set orphans old [] then begin
-          h.tasks <- List.rev_append old h.tasks;
-          h.ntasks <- h.ntasks + List.length old
-        end
+    match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain -> Segstack.iter chain (fun t -> Vec.push h.tasks t)
 
   let run_expired h =
     adopt_orphans h;
-    let limit = Atomic.get global - 2 in
-    let expired, kept =
-      List.partition (fun (t : Epoch_core.task) -> t.stamp <= limit) h.tasks
-    in
-    h.tasks <- kept;
-    h.ntasks <- List.length kept;
-    List.iter (fun (t : Epoch_core.task) -> t.run ()) expired
+    if not h.running then begin
+      h.running <- true;
+      let limit = Atomic.get global - 2 in
+      Vec.clear h.expired;
+      Vec.partition_into h.tasks
+        (fun (t : Epoch_core.task) -> t.stamp <= limit)
+        h.expired;
+      (try Vec.iter h.expired (fun (t : Epoch_core.task) -> t.run ())
+       with e ->
+         h.running <- false;
+         raise e);
+      h.running <- false
+    end
 
   (* Advance with ejection: lagging readers other than ourselves are
      ejected once the patience threshold passes.  (Never self: retirement
@@ -222,9 +225,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       Alloc.reclaim blk;
       match free with None -> () | Some f -> f ()
     in
-    h.tasks <- { Epoch_core.run; stamp = Atomic.get global } :: h.tasks;
-    h.ntasks <- h.ntasks + 1;
-    if h.ntasks >= C.config.batch then try_advance h
+    Vec.push h.tasks { Epoch_core.run; stamp = Atomic.get global };
+    if Vec.length h.tasks >= C.config.batch then try_advance h
 
   let recycles = false
   let current_era () = 0
@@ -235,23 +237,17 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     assert (h.nest = 0);
     try_advance h;
     (* Remaining tasks are not yet expired; orphan them for adoption. *)
-    push_orphans h.tasks;
-    h.tasks <- [];
-    h.ntasks <- 0;
+    Segstack.push_arr orphans (Vec.to_array h.tasks);
+    Vec.clear h.tasks;
     HPC.unregister h.hp;
     Registry.Participants.remove participants h.idx
 
   let reset () =
     (* No readers remain: run everything. *)
-    let rec drain () =
-      match Atomic.get orphans with
-      | [] -> ()
-      | old ->
-          if Atomic.compare_and_set orphans old [] then
-            List.iter (fun (t : Epoch_core.task) -> t.run ()) old
-          else drain ()
-    in
-    drain ();
+    (match Segstack.take_all orphans with
+    | None -> ()
+    | Some _ as chain ->
+        Segstack.iter chain (fun (t : Epoch_core.task) -> t.run ()));
     HPC.reset ();
     Registry.Participants.reset participants;
     Atomic.set global 2;

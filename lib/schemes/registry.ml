@@ -44,7 +44,7 @@ module Shields = struct
     | [] ->
         (* Claim a fresh slot with a bounded CAS: a plain fetch_and_add
            would keep growing [hwm] past capacity on every failed alloc,
-           and the clamps in [protected_ids]/[reset] would then mask the
+           and the clamps in [snapshot]/[reset] would then mask the
            overflow. Exhaustion must leave [hwm] untouched. *)
         let idx = Atomic.get t.hwm in
         if idx >= max_shields then failwith "Shields.alloc: registry exhausted";
@@ -55,13 +55,18 @@ module Shields = struct
           alloc t
         end
 
-  let rec release (s : shield) =
+  let release (s : shield) =
+    (* Clear once, outside the retry loop: the store is not part of the
+       free-list CAS and re-running it on contention is wasted work. *)
     Atomic.set s.slot None;
-    let old = Atomic.get s.owner.free in
-    if not (Atomic.compare_and_set s.owner.free old (s.idx :: old)) then begin
-      Hpbrcu_runtime.Sched.yield ();
-      release s
-    end
+    let rec give () =
+      let old = Atomic.get s.owner.free in
+      if not (Atomic.compare_and_set s.owner.free old (s.idx :: old)) then begin
+        Hpbrcu_runtime.Sched.yield ();
+        give ()
+      end
+    in
+    give ()
 
   (* Atomic.set is an SC store in OCaml: the publication fence of
      Algorithm 1 line 7 is built in. *)
@@ -69,18 +74,18 @@ module Shields = struct
   let clear (s : shield) = Atomic.set s.slot None
   let get (s : shield) = Atomic.get s.slot
 
-  (** Snapshot the ids of all currently protected blocks.  The scan of
+  (** Snapshot the ids of all currently protected blocks into the caller's
+      reusable scratch set (cleared first; caller sorts).  The scan of
       Algorithm 1 line 14; the caller's preceding SC operation plays the
       [fence(SC)] of line 13. *)
-  let protected_ids t =
-    let ids = Hashtbl.create 64 in
+  let snapshot t (ids : Hpbrcu_core.Idset.t) =
+    Hpbrcu_core.Idset.clear ids;
     let n = min (Atomic.get t.hwm) max_shields in
     for i = 0 to n - 1 do
       match Atomic.get t.slots.(i) with
       | None -> ()
-      | Some b -> Hashtbl.replace ids (Block.id b) ()
-    done;
-    ids
+      | Some b -> Hpbrcu_core.Idset.add ids (Block.id b)
+    done
 
   let reset t =
     let n = min (Atomic.get t.hwm) max_shields in
@@ -134,13 +139,18 @@ module Participants = struct
           add t l
         end
 
-  let rec remove t idx =
+  let remove t idx =
+    (* As in [Shields.release]: the slot clear happens once, only the
+       free-list push retries. *)
     Atomic.set t.slots.(idx) None;
-    let old = Atomic.get t.free in
-    if not (Atomic.compare_and_set t.free old (idx :: old)) then begin
-      Hpbrcu_runtime.Sched.yield ();
-      remove t idx
-    end
+    let rec give () =
+      let old = Atomic.get t.free in
+      if not (Atomic.compare_and_set t.free old (idx :: old)) then begin
+        Hpbrcu_runtime.Sched.yield ();
+        give ()
+      end
+    in
+    give ()
 
   let iter t f =
     let n = min (Atomic.get t.hwm) capacity in

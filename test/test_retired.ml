@@ -1,0 +1,224 @@
+(* Property tests for the allocation-free reclamation containers
+   (DESIGN.md §9): the array-backed [Retired] batch against a plain-list
+   model over random push / reclaim_where / drain / transfer
+   interleavings, and [Idset]'s radix sort + binary search against the
+   Stdlib sort / linear membership they replace. *)
+
+module Q = QCheck
+module Alloc = Hpbrcu_alloc.Alloc
+module Block = Hpbrcu_alloc.Block
+module Retired = Hpbrcu_core.Retired
+module Idset = Hpbrcu_core.Idset
+
+(* ---------------- Retired vs list model ---------------- *)
+
+type op =
+  | Push of int * bool * int  (* stamp, attach finalizer?, patch count *)
+  | Reclaim_le of int  (* reclaim entries with stamp <= k *)
+  | Reclaim_all
+  | Drain
+  | Transfer  (* move everything into a second batch and back *)
+
+let op_gen =
+  Q.Gen.(
+    frequency
+      [
+        (6, map3 (fun s f p -> Push (s, f, p)) (int_bound 7) bool (int_bound 2));
+        (2, map (fun k -> Reclaim_le k) (int_bound 7));
+        (1, return Reclaim_all);
+        (1, return Drain);
+        (1, return Transfer);
+      ])
+
+let pp_op = function
+  | Push (s, f, p) -> Printf.sprintf "P(%d,%b,%d)" s f p
+  | Reclaim_le k -> Printf.sprintf "R<=%d" k
+  | Reclaim_all -> "R*"
+  | Drain -> "D"
+  | Transfer -> "T"
+
+let ops_arb =
+  Q.make
+    ~print:(fun ops -> String.concat ";" (List.map pp_op ops))
+    Q.Gen.(list_size (int_range 0 200) op_gen)
+
+(* Model entry: block, stamp, patch-list length, finalizer id (-1 = none). *)
+type mentry = { mblk : Block.t; mstamp : int; mpatch : int; mfin : int }
+
+(* The batch must mirror the model exactly: same length, same entries in
+   the same (FIFO) order, and npatches equal to the summed patch lengths.
+   Reclaimed entries must have actually reclaimed their block and fired
+   their finalizer exactly once. *)
+let check_mirror t model =
+  Retired.length t = List.length model
+  && Retired.npatches t = List.fold_left (fun a m -> a + m.mpatch) 0 model
+  && List.for_all2
+       (fun m i ->
+         let e = Retired.get t i in
+         e.Retired.blk == m.mblk
+         && e.Retired.stamp = m.mstamp
+         && List.length e.Retired.patches = m.mpatch
+         && (m.mfin >= 0) = (e.Retired.free <> None))
+       model
+       (List.init (List.length model) Fun.id)
+
+let retired_agrees ops =
+  Alloc.reset ();
+  Alloc.set_strict true;
+  let t = Retired.create () in
+  let aux = Retired.create () in
+  let fired = Hashtbl.create 64 in
+  let fin_seq = ref 0 in
+  let model = ref [] in
+  let ok = ref true in
+  let expect b = if not b then ok := false in
+  let reclaimed_set ms =
+    (* every removed entry: block reclaimed + finalizer fired once *)
+    List.iter
+      (fun m ->
+        expect (Block.is_reclaimed m.mblk);
+        if m.mfin >= 0 then
+          expect (Hashtbl.find_opt fired m.mfin = Some 1))
+      ms
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Push (stamp, with_fin, npatch) ->
+          let b = Alloc.block () in
+          Alloc.retire b;
+          let fin =
+            if with_fin then begin
+              let id = !fin_seq in
+              incr fin_seq;
+              Hashtbl.replace fired id 0;
+              Some id
+            end
+            else None
+          in
+          let free =
+            Option.map
+              (fun id () ->
+                Hashtbl.replace fired id (1 + Hashtbl.find fired id))
+              fin
+          in
+          let patches = List.init npatch (fun _ -> Alloc.block ()) in
+          (match (free, patches) with
+          | None, [] -> Retired.push t ~stamp b
+          | None, ps -> Retired.push t ~stamp ~patches:ps b
+          | Some f, [] -> Retired.push t ~free:f ~stamp b
+          | Some f, ps -> Retired.push t ~free:f ~stamp ~patches:ps b);
+          model :=
+            !model
+            @ [
+                {
+                  mblk = b;
+                  mstamp = stamp;
+                  mpatch = npatch;
+                  mfin = Option.value fin ~default:(-1);
+                };
+              ]
+      | Reclaim_le k ->
+          let gone, keep = List.partition (fun m -> m.mstamp <= k) !model in
+          let freed =
+            Retired.reclaim_where t (fun e -> e.Retired.stamp <= k)
+          in
+          expect (freed = List.length gone);
+          reclaimed_set gone;
+          model := keep
+      | Reclaim_all ->
+          let gone = !model in
+          let freed = Retired.reclaim_where t (fun _ -> true) in
+          expect (freed = List.length gone);
+          reclaimed_set gone;
+          model := []
+      | Drain ->
+          let es = Retired.drain t in
+          expect (Retired.length t = 0 && Retired.npatches t = 0);
+          expect (List.length es = List.length !model);
+          List.iter2
+            (fun e m ->
+              expect (e.Retired.blk == m.mblk && e.Retired.stamp = m.mstamp))
+            es !model;
+          (* drained copies stay valid: push them back *)
+          List.iter (fun e -> Retired.push_entry t e) es
+      | Transfer ->
+          Retired.transfer t ~into:aux;
+          expect (Retired.length t = 0 && Retired.npatches t = 0);
+          Retired.transfer aux ~into:t;
+          expect (Retired.length aux = 0));
+      expect (check_mirror t !model))
+    ops;
+  (* Drain down: everything left must reclaim cleanly exactly once. *)
+  let gone = !model in
+  expect (Retired.reclaim_where t (fun _ -> true) = List.length gone);
+  reclaimed_set gone;
+  expect (Retired.length t = 0 && Retired.npatches t = 0);
+  (* No finalizer ever fired twice or spuriously. *)
+  Hashtbl.iter (fun _ n -> expect (n = 0 || n = 1)) fired;
+  !ok && Alloc.uaf_count () = 0
+
+let retired_prop =
+  Q.Test.make ~count:200 ~name:"Retired-array+model" ops_arb retired_agrees
+
+(* ---------------- Idset vs Stdlib sort ---------------- *)
+
+let ids_arb =
+  Q.make
+    ~print:Q.Print.(list int)
+    Q.Gen.(list_size (int_range 0 300) (int_bound 100_000))
+
+let idset_sort_mem =
+  Q.Test.make ~count:300 ~name:"Idset-radix-sort+mem" ids_arb (fun ids ->
+      let s = Idset.create () in
+      List.iter (Idset.add s) ids;
+      Idset.sort s;
+      let sorted = List.sort compare ids in
+      let ok = ref (Idset.length s = List.length ids) in
+      List.iteri
+        (fun i v ->
+          (* probe order via mem of each sorted element and spot-check
+             non-members around it *)
+          if not (Idset.mem s v) then ok := false;
+          if i = 0 && v > 0 && not (List.mem (v - 1) ids) then
+            if Idset.mem s (v - 1) then ok := false)
+        sorted;
+      if Idset.mem s 100_001 then ok := false;
+      !ok)
+
+let idset_mem_range =
+  Q.Test.make ~count:300 ~name:"Idset-mem-range"
+    Q.(
+      pair ids_arb
+        (pair (Q.make Q.Gen.(int_bound 100_000)) (Q.make Q.Gen.(int_bound 100_000))))
+    (fun (ids, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let s = Idset.create () in
+      List.iter (Idset.add s) ids;
+      Idset.sort s;
+      Idset.mem_range s lo hi = List.exists (fun v -> lo <= v && v <= hi) ids)
+
+(* Reuse across clear: a second fill of the same scratch set must behave
+   like a fresh one (stale elements must not leak through). *)
+let idset_reuse =
+  Q.Test.make ~count:200 ~name:"Idset-clear-reuse" (Q.pair ids_arb ids_arb)
+    (fun (first, second) ->
+      let s = Idset.create () in
+      List.iter (Idset.add s) first;
+      Idset.sort s;
+      Idset.clear s;
+      List.iter (Idset.add s) second;
+      Idset.sort s;
+      List.for_all (Idset.mem s) second
+      && Idset.length s = List.length second
+      && List.for_all
+           (fun v -> List.mem v second || not (Idset.mem s v))
+           first)
+
+let () =
+  let to_alco = List.map (QCheck_alcotest.to_alcotest ~long:false) in
+  Alcotest.run "retired"
+    [
+      ("retired-vs-model", to_alco [ retired_prop ]);
+      ("idset", to_alco [ idset_sort_mem; idset_mem_range; idset_reuse ]);
+    ]
