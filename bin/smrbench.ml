@@ -129,6 +129,15 @@ let sweep_cmd =
       const run $ profile_arg $ outdir_arg $ stats_json_arg $ ds_arg $ wl_arg
       $ range_arg)
 
+(* Shared by the trace/chaos/longrun commands: spool the run's event log
+   to FILE in the line format `smrbench analyze` ingests. *)
+let trace_out_arg =
+  let doc =
+    "Spool the run's full event log (non-lossy) and write it to $(docv) — \
+     the input format of $(b,smrbench analyze)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let longrun_cmd =
   let scheme_arg =
     Arg.(value & opt (some string) None & info [ "scheme" ] ~doc:"Single scheme (default: Figure 1 set).")
@@ -136,7 +145,7 @@ let longrun_cmd =
   let range_arg =
     Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Single key range.")
   in
-  let run profile outdir stats_json scheme range =
+  let run profile outdir stats_json scheme range trace_out =
     setup outdir stats_json;
     let p = profile_of_string profile in
     let p =
@@ -144,20 +153,52 @@ let longrun_cmd =
       | None -> p
       | Some r -> { p with W.Figures.longrun_ranges = [ r ] }
     in
-    (match scheme with
-    | None -> W.Figures.fig1 p
-    | Some s ->
-        W.Figures.longrun_tables
-          ~title:("long-running reads: " ^ s)
-          ~file:("longrun_" ^ s) p [ "NR"; s ]);
-    W.Report.write_stats_json ();
-    0
+    match trace_out with
+    | Some out ->
+        (* One traced fiber-mode cell; the grid forms make no sense with a
+           single spool. *)
+        let scheme = Option.value scheme ~default:"HP-BRCU" in
+        let range =
+          match p.W.Figures.longrun_ranges with r :: _ -> r | [] -> 4096
+        in
+        let mode =
+          match p.W.Figures.longrun_mode with
+          | W.Spec.Fibers _ as m -> m
+          | W.Spec.Domains -> W.Spec.Fibers p.W.Figures.seed
+        in
+        let c =
+          W.Longrun.config ~key_range:range
+            ~readers:p.W.Figures.longrun_threads
+            ~writers:p.W.Figures.longrun_threads
+            ~duration:p.W.Figures.duration ~mode ~seed:p.W.Figures.seed ()
+        in
+        (match W.Longrun.run_traced ~scheme ~out c with
+        | Some o ->
+            Printf.printf
+              "wrote %s (%s, range %d, reader %.3f / writer %.3f Mop/s, peak \
+               unreclaimed %d)\n"
+              out scheme range o.W.Longrun.reader_tput o.W.Longrun.writer_tput
+              o.W.Longrun.peak_unreclaimed;
+            0
+        | None ->
+            Printf.eprintf "%s does not run the long-running benchmark\n"
+              scheme;
+            1)
+    | None ->
+        (match scheme with
+        | None -> W.Figures.fig1 p
+        | Some s ->
+            W.Figures.longrun_tables
+              ~title:("long-running reads: " ^ s)
+              ~file:("longrun_" ^ s) p [ "NR"; s ]);
+        W.Report.write_stats_json ();
+        0
   in
   Cmd.v
     (Cmd.info "longrun" ~doc:"Long-running-operation benchmark")
     Term.(
       const run $ profile_arg $ outdir_arg $ stats_json_arg $ scheme_arg
-      $ range_arg)
+      $ range_arg $ trace_out_arg)
 
 let trace_cmd =
   let module T = Hpbrcu_runtime.Trace in
@@ -186,10 +227,14 @@ let trace_cmd =
       value & opt int 0
       & info [ "last" ] ~doc:"Print only the last $(docv) events (0 = all kept).")
   in
-  let run scheme ds ops threads seed range last =
+  let run scheme ds ops threads seed range last trace_out =
     (* Always the deterministic simulator: traces are timestamped by the
-       virtual tick clock, so the same seed replays the same event log. *)
-    T.enable ~capacity:65536 ();
+       virtual tick clock, so the same seed replays the same event log.
+       With --trace-out the sink is the non-lossy spool (analyze input);
+       otherwise a ring keeping the last 64K events for printing. *)
+    (match trace_out with
+    | Some _ -> T.enable ~sink:T.Spool ()
+    | None -> T.enable ~capacity:65536 ());
     let cell =
       W.Spec.cell ~threads ~key_range:range ~workload:W.Spec.Read_write
         ~limit:(W.Spec.Ops ops) ~mode:(W.Spec.Fibers seed) ~seed ()
@@ -202,15 +247,24 @@ let trace_cmd =
       | Some r ->
           let recs = T.dump () in
           let total = List.length recs in
-          let shown =
-            if last > 0 && total > last then
-              List.filteri (fun i _ -> i >= total - last) recs
-            else recs
-          in
-          List.iter (fun rc -> print_endline (T.record_to_string rc)) shown;
-          Printf.printf
-            "# %d events kept (%d dropped by ring wraparound), %d ops, seed %d\n"
-            total (T.dropped ()) r.W.Spec.total_ops seed;
+          (match trace_out with
+          | Some out ->
+              T.to_file out recs;
+              Printf.printf "# wrote %s: %d events, %d ops, seed %d\n" out
+                total r.W.Spec.total_ops seed
+          | None ->
+              let shown =
+                if last > 0 && total > last then
+                  List.filteri (fun i _ -> i >= total - last) recs
+                else recs
+              in
+              List.iter
+                (fun rc -> print_endline (T.record_to_string rc))
+                shown;
+              Printf.printf
+                "# %d events kept (%d dropped by ring wraparound), %d ops, \
+                 seed %d\n"
+                total (T.dropped ()) r.W.Spec.total_ops seed);
           0
     in
     T.disable ();
@@ -223,7 +277,7 @@ let trace_cmd =
           print the decoded event log (replayable from the seed)")
     Term.(
       const run $ scheme_arg $ ds_arg $ ops_arg $ threads_arg $ seed_arg
-      $ range_arg $ last_arg)
+      $ range_arg $ last_arg $ trace_out_arg)
 
 let chaos_cmd =
   let seeds_arg =
@@ -262,7 +316,7 @@ let chaos_cmd =
       & info [ "no-replay" ] ~doc:"Skip the traced determinism probes.")
   in
   let split s = String.split_on_char ',' s |> List.map String.trim in
-  let run seeds full quick scheme plan no_replay =
+  let run seeds full quick scheme plan no_replay trace_out =
     let p = if full && not quick then W.Chaos.full else W.Chaos.quick in
     let schemes =
       match scheme with None -> W.Chaos.all_schemes | Some s -> split s
@@ -272,13 +326,26 @@ let chaos_cmd =
       | None -> W.Chaos.all_plans
       | Some s -> List.map W.Chaos.plan_of_name (split s)
     in
-    let seeds = List.init (max 1 seeds) (fun i -> i + 1) in
-    let r =
-      W.Chaos.run_grid ~schemes ~plans ~seeds ~replay:(not no_replay)
-        ~verbose:true p
-    in
-    Fmt.pr "%a" W.Chaos.pp_report r;
-    if W.Chaos.report_ok r then 0 else 1
+    match trace_out with
+    | Some out ->
+        (* One traced cell instead of the grid: first scheme/plan/seed of
+           the (possibly restricted) selection. *)
+        let scheme = match schemes with s :: _ -> s | [] -> "HP-BRCU" in
+        let plan_id = match plans with pl :: _ -> pl | [] -> W.Chaos.Baseline in
+        let c =
+          W.Chaos.run_traced_to_file ~scheme ~plan_id ~seed:1 ~out p
+        in
+        Fmt.pr "%a@." W.Chaos.pp_cell c;
+        Fmt.pr "wrote %s@." out;
+        if W.Chaos.check_cell c = [] then 0 else 1
+    | None ->
+        let seeds = List.init (max 1 seeds) (fun i -> i + 1) in
+        let r =
+          W.Chaos.run_grid ~schemes ~plans ~seeds ~replay:(not no_replay)
+            ~verbose:true p
+        in
+        Fmt.pr "%a" W.Chaos.pp_report r;
+        if W.Chaos.report_ok r then 0 else 1
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -288,7 +355,67 @@ let chaos_cmd =
           the termination, safety and boundedness invariants")
     Term.(
       const run $ seeds_arg $ full_arg $ quick_arg $ scheme_arg $ plan_arg
-      $ no_replay_arg)
+      $ no_replay_arg $ trace_out_arg)
+
+let analyze_cmd =
+  let module T = Hpbrcu_runtime.Trace in
+  let module H = Hpbrcu_runtime.Stats.Histogram in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Spooled trace file(s), as written by --trace-out.  Pass one \
+             file per scheme/run to get a side-by-side comparison.")
+  in
+  let perfetto_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Additionally export the first trace as Chrome trace-event JSON \
+             (open in ui.perfetto.dev; thread tracks, critical-section / \
+             checkpoint / scan / flush / op spans).")
+  in
+  let require_ttr_arg =
+    Arg.(
+      value & flag
+      & info [ "require-ttr" ]
+          ~doc:
+            "Exit non-zero if any input trace yields zero retire->reclaim \
+             pairs (smoke-test guard: an empty join means the trace or the \
+             correlation ids are broken).")
+  in
+  let run outdir files perfetto require_ttr =
+    W.Report.outdir := outdir;
+    let summaries = List.map W.Analyze.of_file files in
+    W.Analyze.report summaries;
+    (match perfetto with
+    | Some f ->
+        T.perfetto_to_file f (T.read_file (List.hd files));
+        Printf.printf "wrote %s (load in ui.perfetto.dev)\n" f
+    | None -> ());
+    let empties =
+      List.filter (fun s -> s.W.Analyze.ttr.H.count = 0) summaries
+    in
+    if require_ttr && empties <> [] then begin
+      List.iter
+        (fun s ->
+          Printf.eprintf "analyze: no retire->reclaim pairs in %s\n"
+            s.W.Analyze.source)
+        empties;
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Ingest spooled traces (--trace-out) and compute time-to-reclaim \
+          percentiles, grace-period latency, signal->rollback latency, \
+          abort rate vs critical-section length, and the \
+          unreclaimed-watermark curve (CSVs under --outdir)")
+    Term.(const run $ outdir_arg $ files_arg $ perfetto_arg $ require_ttr_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-reclaim: reclamation data-plane kernels.                      *)
@@ -486,6 +613,32 @@ module Reclaim_bench = struct
       gated = true;
     }
 
+  (* The disabled-tracer fast path: every hot-path emit in the runtime is
+     one ref read and a branch when tracing is off (DESIGN.md §10).
+     Gated at zero allocation AND single-digit ns/emit — the instrumented
+     hot paths stay free when nobody is tracing. *)
+  let trace_emit_off_kernel ~iters =
+    let module Trace = Hpbrcu_runtime.Trace in
+    assert (not (Trace.enabled ()));
+    let ops = 256 in
+    let cycle () =
+      for k = 1 to ops do
+        Trace.emit Trace.Retire k;
+        Trace.emit2 Trace.Reclaim k (k + 1)
+      done
+    in
+    let ns, words = measure ~iters cycle in
+    {
+      kernel = "trace-emit-off";
+      scheme = "-";
+      hazards = 0;
+      iters;
+      ops_per_cycle = ops * 2;
+      ns_per_op = ns /. float_of_int (ops * 2);
+      minor_words_per_op = words /. float_of_int (ops * 2);
+      gated = true;
+    }
+
   let brcu_advance_kernel ~iters =
     let module B = Brcu_core.Make (Config.Default) () in
     let hs = Array.init 64 (fun _ -> B.register ()) in
@@ -537,6 +690,7 @@ module Reclaim_bench = struct
       pin_kernel ~iters:(it 1000);
       advance_kernel ~iters:(it 1000);
       brcu_advance_kernel ~iters:(it 500);
+      trace_emit_off_kernel ~iters:(it 2000);
     ]
 
   let write_json path rows =
@@ -583,9 +737,22 @@ module Reclaim_bench = struct
              words/op in steady state\n"
             r.kernel r.scheme r.hazards r.minor_words_per_op)
         bad;
-      if bad = [] then begin
+      (* The disabled-emit fast path additionally gates on latency: a ref
+         read and a branch must stay single-digit ns. *)
+      let slow_emit =
+        List.filter
+          (fun r -> r.kernel = "trace-emit-off" && r.ns_per_op >= 10.)
+          rows
+      in
+      List.iter
+        (fun r ->
+          Printf.eprintf
+            "bench-reclaim: GATE FAIL %s costs %.1f ns/op (must be < 10)\n"
+            r.kernel r.ns_per_op)
+        slow_emit;
+      if bad = [] && slow_emit = [] then begin
         Printf.printf "bench-reclaim: allocation gate passed (all gated \
-                       kernels <= %.2f words/op)\n" gate_threshold;
+                       kernels <= %.2f words/op, disabled emit < 10 ns)\n" gate_threshold;
         0
       end
       else 1
@@ -644,6 +811,7 @@ let main =
       longrun_cmd;
       trace_cmd;
       chaos_cmd;
+      analyze_cmd;
       bench_reclaim_cmd;
       table_cmd "table1" W.Figures.table1;
       table_cmd "table2" W.Figures.table2;

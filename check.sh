@@ -13,10 +13,19 @@ dune runtest
 dune exec bin/smrbench.exe -- chaos --seeds 3 --quick
 
 # Steady-state allocation gate (DESIGN.md §9): every gated reclamation
-# kernel (retire, scan, pin/unpin, failed advance) must stay at zero
-# minor-heap words per cycle (threshold 0.05 words/op absorbs probe
-# calibration noise).
+# kernel (retire, scan, pin/unpin, failed advance, disabled trace emit)
+# must stay at zero minor-heap words per cycle (threshold 0.05 words/op
+# absorbs probe calibration noise); the disabled emit additionally must
+# stay single-digit ns.
 dune exec bin/smrbench.exe -- bench-reclaim --gate --quick --out /tmp/BENCH_reclaim.ci.json
+
+# Analyze smoke gate (DESIGN.md §10): spool a small traced longrun cell,
+# run the trace analyzer over it, and require non-empty time-to-reclaim
+# percentiles plus a loadable Perfetto export.  An empty join here means
+# the correlation ids or the spool sink broke.
+dune exec bin/smrbench.exe -- longrun --scheme HP-BRCU --trace-out /tmp/smrbench.ci.trace
+dune exec bin/smrbench.exe -- analyze --require-ttr --outdir /tmp/smrbench.ci.results \
+  --perfetto /tmp/smrbench.ci.perfetto.json /tmp/smrbench.ci.trace
 
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt

@@ -53,6 +53,10 @@ let reset () =
   Atomic.set reclaimed 0;
   Hpbrcu_runtime.Counter.reset unreclaimed;
   Atomic.set uaf 0;
+  (* Block ids and signal send-sequence ids restart with the cell so that
+     trace correlation arguments are deterministic per seed. *)
+  Block.reset_ids ();
+  Hpbrcu_runtime.Signal.reset_telemetry ();
   Pool.reset_stats ()
 
 (** Re-arm only the peak tracker (measure the peak of a window). *)
@@ -70,11 +74,12 @@ let retire b =
   if Block.transition b ~from:Live ~to_:Retired then begin
     Atomic.incr retired;
     Hpbrcu_runtime.Counter.incr unreclaimed;
-    (* Trace args use the (deterministic) unreclaimed count, not block ids:
-       Block.next_id never resets, so ids would differ across runs of the
-       same seed and break trace replayability. *)
-    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Retire
+    (* arg = unreclaimed count (the watermark curve), arg2 = block id (the
+       retire→reclaim correlation edge).  Ids are replay-safe because
+       [reset] restarts them per cell. *)
+    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
       (Hpbrcu_runtime.Counter.get unreclaimed)
+      (Block.id b)
   end
   else if Atomic.get strict then raise (Double_retire b)
   else Atomic.incr uaf
@@ -87,8 +92,9 @@ let try_retire b =
   if Block.transition b ~from:Block.Live ~to_:Block.Retired then begin
     Atomic.incr retired;
     Hpbrcu_runtime.Counter.incr unreclaimed;
-    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Retire
-      (Hpbrcu_runtime.Counter.get unreclaimed);
+    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
+      (Hpbrcu_runtime.Counter.get unreclaimed)
+      (Block.id b);
     true
   end
   else false
@@ -99,8 +105,9 @@ let reclaim b =
   if Block.transition b ~from:Retired ~to_:Reclaimed then begin
     Atomic.incr reclaimed;
     Hpbrcu_runtime.Counter.decr unreclaimed;
-    Hpbrcu_runtime.Trace.emit Hpbrcu_runtime.Trace.Reclaim
+    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Reclaim
       (Hpbrcu_runtime.Counter.get unreclaimed)
+      (Block.id b)
   end
   else if Atomic.get strict then raise (Double_reclaim b)
   else Atomic.incr uaf

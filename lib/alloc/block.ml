@@ -38,6 +38,14 @@ type t = {
 
 let next_id = Atomic.make 0
 
+(** Restart the id sequence (between experiment cells, when no blocks from
+    the previous cell are reachable).  With ids restarting at 0, a fiber
+    run's block ids — and therefore the [Retire]/[Reclaim] correlation
+    arguments in traces — are a pure function of the seed.  Stale blocks
+    sharing an id with a new one can only make a hazard scan {e withhold}
+    a reclaim, never permit one, so a missed reset degrades nothing. *)
+let reset_ids () = Atomic.set next_id 0
+
 let make ?(recyclable = false) () =
   {
     id = Atomic.fetch_and_add next_id 1;

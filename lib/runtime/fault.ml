@@ -168,7 +168,8 @@ let on_send ~tid =
     match fire Signal_send ~tid with
     | Some Drop_signal ->
         Atomic.incr n_drops;
-        Trace.emit Trace.Signal_dropped tid;
+        (* Signal_dropped is emitted by {!Signal.send}, which knows the
+           send-sequence id the drop orphans. *)
         Some `Drop
     | Some (Delay_signal n) when n > 0 ->
         Atomic.incr n_delays;

@@ -332,7 +332,9 @@ let schedule_step c =
     Domain.DLS.set tid_key f.ftid;
     if idx <> !prof_last_run then begin
       incr prof_switches;
-      Trace.emit Trace.Context_switch f.ftid;
+      (* arg2 = the fiber switched away from, so the analyzer can chain
+         occupancy intervals without replaying the scheduler. *)
+      Trace.emit2 Trace.Context_switch f.ftid !prof_last_run;
       prof_last_run := idx
     end;
     if f.wake_at > 0 then begin
@@ -341,7 +343,7 @@ let schedule_step c =
       incr prof_wakes;
       let lat = c.tick - f.wake_at in
       prof_wake_latency := !prof_wake_latency + lat;
-      Trace.emit Trace.Wake lat;
+      Trace.emit2 Trace.Wake lat f.wake_at;
       f.wake_at <- 0
     end;
     let handler : (unit, unit) Effect.Deep.handler =

@@ -51,6 +51,8 @@ type box = {
          receiver (fault injection); 0 = deliverable immediately *)
   acks : int Atomic.t;  (* deliveries handled by the receiver *)
   sent : int Atomic.t;  (* diagnostics: signals ever sent to this box *)
+  posted_seq : int Atomic.t;  (* seq of the most recently posted delivery *)
+  consumed_seq : int Atomic.t;  (* seq of the delivery last consumed *)
   mutable owner_tid : int;  (* for waking a stalled fiber, like EINTR *)
 }
 
@@ -60,8 +62,50 @@ let make () =
     not_before = Atomic.make 0;
     acks = Atomic.make 0;
     sent = Atomic.make 0;
+    posted_seq = Atomic.make 0;
+    consumed_seq = Atomic.make 0;
     owner_tid = -1;
   }
+
+(* --------------------- causal telemetry (DESIGN.md §10) ------------- *)
+
+(* Global send-sequence ids correlate each send with the rollback (or
+   drop) it causes: the sender stamps [Trace.Signal_sent] with the seq,
+   the receiver's handler reads {!consumed_seq} and stamps its
+   [Trace.Rollback] with the same value, and the analyzer joins the two.
+   The counter is global (not per box) so ids are unique within a run;
+   {!reset_telemetry} zeroes it between cells to keep fiber runs
+   seed-deterministic. *)
+let seq_counter = Atomic.make 0
+
+(** Draw a fresh send-sequence id (1-based; 0 means "no correlation"). *)
+let next_seq () = Atomic.fetch_and_add seq_counter 1 + 1
+
+(** [consumed_seq box] — inside a handler: the send-sequence id of the
+    delivery being handled.  Best-effort under back-to-back sends to the
+    same box (a second post overwrites the stamp before the first handler
+    runs), exact in the common one-outstanding-signal regime. *)
+let consumed_seq box = Atomic.get box.consumed_seq
+
+(** [mark_self_delivery box ~seq] — a self-neutralization runs its handler
+    inline without posting a delivery (a real signal to self also runs the
+    handler synchronously); stamping the consumed seq keeps the handler's
+    rollback correlated to the synthetic send. *)
+let mark_self_delivery box ~seq = Atomic.set box.consumed_seq seq
+
+(* Sends posted but not yet resolved (acked, dropped, timed out): the
+   "signals in flight" watermark of {!Stats.snapshot}. *)
+let inflight = Atomic.make 0
+let inflight_gauge = Stats.Gauge.make ()
+
+(** Peak concurrent sends since the last {!reset_telemetry}. *)
+let max_inflight () = Stats.Gauge.maximum inflight_gauge
+
+(** Zero the seq counter and the in-flight watermark (between cells). *)
+let reset_telemetry () =
+  Atomic.set seq_counter 0;
+  Atomic.set inflight 0;
+  Stats.Gauge.reset inflight_gauge
 
 (** [attach box] binds the box to the calling thread so that {!send} can
     interrupt its simulated stalls (signals interrupt blocked syscalls). *)
@@ -137,7 +181,9 @@ let wait_domain box ~before ~is_out =
   done;
   Option.get !result
 
-(** [send box ~is_out] delivers a signal and reports the {!outcome}.
+(** [send ?seq box ~is_out] delivers a signal and reports the {!outcome}.
+    [seq] (from {!next_seq}) correlates this send with the rollback it
+    causes; 0 (the default) means "uncorrelated".
     Mirrors Assumption 1 of the paper ("the signaled thread is suspended
     before the signaling thread returns"):
 
@@ -154,42 +200,56 @@ let wait_domain box ~before ~is_out =
     - In domain mode, threads are truly parallel and the poll/access pair
       is not atomic, so the sender always waits — now with exponential
       backoff and a bounded budget instead of forever. *)
-let send box ~is_out =
+let send ?(seq = 0) box ~is_out =
   Atomic.incr box.sent;
+  Stats.Gauge.observe inflight_gauge (Atomic.fetch_and_add inflight 1 + 1);
   let cost = Atomic.get send_cost in
   if cost > 0 then burn cost;
-  if Sched.is_crashed box.owner_tid then Dead_receiver
-  else begin
-    let before = Atomic.get box.acks in
-    if Sched.fiber_mode () then begin
-      let posted =
-        if Fault.active () then begin
-          match Fault.on_send ~tid:box.owner_tid with
-          | Some `Drop -> false
-          | Some (`Delay n) ->
-              Atomic.set box.not_before (Sched.tick () + n);
-              Atomic.set box.pending true;
-              true
-          | None ->
-              Atomic.set box.not_before 0;
-              Atomic.set box.pending true;
-              true
-        end
-        else begin
-          Atomic.set box.not_before 0;
-          Atomic.set box.pending true;
-          true
-        end
-      in
-      if box.owner_tid >= 0 then Sched.interrupt ~tid:box.owner_tid;
-      if posted && not (Fault.active ()) then Delivered
-      else wait_fiber box ~before ~is_out
-    end
+  let outcome =
+    if Sched.is_crashed box.owner_tid then Dead_receiver
     else begin
-      Atomic.set box.pending true;
-      wait_domain box ~before ~is_out
+      let before = Atomic.get box.acks in
+      if Sched.fiber_mode () then begin
+        let posted =
+          if Fault.active () then begin
+            match Fault.on_send ~tid:box.owner_tid with
+            | Some `Drop ->
+                (* The drop is where a correlated rollback will never
+                   appear; stamp the seq so the analyzer can close the
+                   edge as "dropped" rather than "unmatched". *)
+                Trace.emit2 Trace.Signal_dropped box.owner_tid seq;
+                false
+            | Some (`Delay n) ->
+                Atomic.set box.not_before (Sched.tick () + n);
+                Atomic.set box.posted_seq seq;
+                Atomic.set box.pending true;
+                true
+            | None ->
+                Atomic.set box.not_before 0;
+                Atomic.set box.posted_seq seq;
+                Atomic.set box.pending true;
+                true
+          end
+          else begin
+            Atomic.set box.not_before 0;
+            Atomic.set box.posted_seq seq;
+            Atomic.set box.pending true;
+            true
+          end
+        in
+        if box.owner_tid >= 0 then Sched.interrupt ~tid:box.owner_tid;
+        if posted && not (Fault.active ()) then Delivered
+        else wait_fiber box ~before ~is_out
+      end
+      else begin
+        Atomic.set box.posted_seq seq;
+        Atomic.set box.pending true;
+        wait_domain box ~before ~is_out
+      end
     end
-  end
+  in
+  Atomic.decr inflight;
+  outcome
 
 (** [poll box ~handler] — receiver side.  If a delivery is pending (and its
     injected delay, if any, has elapsed), consume it and run [handler]
@@ -199,6 +259,7 @@ let send box ~is_out =
 let poll box ~handler =
   if deliverable box then begin
     Atomic.set box.pending false;
+    Atomic.set box.consumed_seq (Atomic.get box.posted_seq);
     Atomic.incr box.acks;
     handler ()
   end
@@ -209,5 +270,6 @@ let poll box ~handler =
 let consume_quietly box =
   if deliverable box then begin
     Atomic.set box.pending false;
+    Atomic.set box.consumed_seq (Atomic.get box.posted_seq);
     Atomic.incr box.acks
   end

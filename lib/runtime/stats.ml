@@ -63,6 +63,43 @@ module Counter = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Min/max gauges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Gauge = struct
+  (* Watermark tracker for quantities that are sampled, not summed: peak
+     unreclaimed blocks, worst epoch lag, most signals in flight.  CAS
+     races only towards the true extremum, so concurrent observers never
+     lose a watermark.  Unobserved gauges read as 0 on both ends (the
+     "nothing happened" value snapshots expect), which the sentinel
+     initializers make cheap to test. *)
+  type t = { mx : int Atomic.t; mn : int Atomic.t }
+
+  let make () = { mx = Atomic.make min_int; mn = Atomic.make max_int }
+
+  let rec raise_to cell v =
+    let c = Atomic.get cell in
+    if v > c && not (Atomic.compare_and_set cell c v) then raise_to cell v
+
+  let rec lower_to cell v =
+    let c = Atomic.get cell in
+    if v < c && not (Atomic.compare_and_set cell c v) then lower_to cell v
+
+  (** Fold one sample into both watermarks. *)
+  let observe t v =
+    raise_to t.mx v;
+    lower_to t.mn v
+
+  let maximum t = match Atomic.get t.mx with v when v = min_int -> 0 | v -> v
+  let minimum t = match Atomic.get t.mn with v when v = max_int -> 0 | v -> v
+  let observed t = Atomic.get t.mx <> min_int
+
+  let reset t =
+    Atomic.set t.mx min_int;
+    Atomic.set t.mn max_int
+end
+
+(* ------------------------------------------------------------------ *)
 (* Log-bucketed histograms                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -207,7 +244,11 @@ end
       [quarantines], [leaked];
     - hazard-pointer machinery: [scans], [scan_reclaimed];
     - the Traverse combinator: [traverses], [traverse_steps],
-      [traverse_resumes], [validate_failures]. *)
+      [traverse_resumes], [validate_failures];
+    - watermark gauges (merged with [max], not [+], by {!add}):
+      [max_epoch_lag], [max_signals_inflight].  (The third gauge of the
+      family, peak unreclaimed blocks, lives in {!Alloc} because it is a
+      property of the run, not of one scheme.) *)
 type snapshot = {
   epoch : int;  (** current global epoch (epoch-family schemes) *)
   era : int;  (** current global era (VBR/HE/IBR) *)
@@ -231,6 +272,11 @@ type snapshot = {
   traverse_steps : int;  (** total traversal steps *)
   traverse_resumes : int;  (** critical-section (re-)entries in Traverse *)
   validate_failures : int;  (** checkpoint revalidation failures (R1) *)
+  max_epoch_lag : int;
+      (** worst observed (global epoch - lagging announcement) at a failed
+          or forced advance; bounded for BRCU, unbounded for plain EBR *)
+  max_signals_inflight : int;
+      (** peak concurrent {!Signal.send}s posted but not yet resolved *)
 }
 
 let empty =
@@ -254,10 +300,14 @@ let empty =
     traverse_steps = 0;
     traverse_resumes = 0;
     validate_failures = 0;
+    max_epoch_lag = 0;
+    max_signals_inflight = 0;
   }
 
-(** Pointwise sum; composite schemes merge their halves with this (each
-    half leaves the other's fields at zero). *)
+(** Pointwise merge; composite schemes combine their halves with this
+    (each half leaves the other's fields at zero).  Counters sum; gauges
+    take the max, because a watermark of the whole is the worst watermark
+    of its parts, not their total. *)
 let add a b =
   {
     epoch = a.epoch + b.epoch;
@@ -279,6 +329,8 @@ let add a b =
     traverse_steps = a.traverse_steps + b.traverse_steps;
     traverse_resumes = a.traverse_resumes + b.traverse_resumes;
     validate_failures = a.validate_failures + b.validate_failures;
+    max_epoch_lag = max a.max_epoch_lag b.max_epoch_lag;
+    max_signals_inflight = max a.max_signals_inflight b.max_signals_inflight;
   }
 
 (** The serializer boundary: the one place a snapshot becomes string-keyed
@@ -307,6 +359,8 @@ let to_fields ?(keep_zeros = false) s =
       ("traverse_steps", s.traverse_steps);
       ("traverse_resumes", s.traverse_resumes);
       ("validate_failures", s.validate_failures);
+      ("max_epoch_lag", s.max_epoch_lag);
+      ("max_signals_inflight", s.max_signals_inflight);
     ]
   in
   if keep_zeros then all else List.filter (fun (_, v) -> v <> 0) all

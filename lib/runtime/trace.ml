@@ -1,20 +1,41 @@
-(** Deterministic per-thread event tracer (DESIGN.md §7).
+(** Deterministic per-thread event tracer (DESIGN.md §7, §10).
 
     When enabled, every interesting runtime event — epoch advances, signals,
     rollbacks, checkpoints, retirements, reclamations, stalls, deadline
-    aborts, context switches, fiber wake-ups — is appended to a fixed-size
-    per-thread ring buffer as three unboxed ints (timestamp, event code,
+    aborts, context switches, fiber wake-ups — is appended to a per-thread
+    sink as four unboxed ints (timestamp, event code, argument, correlation
     argument).  The {b disabled} fast path is a single ref read and branch
     and allocates nothing, so tracing can stay compiled into every scheme
-    hot path; the {b enabled} path allocates only once per thread (the ring
-    itself).
+    hot path (asserted by the [trace-emit-off] bench-reclaim kernel); the
+    {b enabled} path allocates only when a thread's sink grows.
+
+    {b Causality} (DESIGN.md §10).  Events carry a second argument so a
+    post-hoc analyzer can join the two ends of a lifecycle edge:
+
+    - [Retire]/[Reclaim] carry the block id, joining each block's
+      retirement to its reclamation (time-to-reclaim);
+    - [Signal_sent]/[Rollback]/[Signal_dropped] carry a global
+      send-sequence id ({!Signal.next_seq}), joining a neutralization to
+      the rollback it caused (signal→rollback latency);
+    - begin/end span pairs ([Cs_begin]/[Cs_end], [Scan_begin]/[Scan_end],
+      [Flush_begin]/[Flush_end], [Checkpoint_begin]/[Checkpoint],
+      [Op_begin]/[Op_end]) bracket phases so durations and abort rates fall
+      out of the trace alone.
+
+    {b Sinks.}  The default {!Ring} sink keeps the last [capacity] events
+    per thread — bounded memory, arbitrarily long runs, but lossy.  The
+    {!Spool} sink is non-lossy up to a per-thread record bound: it grows by
+    fixed-size chunks (allocation amortized over {!chunk_records} events,
+    never on the steady emit path), which is what `smrbench analyze` and
+    the Perfetto export consume.  Both count what they drop.
 
     Timestamps come from the scheduler's virtual clock ({!Sched.tick}), so
     in fiber mode a trace is a pure function of the simulator seed: the
-    same seed and [switch_every] produce a byte-identical event log, which
-    is what makes traces {e replayable} — re-run the seed, get the same
-    story, add printf only where the trace says to look.  In domain mode
-    ticks are 0 and only per-thread order is meaningful.
+    same seed and [switch_every] produce a byte-identical event log
+    ({!write_channel} output included), which is what makes traces
+    {e replayable} — re-run the seed, get the same story, add printf only
+    where the trace says to look.  In domain mode ticks are 0 and only
+    per-thread order is meaningful.
 
     Like {!Stats}, this module must not depend on {!Sched} (the scheduler
     emits events); {!Sched} injects the clock and thread-id providers at
@@ -22,19 +43,29 @@
 
 type event =
   | Epoch_advance  (** arg = new epoch/era *)
-  | Signal_sent  (** arg = receiver thread id *)
-  | Rollback  (** arg = 0 *)
-  | Checkpoint  (** arg = traversal buffer index flipped to *)
-  | Retire  (** arg = unreclaimed blocks after the retire *)
-  | Reclaim  (** arg = unreclaimed blocks after the reclaim *)
+  | Signal_sent  (** arg = receiver thread id, arg2 = send-sequence id *)
+  | Rollback  (** arg = 0, arg2 = send-sequence id consumed (0 = none) *)
+  | Checkpoint
+      (** checkpoint span end; arg = traversal buffer index flipped to *)
+  | Retire  (** arg = unreclaimed blocks after the retire, arg2 = block id *)
+  | Reclaim  (** arg = unreclaimed blocks after the reclaim, arg2 = block id *)
   | Stall  (** arg = stall length in virtual ticks *)
   | Deadline_abort  (** arg = 0 *)
-  | Context_switch  (** arg = resumed thread id *)
-  | Wake  (** arg = wake latency in virtual ticks *)
+  | Context_switch  (** arg = resumed thread id, arg2 = preempted thread id *)
+  | Wake  (** arg = wake latency in virtual ticks, arg2 = scheduled wake tick *)
   | Fault_stall  (** arg = injected stall length in virtual ticks *)
   | Fault_crash  (** arg = crashed thread id *)
-  | Signal_dropped  (** arg = receiver thread id *)
+  | Signal_dropped  (** arg = receiver thread id, arg2 = send-sequence id *)
   | Participant_quarantined  (** arg = quarantined thread id *)
+  | Cs_begin  (** arg = epoch announced on entry (-1/0 if none) *)
+  | Cs_end  (** arg = outcome: 0 completed, 1 rolled back, 2 other exception *)
+  | Checkpoint_begin  (** arg = traversal buffer index being written *)
+  | Scan_begin  (** arg = retired-batch length at scan entry *)
+  | Scan_end  (** arg = blocks reclaimed by the scan *)
+  | Flush_begin  (** arg = global epoch at flush entry *)
+  | Flush_end  (** arg = outcome: 0 advanced, 1 gave up/vetoed *)
+  | Op_begin  (** arg = op kind: 0 get, 1 insert, 2 remove *)
+  | Op_end  (** arg = op kind (matches the [Op_begin]) *)
 
 let event_code = function
   | Epoch_advance -> 0
@@ -51,6 +82,15 @@ let event_code = function
   | Fault_crash -> 11
   | Signal_dropped -> 12
   | Participant_quarantined -> 13
+  | Cs_begin -> 14
+  | Cs_end -> 15
+  | Checkpoint_begin -> 16
+  | Scan_begin -> 17
+  | Scan_end -> 18
+  | Flush_begin -> 19
+  | Flush_end -> 20
+  | Op_begin -> 21
+  | Op_end -> 22
 
 let event_of_code = function
   | 0 -> Epoch_advance
@@ -67,13 +107,54 @@ let event_of_code = function
   | 11 -> Fault_crash
   | 12 -> Signal_dropped
   | 13 -> Participant_quarantined
+  | 14 -> Cs_begin
+  | 15 -> Cs_end
+  | 16 -> Checkpoint_begin
+  | 17 -> Scan_begin
+  | 18 -> Scan_end
+  | 19 -> Flush_begin
+  | 20 -> Flush_end
+  | 21 -> Op_begin
+  | 22 -> Op_end
   | _ -> invalid_arg "Trace.event_of_code"
+
+(** Number of event codes; codes are contiguous in [0, n_event_codes).
+    The roundtrip test iterates this range against {!all_events}. *)
+let n_event_codes = 23
+
+(** Every constructor, in code order. *)
+let all_events =
+  [
+    Epoch_advance;
+    Signal_sent;
+    Rollback;
+    Checkpoint;
+    Retire;
+    Reclaim;
+    Stall;
+    Deadline_abort;
+    Context_switch;
+    Wake;
+    Fault_stall;
+    Fault_crash;
+    Signal_dropped;
+    Participant_quarantined;
+    Cs_begin;
+    Cs_end;
+    Checkpoint_begin;
+    Scan_begin;
+    Scan_end;
+    Flush_begin;
+    Flush_end;
+    Op_begin;
+    Op_end;
+  ]
 
 let event_name = function
   | Epoch_advance -> "epoch-advance"
   | Signal_sent -> "signal-sent"
   | Rollback -> "rollback"
-  | Checkpoint -> "checkpoint"
+  | Checkpoint -> "checkpoint-end"
   | Retire -> "retire"
   | Reclaim -> "reclaim"
   | Stall -> "stall"
@@ -84,6 +165,15 @@ let event_name = function
   | Fault_crash -> "fault-crash"
   | Signal_dropped -> "signal-dropped"
   | Participant_quarantined -> "quarantined"
+  | Cs_begin -> "cs-begin"
+  | Cs_end -> "cs-end"
+  | Checkpoint_begin -> "checkpoint-begin"
+  | Scan_begin -> "scan-begin"
+  | Scan_end -> "scan-end"
+  | Flush_begin -> "flush-begin"
+  | Flush_end -> "flush-end"
+  | Op_begin -> "op-begin"
+  | Op_end -> "op-end"
 
 (* ------------------------------------------------------------------ *)
 (* Providers (installed by Sched at init)                              *)
@@ -96,103 +186,347 @@ let set_clock f = clock := f
 let set_tid_provider f = tid_provider := f
 
 (* ------------------------------------------------------------------ *)
-(* Rings                                                               *)
+(* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* One ring per logical tid (+1 slot for tid = -1).  Each record is three
-   ints: tick, event code, arg.  [n] counts events ever emitted, so the
-   ring holds the LAST [capacity] events and [dropped] is n - kept. *)
+type sink = Ring | Spool
+
+(* Each record is four ints: tick, event code, arg, arg2. *)
+let rec_ints = 4
+
+(* One ring per logical tid (+1 slot for tid = -1).  [n] counts events
+   ever emitted, so the ring holds the LAST [capacity] events and
+   [dropped] is n - kept. *)
 type ring = { buf : int array; mutable n : int }
+
+(* Spools grow by whole chunks so the steady emit path performs only int
+   stores; the one allocation per [chunk_records] events is what
+   "allocation-amortized" means.  [limit] bounds records kept; beyond it
+   the spool only counts ([n] keeps growing, nothing is stored). *)
+type spool = {
+  mutable full : int array list;  (* filled chunks, newest first *)
+  mutable cur : int array;
+  mutable fill : int;  (* ints used in [cur] *)
+  mutable sn : int;  (* records ever emitted to this spool *)
+  limit : int;  (* max records kept *)
+}
+
+let chunk_records = 4096
 
 let max_rings = Stats.max_shards
 let rings : ring option array = Array.make max_rings None
+let spools : spool option array = Array.make max_rings None
 let capacity = ref 4096
+let spool_default_limit = 1 lsl 20
+let spool_limit = ref spool_default_limit
+let sink_mode = ref Ring
 let on = ref false
 
 let enabled () = !on
+let sink () = !sink_mode
 
 let clear () =
-  Array.fill rings 0 max_rings None
+  Array.fill rings 0 max_rings None;
+  Array.fill spools 0 max_rings None
 
-(** [enable ?capacity ()] clears previous traces and starts recording into
-    per-thread rings of [capacity] events (default 4096). *)
-let enable ?capacity:(cap = 4096) () =
+(** [enable ?capacity ?sink ()] clears previous traces and starts
+    recording.  With the (default) {!Ring} sink, [capacity] is the
+    per-thread ring size in events (default 4096, lossy under wraparound);
+    with {!Spool}, it is the per-thread record bound (default
+    {!spool_default_limit}, non-lossy below it). *)
+let enable ?capacity:cap ?(sink = Ring) () =
   clear ();
-  capacity := max 1 cap;
+  sink_mode := sink;
+  (match sink with
+  | Ring -> capacity := max 1 (Option.value cap ~default:4096)
+  | Spool -> spool_limit := max 1 (Option.value cap ~default:spool_default_limit));
   on := true
 
 let disable () = on := false
 
-(** Record one event.  Zero-allocation no-op when disabled; when enabled,
-    three int stores into the calling thread's ring. *)
-let emit ev arg =
-  if !on then begin
-    let i = !tid_provider () + 1 in
-    if i >= 0 && i < max_rings then begin
-      let r =
-        match rings.(i) with
-        | Some r -> r
-        | None ->
-            let r = { buf = Array.make (3 * !capacity) 0; n = 0 } in
-            rings.(i) <- Some r;
-            r
-      in
-      let slot = r.n mod !capacity * 3 in
-      r.buf.(slot) <- !clock ();
-      r.buf.(slot + 1) <- event_code ev;
-      r.buf.(slot + 2) <- arg;
-      r.n <- r.n + 1
-    end
+(* Enabled-path body, out of line so the disabled path in emit/emit2 is a
+   ref read and a branch with no call. *)
+let emit_enabled ev arg arg2 =
+  let i = !tid_provider () + 1 in
+  if i >= 0 && i < max_rings then begin
+    let t = !clock () and code = event_code ev in
+    match !sink_mode with
+    | Ring ->
+        let r =
+          match rings.(i) with
+          | Some r -> r
+          | None ->
+              let r = { buf = Array.make (rec_ints * !capacity) 0; n = 0 } in
+              rings.(i) <- Some r;
+              r
+        in
+        let slot = r.n mod !capacity * rec_ints in
+        r.buf.(slot) <- t;
+        r.buf.(slot + 1) <- code;
+        r.buf.(slot + 2) <- arg;
+        r.buf.(slot + 3) <- arg2;
+        r.n <- r.n + 1
+    | Spool ->
+        let s =
+          match spools.(i) with
+          | Some s -> s
+          | None ->
+              let s =
+                {
+                  full = [];
+                  cur = Array.make (rec_ints * chunk_records) 0;
+                  fill = 0;
+                  sn = 0;
+                  limit = !spool_limit;
+                }
+              in
+              spools.(i) <- Some s;
+              s
+        in
+        if s.sn < s.limit then begin
+          if s.fill = Array.length s.cur then begin
+            s.full <- s.cur :: s.full;
+            s.cur <- Array.make (rec_ints * chunk_records) 0;
+            s.fill <- 0
+          end;
+          let slot = s.fill in
+          s.cur.(slot) <- t;
+          s.cur.(slot + 1) <- code;
+          s.cur.(slot + 2) <- arg;
+          s.cur.(slot + 3) <- arg2;
+          s.fill <- s.fill + rec_ints
+        end;
+        s.sn <- s.sn + 1
   end
+
+(** Record one event.  Zero-allocation no-op when disabled; when enabled,
+    four int stores into the calling thread's sink. *)
+let emit ev arg = if !on then emit_enabled ev arg 0
+
+(** Like {!emit} with a correlation argument (block id, send-sequence id,
+    preempted tid, …). *)
+let emit2 ev arg arg2 = if !on then emit_enabled ev arg arg2
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type record = { tick : int; tid : int; seq : int; event : event; arg : int }
+type record = {
+  tick : int;
+  tid : int;
+  seq : int;
+  event : event;
+  arg : int;
+  arg2 : int;
+}
 
-(** Events dropped to ring wraparound (per-thread overflow), summed. *)
+(** Events dropped by the active sink — ring wraparound or spool bound —
+    summed over threads. *)
 let dropped () =
-  Array.fold_left
-    (fun acc r ->
-      match r with
-      | None -> acc
-      | Some r -> acc + max 0 (r.n - !capacity))
-    0 rings
+  match !sink_mode with
+  | Ring ->
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | None -> acc
+          | Some r -> acc + max 0 (r.n - !capacity))
+        0 rings
+  | Spool ->
+      Array.fold_left
+        (fun acc s ->
+          match s with
+          | None -> acc
+          | Some s -> acc + max 0 (s.sn - s.limit))
+        0 spools
 
-(** [dump ()] decodes every ring into a single chronological log, ordered
-    by (tick, tid, per-thread sequence).  Deterministic in fiber mode. *)
-let dump () : record list =
-  let acc = ref [] in
-  for i = max_rings - 1 downto 0 do
-    match rings.(i) with
-    | None -> ()
-    | Some r ->
-        let tid = i - 1 in
-        let kept = min r.n !capacity in
-        for j = kept - 1 downto 0 do
-          let seq = r.n - kept + j in
-          let slot = seq mod !capacity * 3 in
-          acc :=
-            {
-              tick = r.buf.(slot);
-              tid;
-              seq;
-              event = event_of_code r.buf.(slot + 1);
-              arg = r.buf.(slot + 2);
-            }
-            :: !acc
-        done
-  done;
+let chronological acc =
   List.stable_sort
     (fun a b ->
       match compare a.tick b.tick with
       | 0 -> ( match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
       | c -> c)
-    !acc
+    acc
+
+(* A spool's chunks, oldest first, each paired with its used length. *)
+let spool_chunks s =
+  List.rev ((s.cur, s.fill) :: List.map (fun c -> (c, Array.length c)) s.full)
+
+(** [dump ()] decodes the active sink into a single chronological log,
+    ordered by (tick, tid, per-thread sequence).  Deterministic in fiber
+    mode. *)
+let dump () : record list =
+  let acc = ref [] in
+  for i = max_rings - 1 downto 0 do
+    match !sink_mode with
+    | Ring -> (
+        match rings.(i) with
+        | None -> ()
+        | Some r ->
+            let tid = i - 1 in
+            let kept = min r.n !capacity in
+            for j = kept - 1 downto 0 do
+              let seq = r.n - kept + j in
+              let slot = seq mod !capacity * rec_ints in
+              acc :=
+                {
+                  tick = r.buf.(slot);
+                  tid;
+                  seq;
+                  event = event_of_code r.buf.(slot + 1);
+                  arg = r.buf.(slot + 2);
+                  arg2 = r.buf.(slot + 3);
+                }
+                :: !acc
+            done)
+    | Spool -> (
+        match spools.(i) with
+        | None -> ()
+        | Some s ->
+            let tid = i - 1 in
+            let seq = ref 0 in
+            let here = ref [] in
+            List.iter
+              (fun (chunk, used) ->
+                let j = ref 0 in
+                while !j < used do
+                  let slot = !j in
+                  here :=
+                    {
+                      tick = chunk.(slot);
+                      tid;
+                      seq = !seq;
+                      event = event_of_code chunk.(slot + 1);
+                      arg = chunk.(slot + 2);
+                      arg2 = chunk.(slot + 3);
+                    }
+                    :: !here;
+                  incr seq;
+                  j := !j + rec_ints
+                done)
+              (spool_chunks s);
+            acc := List.rev_append !here !acc)
+  done;
+  chronological !acc
 
 let pp_record ppf r =
-  Fmt.pf ppf "%8d  t%-3d  %-15s %d" r.tick r.tid (event_name r.event) r.arg
+  Fmt.pf ppf "%8d  t%-3d  %-16s %d %d" r.tick r.tid (event_name r.event) r.arg
+    r.arg2
 
 let record_to_string r =
-  Printf.sprintf "%8d  t%-3d  %-15s %d" r.tick r.tid (event_name r.event) r.arg
+  Printf.sprintf "%8d  t%-3d  %-16s %d %d" r.tick r.tid (event_name r.event)
+    r.arg r.arg2
+
+(* ------------------------------------------------------------------ *)
+(* Persistence (the spool's on-disk form)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per record, stable integer fields only, so the same seed
+   yields byte-identical files — the determinism tests compare these
+   bytes.  Codes (not names) keep the format append-only: new events
+   never reflow old lines. *)
+let file_magic = "# smrbench-trace v2: tick tid seq code arg arg2"
+
+let write_channel oc records =
+  output_string oc file_magic;
+  output_char oc '\n';
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "%d %d %d %d %d %d\n" r.tick r.tid r.seq
+        (event_code r.event) r.arg r.arg2)
+    records
+
+(** [to_file path records] writes a chronological log (usually {!dump}'s
+    result) in the line format {!read_file} parses. *)
+let to_file path records =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      write_channel oc records)
+
+(** [read_file path] parses a file written by {!to_file}.  Raises
+    [Failure] on malformed input. *)
+let read_file path : record list =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if line <> "" && line.[0] <> '#' then
+             Scanf.sscanf line "%d %d %d %d %d %d"
+               (fun tick tid seq code arg arg2 ->
+                 acc :=
+                   { tick; tid; seq; event = event_of_code code; arg; arg2 }
+                   :: !acc)
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Span classification for the Chrome trace-event JSON ("B"/"E" pairs per
+   thread track; everything else becomes a thread-scoped instant).  The
+   "E" name is taken from the matching "B" by the viewer, so ends only
+   need ph/ts/tid. *)
+type phase = B of string | E | I of string
+
+let phase_of = function
+  | Cs_begin -> B "critical-section"
+  | Cs_end -> E
+  | Checkpoint_begin -> B "checkpoint"
+  | Checkpoint -> E
+  | Scan_begin -> B "scan"
+  | Scan_end -> E
+  | Flush_begin -> B "flush"
+  | Flush_end -> E
+  | Op_begin -> B "op"
+  | Op_end -> E
+  | ev -> I (event_name ev)
+
+(** [export_perfetto oc records] writes Chrome trace-event JSON (loadable
+    at ui.perfetto.dev): one track per thread id, ts = {!Sched.tick}
+    (displayed as µs), begin/end spans for the bracketed phases and
+    thread-scoped instants for point events, with [arg]/[arg2] preserved
+    under "args".  A crashed or deadline-aborted fiber can leave a span
+    open; viewers render it to end-of-trace. *)
+let export_perfetto oc records =
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  output_string oc
+    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"args\":{\"name\":\"smrbench\"}}";
+  let tids = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace tids r.tid ()) records;
+  Hashtbl.iter
+    (fun tid () ->
+      let name = if tid < 0 then "main" else Printf.sprintf "worker-%d" tid in
+      Printf.fprintf oc
+        ",\n\
+         {\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        (tid + 1) name)
+    tids;
+  List.iter
+    (fun r ->
+      let tid = r.tid + 1 in
+      match phase_of r.event with
+      | B name ->
+          Printf.fprintf oc
+            ",\n\
+             {\"ph\":\"B\",\"name\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"arg\":%d,\"arg2\":%d}}"
+            name tid r.tick r.arg r.arg2
+      | E ->
+          Printf.fprintf oc
+            ",\n\
+             {\"ph\":\"E\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"arg\":%d,\"arg2\":%d}}"
+            tid r.tick r.arg r.arg2
+      | I name ->
+          Printf.fprintf oc
+            ",\n\
+             {\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"arg\":%d,\"arg2\":%d}}"
+            name tid r.tick r.arg r.arg2)
+    records;
+  output_string oc "\n]}\n"
+
+let perfetto_to_file path records =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      export_perfetto oc records)

@@ -76,6 +76,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let quarantines = Stats.Counter.make ()
   let leaked_blocks = Stats.Counter.make ()
 
+  (* Worst (global - announced) gap seen at a flush walk: how far behind
+     the laggard BRCU ever lets a reader fall before neutralizing it. *)
+  let lag_gauge = Stats.Gauge.make ()
+
   (* Cached lagging-reader witness (same protocol as {!Epoch_core}): a
      failed give-up walk records the epoch and one violating reader; while
      the global is unchanged and that reader is still announced below it —
@@ -122,7 +126,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     let st = Atomic.get l.status in
     if st = st_incs then begin
       Stats.Counter.incr rollbacks;
-      Trace.emit Trace.Rollback 0;
+      (* arg2 joins this rollback to the Signal_sent that caused it. *)
+      Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq l.box);
       raise Rollback
     end
     else if st = st_inrm then
@@ -153,20 +158,24 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       Signal.consume_quietly l.box;  (* delivery while Out is a no-op *)
       Atomic.set l.status st_incs;
       Atomic.set l.epoch (Atomic.get global);  (* SC: line 16's fence *)
+      Trace.emit Trace.Cs_begin (Atomic.get l.epoch);
       match body () with
       | r ->
           Atomic.set l.epoch (-1);
           Atomic.set l.status st_out;
           Signal.consume_quietly l.box;
+          Trace.emit Trace.Cs_end 0;
           r
       | exception Rollback ->
           Atomic.set l.epoch (-1);
           Atomic.set l.status st_out;
+          Trace.emit Trace.Cs_end 1;
           Sched.yield ();
           go ()
       | exception e ->
           Atomic.set l.epoch (-1);
           Atomic.set l.status st_out;
+          Trace.emit Trace.Cs_end 2;
           raise e
     in
     go ()
@@ -191,7 +200,9 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       assert (Atomic.get l.status = st_rbreq);
       Atomic.set l.status st_incs;
       Stats.Counter.incr rollbacks;
-      Trace.emit Trace.Rollback 0;
+      (* The deferred delivery was consumed when the mask recorded the
+         request, so its seq is still the one to cite. *)
+      Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq l.box);
       raise Rollback
     end
 
@@ -251,8 +262,9 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     in
     let rec attempt n =
       Stats.Counter.incr signals;
-      Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-      match Signal.send l.box ~is_out with
+      let seq = Signal.next_seq () in
+      Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
+      match Signal.send ~seq l.box ~is_out with
       | Signal.Delivered -> true
       | Signal.Dead_receiver ->
           quarantine l;
@@ -294,6 +306,9 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let flush_and_advance h =
     if not (Vec.is_empty h.ltasks) then begin
       let eg = Atomic.get global in
+      Trace.emit Trace.Flush_begin eg;
+      (* 0 = advanced this round, 1 = gave up / vetoed; set where known. *)
+      let outcome = ref 1 in
       (* SC fences around the load (line 25) are implied by SC atomics. *)
       Segstack.push_arr tasks ~stamp:eg (Vec.to_array h.ltasks);
       Vec.clear h.ltasks;
@@ -307,7 +322,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
         let violating = ref [] in
         Registry.Participants.iter participants (fun l ->
             let e = Atomic.get l.epoch in
-            if e <> -1 && e < eg then violating := l :: !violating);
+            if e <> -1 && e < eg then begin
+              Stats.Gauge.observe lag_gauge (eg - e);
+              violating := l :: !violating
+            end);
         (match !violating with
         | [] -> ()
         | l :: _ -> cache_witness eg l);
@@ -328,8 +346,15 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
                      request; in a bare critical section it aborts the rest
                      of this flush, exactly as a self-longjmp would. *)
                   Stats.Counter.incr signals;
-                  Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
-                  handler l ()
+                  let seq = Signal.next_seq () in
+                  Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
+                  Signal.mark_self_delivery l.box ~seq;
+                  (* A self-longjmp aborts the rest of this flush; close
+                     the span on the way out so begin/end stay paired. *)
+                  try handler l ()
+                  with Rollback ->
+                    Trace.emit Trace.Flush_end 1;
+                    raise Rollback
                 end
                 else if not (neutralize l ~eg) then unacked := true)
               !violating
@@ -343,12 +368,14 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
           else begin
             if Atomic.compare_and_set global eg (eg + 1) then begin
               Stats.Counter.incr advances;
+              outcome := 0;
               Trace.emit Trace.Epoch_advance (eg + 1)
             end;
             ignore (run_expired (eg - 1) : int)
           end
         end
-      end
+      end;
+      Trace.emit Trace.Flush_end !outcome
     end
 
   (** Defer (Algorithm 5 line 22). *)
@@ -368,7 +395,10 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
           | Some _ -> ()
           | None ->
               let e = Atomic.get l.epoch in
-              if e <> -1 && e < eg then lagging := Some l);
+              if e <> -1 && e < eg then begin
+                Stats.Gauge.observe lag_gauge (eg - e);
+                lagging := Some l
+              end);
       match !lagging with
       | Some l -> cache_witness eg l
       | None ->
@@ -410,7 +440,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Stats.Counter.reset signals;
     Stats.Counter.reset signal_timeouts;
     Stats.Counter.reset quarantines;
-    Stats.Counter.reset leaked_blocks
+    Stats.Counter.reset leaked_blocks;
+    Stats.Gauge.reset lag_gauge
 
   let stats () =
     {
@@ -423,5 +454,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       signal_timeouts = Stats.Counter.value signal_timeouts;
       quarantines = Stats.Counter.value quarantines;
       leaked = Stats.Counter.value leaked_blocks;
+      max_epoch_lag = Stats.Gauge.maximum lag_gauge;
+      max_signals_inflight = Signal.max_inflight ();
     }
 end

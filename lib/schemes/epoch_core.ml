@@ -35,6 +35,11 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let advances = Stats.Counter.make ()
   let advance_failures = Stats.Counter.make ()
 
+  (* Worst (global - lagging pin) gap seen at a failed advance.  Plain
+     EBR never closes this gap by force — a stalled reader freezes it —
+     so the gauge is the counterpart of BRCU's bounded lag. *)
+  let lag_gauge = Stats.Gauge.make ()
+
   (* Cached laggard witness: when [try_advance] fails at global epoch [e],
      it records [e] and the lagging participant it saw.  As long as the
      global is still [e] and that participant is still pinned below it, a
@@ -69,15 +74,21 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let epoch () = Atomic.get global
 
   let pin h =
-    if h.nest = 0 then
+    if h.nest = 0 then begin
       (* SC store: publication fence of the announcement. *)
       Atomic.set h.l.pin (Atomic.get global);
+      Trace.emit Trace.Cs_begin (Atomic.get h.l.pin)
+    end;
     h.nest <- h.nest + 1
 
   let unpin h =
     h.nest <- h.nest - 1;
     assert (h.nest >= 0);
-    if h.nest = 0 then Atomic.set h.l.pin (-1)
+    if h.nest = 0 then begin
+      Atomic.set h.l.pin (-1);
+      (* Plain RCU sections cannot abort: the outcome is always 0. *)
+      Trace.emit Trace.Cs_end 0
+    end
 
   let pinned h = h.nest > 0
 
@@ -119,6 +130,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     else
       match find_lagging e with
       | Some l ->
+          (let p = Atomic.get l.pin in
+           if p <> -1 && p < e then Stats.Gauge.observe lag_gauge (e - p));
           (* Order matters for the fast path's soundness-by-revalidation:
              publish the witness before the epoch tag that activates it. *)
           Atomic.set lag_local (Some l);
@@ -161,7 +174,9 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       per-[batch]-retirements trigger of §6.  Returns tasks executed. *)
   let advance_and_collect h =
     adopt_orphans h;
-    ignore (try_advance () : bool);
+    Trace.emit Trace.Flush_begin (Atomic.get global);
+    let advanced = try_advance () in
+    Trace.emit Trace.Flush_end (if advanced then 0 else 1);
     run_expired h
 
   (** [defer h task] schedules [task] to run once all current critical
@@ -190,7 +205,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     Atomic.set lag_epoch (-1);
     Atomic.set lag_local None;
     Stats.Counter.reset advances;
-    Stats.Counter.reset advance_failures
+    Stats.Counter.reset advance_failures;
+    Stats.Gauge.reset lag_gauge
 
   let stats () =
     {
@@ -198,5 +214,6 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       epoch = Atomic.get global;
       advances = Stats.Counter.value advances;
       advance_failures = Stats.Counter.value advance_failures;
+      max_epoch_lag = Stats.Gauge.maximum lag_gauge;
     }
 end

@@ -175,6 +175,9 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
             begin
             let checkpoint () =
               let nb = (!comp + 1) mod 2 in
+              (* Begin/end bracket the double-buffered protect stores — the
+                 window a neutralization signal can land inside (§4.3). *)
+              Trace.emit Trace.Checkpoint_begin nb;
               protect bufs.(nb) !cur;
               curs.(nb) <- Some !cur;
               incr comp;

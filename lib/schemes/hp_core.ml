@@ -21,6 +21,7 @@ module Retired = Hpbrcu_core.Retired
 module Idset = Hpbrcu_core.Idset
 module Segstack = Hpbrcu_core.Segstack
 module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 
 (* Allocation-free folds over patch lists; module-level so the scan loop
    doesn't close over anything. *)
@@ -93,6 +94,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       batch and the orphan list, keeping the rest. *)
   let scan h =
     Stats.Counter.incr scans;
+    Trace.emit Trace.Scan_begin (Retired.length h.batch);
     Registry.Shields.snapshot shields h.scan_ids;
     (* Patches of entries pending anywhere count as protected until their
        patron entry is reclaimed. *)
@@ -109,7 +111,8 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
       done;
     Idset.sort h.scan_ids;
     let n = Retired.reclaim_where h.batch h.scan_pred in
-    Stats.Counter.add reclaimed_by_scan n
+    Stats.Counter.add reclaimed_by_scan n;
+    Trace.emit Trace.Scan_end n
 
   (** Enable HP++-style patch publication for this handle. *)
   let enable_patches h =

@@ -94,19 +94,23 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     let rec go () =
       Signal.consume_quietly l.box;
       Atomic.set l.status st_incs;
+      Trace.emit Trace.Cs_begin 0;
       match body () with
       | r ->
           Atomic.set l.status st_out;
           Signal.consume_quietly l.box;
+          Trace.emit Trace.Cs_end 0;
           r
       | exception Rollback ->
           Atomic.set l.status st_out;
           Stats.Counter.incr rollbacks;
-          Trace.emit Trace.Rollback 0;
+          Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq l.box);
+          Trace.emit Trace.Cs_end 1;
           Sched.yield ();
           go ()
       | exception e ->
           Atomic.set l.status st_out;
+          Trace.emit Trace.Cs_end 2;
           raise e
     in
     go ()
@@ -151,9 +155,11 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Registry.Participants.iter participants (fun l ->
         if l != mine then begin
           Stats.Counter.incr signals;
-          Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
+          let seq = Signal.next_seq () in
+          Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
           match
-            Signal.send l.box ~is_out:(fun () -> Atomic.get l.status = st_out)
+            Signal.send ~seq l.box
+              ~is_out:(fun () -> Atomic.get l.status = st_out)
           with
           | Signal.Delivered -> ()
           | Signal.Dead_receiver ->
@@ -216,5 +222,6 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       rollbacks = Stats.Counter.value rollbacks;
       signal_timeouts = Stats.Counter.value signal_timeouts;
       quarantines = Stats.Counter.value quarantines;
+      max_signals_inflight = Signal.max_inflight ();
     }
 end

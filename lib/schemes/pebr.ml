@@ -53,6 +53,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let global = Atomic.make 2
   let participants : local Registry.Participants.t = Registry.Participants.create ()
+
+  (* Worst (global - lagging pin) gap at an advance attempt; ejection
+     bounds it by the patience threshold. *)
+  let lag_gauge = Stats.Gauge.make ()
   let ejections = Stats.Counter.make ()
   let restarts = Stats.Counter.make ()
   let advances = Stats.Counter.make ()
@@ -108,25 +112,37 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let op h body =
     let rec go () =
       pin h;
+      Trace.emit Trace.Cs_begin (Atomic.get h.l.pin);
       match body () with
       | r ->
           unpin h;
+          Trace.emit Trace.Cs_end 0;
           r
       | exception Restart ->
           unpin h;
           Stats.Counter.incr restarts;
-          Trace.emit Trace.Rollback 0;
+          (* The ejection that raised Restart was consumed by poll; cite
+             its send-sequence id so the analyzer can join the edge. *)
+          Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq h.l.box);
+          Trace.emit Trace.Cs_end 1;
           Sched.yield ();
           go ()
       | exception e ->
           unpin h;
+          Trace.emit Trace.Cs_end 2;
           raise e
     in
     go ()
 
   let crit h body =
+    let outer = h.nest = 0 in
     pin h;
-    Fun.protect ~finally:(fun () -> unpin h) body
+    if outer then Trace.emit Trace.Cs_begin (Atomic.get h.l.pin);
+    Fun.protect
+      ~finally:(fun () ->
+        unpin h;
+        if outer then Trace.emit Trace.Cs_end 0)
+      body
 
   let mask _ body = body ()
 
@@ -178,6 +194,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     let lagging = ref [] in
     Registry.Participants.iter participants (fun l ->
         let p = Atomic.get l.pin in
+        if p <> -1 && p < e then Stats.Gauge.observe lag_gauge (e - p);
         if p <> -1 && p < e && l != h.l then lagging := l :: !lagging);
     let self_lags =
       let p = Atomic.get h.l.pin in
@@ -195,9 +212,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       List.iter
         (fun l ->
           Stats.Counter.incr ejections;
-          Trace.emit Trace.Signal_sent l.box.Signal.owner_tid;
+          let seq = Signal.next_seq () in
+          Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
           match
-            Signal.send l.box ~is_out:(fun () ->
+            Signal.send ~seq l.box ~is_out:(fun () ->
                 let p = Atomic.get l.pin in
                 p = -1 || p >= e)
           with
@@ -255,7 +273,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Stats.Counter.reset restarts;
     Stats.Counter.reset advances;
     Stats.Counter.reset signal_timeouts;
-    Stats.Counter.reset quarantines
+    Stats.Counter.reset quarantines;
+    Stats.Gauge.reset lag_gauge
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
@@ -269,5 +288,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       restarts = Stats.Counter.value restarts;
       signal_timeouts = Stats.Counter.value signal_timeouts;
       quarantines = Stats.Counter.value quarantines;
+      max_epoch_lag = Stats.Gauge.maximum lag_gauge;
+      max_signals_inflight = Signal.max_inflight ();
     }
 end

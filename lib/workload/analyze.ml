@@ -1,0 +1,296 @@
+(** Trace analysis: reclamation-latency distributions from a spooled event
+    log alone (DESIGN.md §10).
+
+    The paper's robustness claim (§4, Fig. 6) is a latency claim — BRCU
+    bounds how long a lagging reader can delay reclamation — so the
+    analyzer turns a causally-annotated trace ({!Hpbrcu_runtime.Trace})
+    into the corresponding distributions:
+
+    - {b time-to-reclaim}: [Retire]→[Reclaim] joined on the block id
+      carried in [arg2];
+    - {b grace-period latency}: each retire to the first epoch advance
+      that {e covers} it (advance to ≥ retire-epoch + 2, Fraser's safety
+      margin — the moment the block {e could} first be reclaimed);
+    - {b signal→rollback latency}: [Signal_sent]→[Rollback] joined on the
+      send-sequence id, with drops and never-matched sends accounted;
+    - {b abort rate vs critical-section length}: [Cs_begin]/[Cs_end]
+      spans, bucketed by power-of-two section length;
+    - {b unreclaimed watermark over time}: the [Retire]/[Reclaim]
+      unreclaimed counts, downsampled to a bounded curve (the shape of
+      Fig. 6, reproduced from the trace instead of end-of-run peaks).
+
+    All latencies are in virtual ticks (fiber mode); the whole summary is
+    a pure function of the record list, so the determinism test can assert
+    analyze-output equality across same-seed runs. *)
+
+module Trace = Hpbrcu_runtime.Trace
+module Stats = Hpbrcu_runtime.Stats
+module Histogram = Stats.Histogram
+
+type summary = {
+  source : string;
+  events : int;
+  ttr : Histogram.summary;  (** time-to-reclaim, ticks *)
+  never_reclaimed : int;  (** retired in-trace, not reclaimed in-trace *)
+  grace : Histogram.summary;  (** retire → covering epoch advance, ticks *)
+  uncovered : int;  (** retires no in-trace advance ever covered *)
+  sig_rb : Histogram.summary;  (** signal → correlated rollback, ticks *)
+  signals_sent : int;
+  signals_dropped : int;
+  signals_unmatched : int;  (** sent, neither rolled back nor dropped *)
+  cs : Histogram.summary;  (** critical-section lengths, ticks *)
+  cs_aborted : int;  (** sections ending in a rollback *)
+  abort_by_len : (int * int * int) list;
+      (** (length-bucket lower bound, sections, aborted) per 2^k bucket *)
+  watermark : (int * int) list;
+      (** (tick, max unreclaimed in window), ≤ {!watermark_points} points *)
+}
+
+let watermark_points = 256
+
+(* Power-of-two bucketing for the abort-rate curve: bucket k holds lengths
+   in [2^(k-1), 2^k) with bucket 0 holding length 0. *)
+let len_bucket len =
+  let k = ref 0 and v = ref len in
+  while !v > 0 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+let len_bucket_floor k = if k = 0 then 0 else 1 lsl (k - 1)
+
+let of_records ?(source = "trace") (records : Trace.record list) : summary =
+  let events = List.length records in
+  (* --- retire→reclaim and the watermark curve --- *)
+  let ttr_h = Histogram.make () in
+  let retired_at : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let marks = ref [] (* (tick, unreclaimed), newest first *) in
+  (* --- epoch advances, normalized monotone for the grace-period join --- *)
+  let advances = ref [] (* (tick, epoch), newest first *) in
+  let max_epoch = ref min_int in
+  (* --- retires pending a covering advance: (tick, needed epoch) --- *)
+  let retires = ref [] in
+  (* --- signal→rollback --- *)
+  let sig_h = Histogram.make () in
+  let sent_at : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let signals_sent = ref 0 and signals_dropped = ref 0 in
+  (* --- critical sections, keyed per thread --- *)
+  let cs_h = Histogram.make () in
+  let cs_open : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let cs_aborted = ref 0 in
+  let abort_buckets = Array.make 64 (0, 0) in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Retire ->
+          Hashtbl.replace retired_at r.arg2 r.tick;
+          marks := (r.tick, r.arg) :: !marks;
+          retires := (r.tick, max 2 !max_epoch + 2) :: !retires
+      | Trace.Reclaim ->
+          (match Hashtbl.find_opt retired_at r.arg2 with
+          | Some t0 ->
+              Histogram.record ttr_h (r.tick - t0);
+              Hashtbl.remove retired_at r.arg2
+          | None -> ());
+          marks := (r.tick, r.arg) :: !marks
+      | Trace.Epoch_advance ->
+          if r.arg > !max_epoch then begin
+            max_epoch := r.arg;
+            advances := (r.tick, r.arg) :: !advances
+          end
+      | Trace.Signal_sent ->
+          incr signals_sent;
+          if r.arg2 > 0 then Hashtbl.replace sent_at r.arg2 r.tick
+      | Trace.Signal_dropped ->
+          incr signals_dropped;
+          if r.arg2 > 0 then Hashtbl.remove sent_at r.arg2
+      | Trace.Rollback ->
+          if r.arg2 > 0 then (
+            match Hashtbl.find_opt sent_at r.arg2 with
+            | Some t0 ->
+                Histogram.record sig_h (r.tick - t0);
+                Hashtbl.remove sent_at r.arg2
+            | None -> ())
+      | Trace.Cs_begin -> Hashtbl.replace cs_open r.tid r.tick
+      | Trace.Cs_end -> (
+          match Hashtbl.find_opt cs_open r.tid with
+          | Some t0 ->
+              Hashtbl.remove cs_open r.tid;
+              let len = r.tick - t0 in
+              Histogram.record cs_h len;
+              let aborted = r.arg = 1 in
+              if aborted then incr cs_aborted;
+              let b = len_bucket len in
+              let n, a = abort_buckets.(b) in
+              abort_buckets.(b) <- (n + 1, if aborted then a + 1 else a)
+          | None -> ())
+      | _ -> ())
+    records;
+  (* Grace-period join.  The retire at epoch e needed "the epoch at retire
+     time was e" — but the stream above only knows the max advance seen so
+     far, which IS the epoch at that point of the trace (schemes start at
+     epoch 2 and every later value is announced by an advance event), so
+     the needed target e+2 was computed inline.  Both the advance ticks
+     and their epochs are monotone, so for each retire the covering
+     advance is the first one at (tick ≥ retire tick) ∧ (epoch ≥ target):
+     the max of two lower bounds found by binary search. *)
+  let adv = Array.of_list (List.rev !advances) in
+  let nadv = Array.length adv in
+  let first_ge proj v =
+    (* smallest index i with proj adv.(i) >= v, or nadv *)
+    let lo = ref 0 and hi = ref nadv in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if proj adv.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let grace_h = Histogram.make () in
+  let uncovered = ref 0 in
+  List.iter
+    (fun (t, target) ->
+      let i = max (first_ge fst t) (first_ge snd target) in
+      if i < nadv then Histogram.record grace_h (fst adv.(i) - t)
+      else incr uncovered)
+    !retires;
+  (* Watermark curve: max unreclaimed per fixed-width tick window. *)
+  let marks = List.rev !marks in
+  let watermark =
+    match marks with
+    | [] -> []
+    | (t0, _) :: _ ->
+        let tn = List.fold_left (fun _ (t, _) -> t) t0 marks in
+        let span = max 1 (tn - t0 + 1) in
+        let w = max 1 ((span + watermark_points - 1) / watermark_points) in
+        let acc = ref [] in
+        List.iter
+          (fun (t, v) ->
+            let win = t0 + ((t - t0) / w * w) in
+            match !acc with
+            | (pw, pv) :: rest when pw = win ->
+                acc := (pw, max pv v) :: rest
+            | _ -> acc := (win, v) :: !acc)
+          marks;
+        List.rev !acc
+  in
+  let abort_by_len =
+    let rows = ref [] in
+    for b = Array.length abort_buckets - 1 downto 0 do
+      let n, a = abort_buckets.(b) in
+      if n > 0 then rows := (len_bucket_floor b, n, a) :: !rows
+    done;
+    !rows
+  in
+  {
+    source;
+    events;
+    ttr = Histogram.summary ttr_h;
+    never_reclaimed = Hashtbl.length retired_at;
+    grace = Histogram.summary grace_h;
+    uncovered = !uncovered;
+    sig_rb = Histogram.summary sig_h;
+    signals_sent = !signals_sent;
+    signals_dropped = !signals_dropped;
+    signals_unmatched = Hashtbl.length sent_at;
+    cs = Histogram.summary cs_h;
+    cs_aborted = !cs_aborted;
+    abort_by_len;
+    watermark;
+  }
+
+let of_file path =
+  of_records
+    ~source:(Filename.remove_extension (Filename.basename path))
+    (Trace.read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hsum (s : Histogram.summary) =
+  [ Report.i s.count; Report.i s.p50; Report.i s.p90; Report.i s.p99; Report.i s.max ]
+
+(** Render the cross-source comparison tables to [sinks] and the
+    per-source curves (watermark, abort-vs-length) as CSVs under
+    [Report.outdir]. *)
+let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
+  Report.emit ~sinks
+    {
+      Report.title = "analyze: reclamation latency (ticks)";
+      header =
+        [
+          "source"; "events"; "ttr_n"; "ttr_p50"; "ttr_p90"; "ttr_p99";
+          "ttr_max"; "unreclaimed"; "grace_n"; "grace_p50"; "grace_p90";
+          "grace_p99"; "grace_max"; "uncovered";
+        ];
+      rows =
+        List.map
+          (fun s ->
+            (s.source :: Report.i s.events :: hsum s.ttr)
+            @ (Report.i s.never_reclaimed :: hsum s.grace)
+            @ [ Report.i s.uncovered ])
+          summaries;
+    };
+  Report.emit ~sinks
+    {
+      Report.title = "analyze: signal -> rollback (ticks)";
+      header =
+        [
+          "source"; "sent"; "dropped"; "unmatched"; "rb_n"; "rb_p50";
+          "rb_p90"; "rb_p99"; "rb_max";
+        ];
+      rows =
+        List.map
+          (fun s ->
+            [
+              s.source; Report.i s.signals_sent; Report.i s.signals_dropped;
+              Report.i s.signals_unmatched;
+            ]
+            @ hsum s.sig_rb)
+          summaries;
+    };
+  Report.emit ~sinks
+    {
+      Report.title = "analyze: critical sections (ticks)";
+      header =
+        [
+          "source"; "cs_n"; "cs_p50"; "cs_p90"; "cs_p99"; "cs_max";
+          "aborted"; "abort_rate";
+        ];
+      rows =
+        List.map
+          (fun s ->
+            (s.source :: hsum s.cs)
+            @ [
+                Report.i s.cs_aborted;
+                (if s.cs.count = 0 then "0.000"
+                 else
+                   Report.f3
+                     (float_of_int s.cs_aborted /. float_of_int s.cs.count));
+              ])
+          summaries;
+    };
+  List.iter
+    (fun s ->
+      Report.emit ~sinks:[ Report.Csv ("analyze_" ^ s.source ^ "_watermark.csv") ]
+        {
+          Report.title = "watermark " ^ s.source;
+          header = [ "tick"; "unreclaimed_max" ];
+          rows = List.map (fun (t, v) -> [ Report.i t; Report.i v ]) s.watermark;
+        };
+      Report.emit
+        ~sinks:[ Report.Csv ("analyze_" ^ s.source ^ "_abort_vs_cslen.csv") ]
+        {
+          Report.title = "abort-vs-cslen " ^ s.source;
+          header = [ "cs_len_ge"; "sections"; "aborted"; "abort_rate" ];
+          rows =
+            List.map
+              (fun (lb, n, a) ->
+                [
+                  Report.i lb; Report.i n; Report.i a;
+                  Report.f3 (float_of_int a /. float_of_int n);
+                ])
+              s.abort_by_len;
+        })
+    summaries

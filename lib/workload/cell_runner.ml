@@ -6,6 +6,7 @@ module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
 module Clock = Hpbrcu_runtime.Clock
 module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 
 module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
   (* Pre-insert [prefill] distinct keys drawn as a random prefix of a
@@ -64,16 +65,25 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       | Spec.Write_only -> (0, 50)
     in
     let t0 = lat.now () in
+    (* Op spans bracket whole operations (arg: 0 get / 1 insert / 2
+       remove), giving traces a per-operation track above the
+       critical-section and checkpoint spans. *)
     if p < read_pct then begin
+      Trace.emit Trace.Op_begin 0;
       ignore (L.get t s k : bool);
+      Trace.emit Trace.Op_end 0;
       Stats.Histogram.record lat.get (lat.now () - t0)
     end
     else if p < read_pct + ins_pct then begin
+      Trace.emit Trace.Op_begin 1;
       ignore (L.insert t s k (k * 3) : bool);
+      Trace.emit Trace.Op_end 1;
       Stats.Histogram.record lat.ins (lat.now () - t0)
     end
     else begin
+      Trace.emit Trace.Op_begin 2;
       ignore (L.remove t s k : bool);
+      Trace.emit Trace.Op_end 2;
       Stats.Histogram.record lat.rem (lat.now () - t0)
     end
 

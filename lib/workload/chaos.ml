@@ -293,7 +293,11 @@ let run_one ?(traced = false) ~scheme ~plan_id ~seed (p : params) :
   Schemes.reset_all ();
   Alloc.reset ();
   Alloc.set_strict false;
-  if traced then Trace.enable ~capacity:16384 ();
+  (* Spool, not ring: the determinism probes compare whole logs, and a
+     lossy ring would make "byte-identical" vacuous for any cell that
+     wraps; the spool also makes the log exportable to [smrbench
+     analyze]. *)
+  if traced then Trace.enable ~sink:Trace.Spool ();
   let cell =
     let key = (scheme, plan_name plan_id, seed) in
     if scheme = "HP" then
@@ -313,6 +317,14 @@ let run_one ?(traced = false) ~scheme ~plan_id ~seed (p : params) :
   let log = if traced then Trace.dump () else [] in
   if traced then Trace.disable ();
   (cell, log)
+
+(** [run_traced_to_file ~scheme ~plan_id ~seed ~out p] — one traced chaos
+    cell, spooled non-lossily and written to [out] for [smrbench
+    analyze] / Perfetto export. *)
+let run_traced_to_file ~scheme ~plan_id ~seed ~out (p : params) : cell =
+  let c, log = run_one ~traced:true ~scheme ~plan_id ~seed p in
+  Trace.to_file out log;
+  c
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)

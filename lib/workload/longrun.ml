@@ -14,6 +14,7 @@ module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
 module Clock = Hpbrcu_runtime.Clock
 module Stats = Hpbrcu_runtime.Stats
+module Trace = Hpbrcu_runtime.Trace
 module Schemes = Hpbrcu_schemes.Schemes
 module Ds = Hpbrcu_ds
 
@@ -81,14 +82,27 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
       while not (Atomic.get stop) do
         (try
            let l0 = now_lat () in
+           (* Op spans (0 get / 1 insert / 2 remove): a deadline abort
+              leaves the last span open, which Perfetto renders as
+              running-to-end-of-trace — exactly what happened. *)
            if reader then begin
+             Trace.emit Trace.Op_begin 0;
              ignore (L.get t s (Rng.int rng c.key_range) : bool);
+             Trace.emit Trace.Op_end 0;
              Stats.Histogram.record lat_readers (now_lat () - l0)
            end
            else begin
              let k = Rng.int rng c.hot_width in
-             if Rng.bool rng then ignore (L.insert t s k 0 : bool)
-             else ignore (L.remove t s k : bool);
+             if Rng.bool rng then begin
+               Trace.emit Trace.Op_begin 1;
+               ignore (L.insert t s k 0 : bool);
+               Trace.emit Trace.Op_end 1
+             end
+             else begin
+               Trace.emit Trace.Op_begin 2;
+               ignore (L.remove t s k : bool);
+               Trace.emit Trace.Op_end 2
+             end;
              Stats.Histogram.record lat_writers (now_lat () - l0)
            end;
            incr n
@@ -136,3 +150,25 @@ let run ~scheme (c : config) : outcome option =
     let module R = Run (L) in
     Some (R.go c ~scheme_stats:S.stats)
   else None
+
+(** [run_traced ~scheme ~out c] — one long-running-read cell with the
+    tracer spooling non-lossily, written to [out] on completion (the
+    input format of [smrbench analyze]).  Requires fiber mode: the spooled
+    trace is timestamped by the virtual tick clock and is a pure function
+    of the seed, so analyze output is reproducible. *)
+let run_traced ~scheme ~out (c : config) : outcome option =
+  (match c.mode with
+  | Spec.Fibers _ -> ()
+  | Spec.Domains ->
+      invalid_arg "Longrun.run_traced: fiber mode required (--profile quick/sim)");
+  (* Reset BEFORE arming the tracer: draining a previous cell's leftovers
+     emits Reclaim events that depend on what ran before (same rule as the
+     chaos replay probes). *)
+  Schemes.reset_all ();
+  Alloc.reset ();
+  Trace.enable ~sink:Trace.Spool ();
+  let r = run ~scheme c in
+  let log = Trace.dump () in
+  Trace.disable ();
+  if r <> None then Trace.to_file out log;
+  r

@@ -6,6 +6,8 @@
    exercising quarantine), VBR (pool-based). *)
 
 module Chaos = Hpbrcu_workload.Chaos
+module Analyze = Hpbrcu_workload.Analyze
+module H = Hpbrcu_runtime.Stats.Histogram
 
 let schemes = [ "RCU"; "HP"; "NBR"; "HP-BRCU"; "VBR" ]
 let plans = [ Chaos.Baseline; Chaos.Crash_reader; Chaos.Signal_chaos ]
@@ -60,6 +62,44 @@ let test_replay () =
       Alcotest.failf "replay mismatch %s/%s seed=%d: %s" s pl seed why)
     r.Chaos.replay_mismatches
 
+(* The trace-level form of the Figure 6 claim: under a crashed reader,
+   HP-BRCU's retire->reclaim latency distribution is non-empty and its
+   p99 stays within the scheme's declared footprint era — while RCU's
+   epoch can never advance again, so it stops producing reclaim joins at
+   all (every post-crash retire stays unreclaimed/uncovered). *)
+let test_analyze_discriminator () =
+  let traced scheme =
+    let _, log =
+      Chaos.run_one ~traced:true ~scheme ~plan_id:Chaos.Crash_reader ~seed:1
+        Chaos.quick
+    in
+    Analyze.of_records ~source:scheme log
+  in
+  let hb = traced "HP-BRCU" in
+  let rcu = traced "RCU" in
+  Alcotest.(check bool) "HP-BRCU keeps reclaiming after the crash" true
+    (hb.Analyze.ttr.H.count > 100);
+  Alcotest.(check bool) "HP-BRCU ttr p99 bounded" true
+    (hb.Analyze.ttr.H.p99 > 0 && hb.Analyze.ttr.H.p99 < hb.Analyze.events);
+  Alcotest.(check bool) "HP-BRCU leaves only the crash leak behind" true
+    (hb.Analyze.never_reclaimed < 4 * rcu.Analyze.never_reclaimed);
+  Alcotest.(check bool) "RCU strands an order of magnitude more blocks" true
+    (rcu.Analyze.never_reclaimed > 10 * max 1 hb.Analyze.never_reclaimed);
+  Alcotest.(check bool) "RCU's stranded retires are never covered" true
+    (rcu.Analyze.uncovered >= rcu.Analyze.never_reclaimed / 2);
+  (* The signal->rollback join on a signal-heavy scheme: baseline NBR
+     neutralizes everyone, so sends and rollbacks must correlate. *)
+  let _, nbr_log =
+    Chaos.run_one ~traced:true ~scheme:"NBR" ~plan_id:Chaos.Baseline ~seed:1
+      Chaos.quick
+  in
+  let nbr = Analyze.of_records ~source:"NBR" nbr_log in
+  Alcotest.(check bool) "NBR sends signals" true (nbr.Analyze.signals_sent > 0);
+  Alcotest.(check bool) "some sends join a rollback" true
+    (nbr.Analyze.sig_rb.H.count > 0);
+  Alcotest.(check bool) "joins never exceed sends" true
+    (nbr.Analyze.sig_rb.H.count <= nbr.Analyze.signals_sent)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -70,5 +110,7 @@ let () =
             test_discriminator;
           Alcotest.test_case "crashes quarantined" `Quick test_crash_quarantine;
           Alcotest.test_case "traces replay byte-identically" `Quick test_replay;
+          Alcotest.test_case "analyze reproduces the Fig. 6 shape" `Quick
+            test_analyze_discriminator;
         ] );
     ]

@@ -147,6 +147,120 @@ let test_trace_enable_clears () =
   Trace.disable ()
 
 (* ------------------------------------------------------------------ *)
+(* Event-code table and decoder                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The code<->constructor tables are hand-maintained; this is the
+   exhaustiveness check that keeps them honest when events are added. *)
+let test_event_code_roundtrip () =
+  Alcotest.(check int) "all_events covers every code" Trace.n_event_codes
+    (List.length Trace.all_events);
+  List.iteri
+    (fun i ev ->
+      Alcotest.(check int) "all_events is in code order" i (Trace.event_code ev);
+      Alcotest.(check bool)
+        (Printf.sprintf "decode(encode %d)" i)
+        true
+        (Trace.event_of_code (Trace.event_code ev) = ev))
+    Trace.all_events;
+  let names = List.map Trace.event_name Trace.all_events in
+  Alcotest.(check int) "event names are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun bad ->
+      try
+        ignore (Trace.event_of_code bad : Trace.event);
+        Alcotest.fail "event_of_code accepted an out-of-range code"
+      with Invalid_argument _ -> ())
+    [ -1; Trace.n_event_codes; Trace.n_event_codes + 7; max_int ]
+
+(* ------------------------------------------------------------------ *)
+(* Min/max gauges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge () =
+  let g = Stats.Gauge.make () in
+  Alcotest.(check bool) "fresh gauge unobserved" false (Stats.Gauge.observed g);
+  Alcotest.(check int) "unobserved max reads 0" 0 (Stats.Gauge.maximum g);
+  Alcotest.(check int) "unobserved min reads 0" 0 (Stats.Gauge.minimum g);
+  List.iter (Stats.Gauge.observe g) [ 5; 2; 9; 9; 3 ];
+  Alcotest.(check bool) "observed" true (Stats.Gauge.observed g);
+  Alcotest.(check int) "max watermark" 9 (Stats.Gauge.maximum g);
+  Alcotest.(check int) "min watermark" 2 (Stats.Gauge.minimum g);
+  Stats.Gauge.reset g;
+  Alcotest.(check int) "reset clears" 0 (Stats.Gauge.maximum g);
+  (* Snapshot merge takes the max of gauge fields (not the sum). *)
+  let a = { Stats.empty with max_epoch_lag = 3; max_signals_inflight = 1 } in
+  let b = { Stats.empty with max_epoch_lag = 7; max_signals_inflight = 0 } in
+  let m = Stats.add a b in
+  Alcotest.(check int) "add merges max_epoch_lag by max" 7 m.Stats.max_epoch_lag;
+  Alcotest.(check int) "add merges inflight by max" 1
+    m.Stats.max_signals_inflight;
+  (* And the fields flow into the machine-readable form. *)
+  let fields = Stats.to_fields ~keep_zeros:true m in
+  Alcotest.(check bool) "max_epoch_lag in to_fields" true
+    (List.mem_assoc "max_epoch_lag" fields);
+  Alcotest.(check bool) "max_signals_inflight in to_fields" true
+    (List.mem_assoc "max_signals_inflight" fields)
+
+(* ------------------------------------------------------------------ *)
+(* Spool sink                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-lossy growth: more events than one chunk holds, nothing dropped,
+   order preserved. *)
+let test_spool_growth () =
+  Trace.enable ~sink:Trace.Spool ();
+  let n = (3 * Trace.chunk_records) + 5 in
+  for i = 0 to n - 1 do
+    Trace.emit2 Trace.Retire i (i * 2)
+  done;
+  let recs = Trace.dump () in
+  Trace.disable ();
+  Alcotest.(check int) "all events kept" n (List.length recs);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ());
+  List.iteri
+    (fun i r ->
+      if i < 5 || i > n - 5 then begin
+        Alcotest.(check int) "arg in order" i r.Trace.arg;
+        Alcotest.(check int) "arg2 correlates" (i * 2) r.Trace.arg2
+      end)
+    recs
+
+(* Bounded: past the per-thread record bound the spool counts but stops
+   storing — the FIRST [capacity] events survive (vs the ring's last). *)
+let test_spool_bound () =
+  Trace.enable ~capacity:10 ~sink:Trace.Spool ();
+  for i = 0 to 24 do
+    Trace.emit Trace.Retire i
+  done;
+  let recs = Trace.dump () in
+  Trace.disable ();
+  Alcotest.(check int) "kept = bound" 10 (List.length recs);
+  Alcotest.(check int) "dropped counted" 15 (Trace.dropped ());
+  Alcotest.(check (list int))
+    "the FIRST events survive"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map (fun r -> r.Trace.arg) recs)
+
+(* to_file/read_file invert each other. *)
+let test_trace_file_roundtrip () =
+  Trace.enable ~sink:Trace.Spool ();
+  List.iteri
+    (fun i ev -> Trace.emit2 ev i (1000 + i))
+    Trace.all_events;
+  let recs = Trace.dump () in
+  Trace.disable ();
+  let path = Filename.temp_file "smrbench" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.to_file path recs;
+      let back = Trace.read_file path in
+      Alcotest.(check bool) "read_file inverts to_file" true (recs = back))
+
+(* ------------------------------------------------------------------ *)
 (* Registry exhaustion never moves the high-water mark                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -198,12 +312,12 @@ let test_participants_exhaustion () =
 (* Determinism: trace and snapshot are pure functions of the seed      *)
 (* ------------------------------------------------------------------ *)
 
-let run_traced () =
+let run_traced ?(sink = Trace.Ring) () =
   (* Drain leftovers (deferred tasks, allocator counters) from whatever ran
      before, so both traced runs start from the same world state. *)
   Hpbrcu_schemes.Schemes.reset_all ();
   Hpbrcu_alloc.Alloc.reset ();
-  Trace.enable ~capacity:(1 lsl 16) ();
+  Trace.enable ~capacity:(1 lsl 16) ~sink ();
   let cell =
     W.Spec.cell ~threads:4 ~key_range:128 ~prefill:64 ~workload:W.Spec.Read_write
       ~limit:(W.Spec.Ops 150) ~mode:(W.Spec.Fibers 17) ~seed:17 ()
@@ -232,6 +346,68 @@ let test_fiber_determinism () =
   (* The run exercised the machinery the snapshot reports on. *)
   Alcotest.(check bool) "traversals counted" true (r1.W.Spec.scheme.Stats.traverses > 0)
 
+(* The spooled form of the same guarantee: same seed, byte-identical
+   on-disk trace AND identical analyze output (the whole derived summary,
+   including percentile distributions, joins, and curves). *)
+let test_spool_determinism () =
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let _, t1 = run_traced ~sink:Trace.Spool () in
+  let _, t2 = run_traced ~sink:Trace.Spool () in
+  Alcotest.(check bool) "spooled log is non-trivial" true
+    (List.length t1 > 100);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ());
+  let p1 = Filename.temp_file "smrbench1" ".trace" in
+  let p2 = Filename.temp_file "smrbench2" ".trace" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove p1;
+      Sys.remove p2)
+    (fun () ->
+      Trace.to_file p1 t1;
+      Trace.to_file p2 t2;
+      Alcotest.(check bool) "byte-identical spooled trace files" true
+        (read_all p1 = read_all p2));
+  let s1 = W.Analyze.of_records ~source:"probe" t1 in
+  let s2 = W.Analyze.of_records ~source:"probe" t2 in
+  Alcotest.(check bool) "identical analyze summaries" true (s1 = s2);
+  (* The summary exercised the correlation machinery, not just counters. *)
+  Alcotest.(check bool) "retire->reclaim joins found" true
+    (s1.W.Analyze.ttr.H.count > 0);
+  Alcotest.(check bool) "critical sections seen" true
+    (s1.W.Analyze.cs.H.count > 0)
+
+(* Perfetto export smoke: valid-looking Chrome trace JSON with span and
+   metadata events. *)
+let test_perfetto_export () =
+  let _, t = run_traced ~sink:Trace.Spool () in
+  let path = Filename.temp_file "smrbench" ".perfetto.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.perfetto_to_file path t;
+      let ic = open_in path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let contains sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "object start" true (s.[0] = '{');
+      Alcotest.(check bool) "has traceEvents" true (contains "\"traceEvents\"");
+      Alcotest.(check bool) "has span begins" true (contains "\"ph\":\"B\"");
+      Alcotest.(check bool) "has span ends" true (contains "\"ph\":\"E\"");
+      Alcotest.(check bool) "has thread metadata" true
+        (contains "\"thread_name\""))
+
 (* A different seed must give a different interleaving story. *)
 let test_fiber_seed_sensitivity () =
   let _, t1 = run_traced () in
@@ -258,10 +434,16 @@ let () =
           Alcotest.test_case "edges" `Quick test_percentiles_edges;
         ] );
       ("counter", [ Alcotest.test_case "shards-sum" `Quick test_counter_shards_sum ]);
+      ("gauge", [ Alcotest.test_case "watermarks" `Quick test_gauge ]);
       ( "trace",
         [
           Alcotest.test_case "ring-wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "enable-clears" `Quick test_trace_enable_clears;
+          Alcotest.test_case "event-code-roundtrip" `Quick
+            test_event_code_roundtrip;
+          Alcotest.test_case "spool-growth" `Quick test_spool_growth;
+          Alcotest.test_case "spool-bound" `Quick test_spool_bound;
+          Alcotest.test_case "file-roundtrip" `Quick test_trace_file_roundtrip;
         ] );
       ( "registry",
         [
@@ -272,6 +454,9 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "trace-replayable" `Quick test_fiber_determinism;
+          Alcotest.test_case "spool-byte-identical" `Quick
+            test_spool_determinism;
+          Alcotest.test_case "perfetto-export" `Quick test_perfetto_export;
           Alcotest.test_case "seed-sensitivity" `Quick test_fiber_seed_sensitivity;
         ] );
     ]
