@@ -788,6 +788,169 @@ let bench_reclaim_cmd =
           minor-heap allocation; writes BENCH_reclaim.json")
     Term.(const run $ out_arg $ gate_arg $ quick_arg)
 
+(* ------------------------------------------------------------------ *)
+(* hunt: schedule/fault exploration with shrinking counterexamples.    *)
+(* ------------------------------------------------------------------ *)
+
+let hunt_cmd =
+  let module C = Hpbrcu_check in
+  let scheme_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheme" ]
+          ~doc:
+            "Comma-separated hunt targets (default: every real scheme in the \
+             hunt matrix).  Mutant names like HP-BRCU!nomask are accepted.")
+  in
+  let mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:"Hunt the planted mutants instead (each MUST be convicted).")
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "rand"
+      & info [ "strategy" ] ~doc:"Search strategy: rand, pct or dfs.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "runs" ] ~doc:"Case budget per (scheme, strategy).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Base seed; case i runs under a seed derived from it.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "shrink-budget" ] ~doc:"Run budget for minimizing a finding.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write each shrunk finding as a replayable artifact under $(docv).")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Replay the repro artifact $(docv) twice (traced) and verify the \
+             finding recurs with byte-identical event logs; no hunting.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI gate: every mutant must be convicted (and its repro must \
+             replay) and every real scheme must stay silent, all within \
+             --runs cases per target.")
+  in
+  let write_repro out (scheme : string) (f : C.Hunt.finding_report) =
+    match out with
+    | None -> ()
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let slug =
+          String.map (function '!' -> '_' | c -> c) scheme
+          ^ "-" ^ C.Oracle.tag f.C.Hunt.repro.C.Repro.finding ^ ".repro"
+        in
+        let path = Filename.concat dir slug in
+        C.Repro.to_file path f.C.Hunt.repro;
+        Printf.printf "wrote %s\n" path
+  in
+  let hunt_one ~strategy ~seed ~runs ~shrink_budget ~out scheme =
+    let cfg =
+      {
+        (C.Hunt.default_config ~scheme
+           ~strategy:(C.Hunt.strategy_of_string strategy)
+           ~seed ~runs)
+        with
+        C.Hunt.shrink_budget;
+        log = print_endline;
+      }
+    in
+    let r = C.Hunt.run cfg in
+    Fmt.pr "%a@." C.Hunt.pp_report r;
+    Option.iter (write_repro out scheme) r.C.Hunt.finding;
+    r
+  in
+  let run scheme mutants strategy runs seed shrink_budget out repro smoke =
+    match repro with
+    | Some file ->
+        let r = C.Repro.of_file file in
+        let v = C.Repro.replay r in
+        Fmt.pr "%s: %a@." file C.Repro.pp_verdict v;
+        if v.C.Repro.reproduced && v.C.Repro.deterministic then 0 else 1
+    | None ->
+        let targets =
+          match scheme with
+          | Some s -> String.split_on_char ',' s |> List.map String.trim
+          | None when mutants -> W.Matrix.mutant_names
+          | None -> W.Matrix.hunt_scheme_names
+        in
+        if smoke then begin
+          (* Mutation-testing gate: the hunt must convict every planted bug
+             and stay silent on every real scheme, same budget both ways.
+             Both randomized strategies run per target — they are
+             complementary (uniform random's fine-grained interleavings
+             build the multi-node marked chains the nomask leak needs; PCT's
+             long uninterrupted stretches strand the torn checkpoints the
+             nodb use-after-free needs). *)
+          let convicted s =
+            List.exists
+              (fun strategy ->
+                not
+                  (C.Hunt.clean
+                     (hunt_one ~strategy ~seed ~runs ~shrink_budget ~out s)))
+              [ "rand"; "pct" ]
+          in
+          let missed =
+            List.filter (fun m -> not (convicted m)) W.Matrix.mutant_names
+          in
+          let noisy = List.filter convicted W.Matrix.hunt_scheme_names in
+          List.iter
+            (Printf.eprintf "hunt: MUTANT NOT CONVICTED within budget: %s\n")
+            missed;
+          List.iter
+            (Printf.eprintf "hunt: FALSE POSITIVE on real scheme: %s\n")
+            noisy;
+          if missed = [] && noisy = [] then begin
+            Printf.printf
+              "hunt smoke: %d mutants convicted, %d real schemes clean\n"
+              (List.length W.Matrix.mutant_names)
+              (List.length W.Matrix.hunt_scheme_names);
+            0
+          end
+          else 1
+        end
+        else begin
+          let reports =
+            List.map (hunt_one ~strategy ~seed ~runs ~shrink_budget ~out) targets
+          in
+          if List.for_all C.Hunt.clean reports then 0 else 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:
+         "Systematically explore schedules and fault plans (random, PCT \
+          priorities, bounded DFS) against the safety oracles — \
+          use-after-free, double retire/reclaim, bound violation, lost \
+          signal, leak at quiescence — shrinking any finding to a minimal \
+          replayable repro artifact")
+    Term.(
+      const run $ scheme_arg $ mutants_arg $ strategy_arg $ runs_arg $ seed_arg
+      $ shrink_arg $ out_arg $ repro_arg $ smoke_arg)
+
 let table_cmd name pp =
   Cmd.v
     (Cmd.info name ~doc:("Print the paper's " ^ name))
@@ -811,6 +974,7 @@ let main =
       longrun_cmd;
       trace_cmd;
       chaos_cmd;
+      hunt_cmd;
       analyze_cmd;
       bench_reclaim_cmd;
       table_cmd "table1" W.Figures.table1;

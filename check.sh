@@ -27,6 +27,14 @@ dune exec bin/smrbench.exe -- longrun --scheme HP-BRCU --trace-out /tmp/smrbench
 dune exec bin/smrbench.exe -- analyze --require-ttr --outdir /tmp/smrbench.ci.results \
   --perfetto /tmp/smrbench.ci.perfetto.json /tmp/smrbench.ci.trace
 
+# Hunt smoke gate (DESIGN.md §11): the mutation test for the checker
+# itself.  Both planted mutants (HP-BRCU!nomask, HP-BRCU!nodb) must be
+# convicted within the budget — each by whichever of the rand/pct
+# strategies suits its bug shape — shrunk, and their repros replayed
+# byte-identically; the same budget over every real scheme must stay
+# silent.
+dune exec bin/smrbench.exe -- hunt --smoke --seed 1
+
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

@@ -13,22 +13,33 @@ type stats = {
   allocated : int;  (** blocks ever allocated *)
   retired : int;  (** blocks ever retired *)
   reclaimed : int;  (** blocks ever reclaimed *)
+  abandoned : int;  (** allocated-but-never-published blocks given back *)
   unreclaimed : int;  (** currently retired-but-not-reclaimed *)
   peak_unreclaimed : int;  (** high-water mark of [unreclaimed] *)
-  uaf : int;  (** use-after-free accesses detected (counting mode) *)
+  uaf : int;  (** lifecycle violations detected, all kinds (counting mode) *)
+  poisoned_reads : int;  (** accesses that hit a poison stamp *)
+  double_retires : int;  (** retire of a non-Live block *)
+  double_reclaims : int;  (** reclaim of a non-Retired block *)
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "alloc=%d retired=%d reclaimed=%d unreclaimed=%d peak=%d uaf=%d"
-    s.allocated s.retired s.reclaimed s.unreclaimed s.peak_unreclaimed s.uaf
+    "alloc=%d retired=%d reclaimed=%d abandoned=%d unreclaimed=%d peak=%d \
+     uaf=%d poisoned=%d dretire=%d dreclaim=%d"
+    s.allocated s.retired s.reclaimed s.abandoned s.unreclaimed
+    s.peak_unreclaimed s.uaf s.poisoned_reads s.double_retires
+    s.double_reclaims
 
 (* Global registry.  Experiments call [reset ()] between cells. *)
 let allocated = Atomic.make 0
 let retired = Atomic.make 0
 let reclaimed = Atomic.make 0
+let abandoned = Atomic.make 0
 let unreclaimed = Hpbrcu_runtime.Counter.make ()
 let uaf = Atomic.make 0
+let poisoned_reads = Atomic.make 0
+let double_retires = Atomic.make 0
+let double_reclaims = Atomic.make 0
 
 (* In strict mode (the default; tests) violations raise; in counting mode
    (benches) they only bump counters so a buggy configuration can still be
@@ -37,22 +48,38 @@ let strict = Atomic.make true
 
 let set_strict b = Atomic.set strict b
 
+(* Poisoning mode (lib/check's UAF oracle): [reclaim] stamps the block's
+   poison word, so a later access is classified as a read of freed memory
+   of a specific incarnation rather than a generic state anomaly.  Off by
+   default — benches should not pay the extra store. *)
+let poisoning = Atomic.make false
+
+let set_poisoning b = Atomic.set poisoning b
+
 let stats () =
   {
     allocated = Atomic.get allocated;
     retired = Atomic.get retired;
     reclaimed = Atomic.get reclaimed;
+    abandoned = Atomic.get abandoned;
     unreclaimed = Hpbrcu_runtime.Counter.get unreclaimed;
     peak_unreclaimed = Hpbrcu_runtime.Counter.peak unreclaimed;
     uaf = Atomic.get uaf;
+    poisoned_reads = Atomic.get poisoned_reads;
+    double_retires = Atomic.get double_retires;
+    double_reclaims = Atomic.get double_reclaims;
   }
 
 let reset () =
   Atomic.set allocated 0;
   Atomic.set retired 0;
   Atomic.set reclaimed 0;
+  Atomic.set abandoned 0;
   Hpbrcu_runtime.Counter.reset unreclaimed;
   Atomic.set uaf 0;
+  Atomic.set poisoned_reads 0;
+  Atomic.set double_retires 0;
+  Atomic.set double_reclaims 0;
   (* Block ids and signal send-sequence ids restart with the cell so that
      trace correlation arguments are deterministic per seed. *)
   Block.reset_ids ();
@@ -81,8 +108,10 @@ let retire b =
       (Hpbrcu_runtime.Counter.get unreclaimed)
       (Block.id b)
   end
-  else if Atomic.get strict then raise (Double_retire b)
-  else Atomic.incr uaf
+  else begin
+    Atomic.incr double_retires;
+    if Atomic.get strict then raise (Double_retire b) else Atomic.incr uaf
+  end
 
 (** [try_retire b] claims the retirement of [b]: returns [true] iff the
     caller won the Live→Retired transition (and must now hand [b] to a
@@ -103,22 +132,42 @@ let try_retire b =
     use-after-free. *)
 let reclaim b =
   if Block.transition b ~from:Retired ~to_:Reclaimed then begin
+    if Atomic.get poisoning then Block.poison b;
     Atomic.incr reclaimed;
     Hpbrcu_runtime.Counter.decr unreclaimed;
     Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Reclaim
       (Hpbrcu_runtime.Counter.get unreclaimed)
       (Block.id b)
   end
-  else if Atomic.get strict then raise (Double_reclaim b)
-  else Atomic.incr uaf
+  else begin
+    Atomic.incr double_reclaims;
+    if Atomic.get strict then raise (Double_reclaim b) else Atomic.incr uaf
+  end
+
+(** [abandon b] — give back a Live block that was allocated but never
+    published (e.g. an insert that found its key present).  Non-recycling
+    schemes have no pool to return it to, and without this the block would
+    be indistinguishable from one stranded by a lost retirement — the
+    leak-at-quiescence oracle's accounting (DESIGN.md §11) needs the two
+    told apart. *)
+let abandon b =
+  if Block.transition b ~from:Live ~to_:Reclaimed then begin
+    if Atomic.get poisoning then Block.poison b;
+    Atomic.incr abandoned
+  end
 
 (** [check_access b] — called by scheme-mediated reads before a node's
     fields may be used.  Detects access to reclaimed memory.  Blocks from a
     recycling pool are exempt: VBR legitimately lets readers race with
-    reuse and catches staleness by version instead. *)
+    reuse and catches staleness by version instead.  Under poisoning mode
+    the violation is additionally classified: a set poison stamp proves the
+    read hit freed memory of a specific incarnation (the stamp encodes the
+    version at free time and is cleared on reanimation). *)
 let check_access b =
-  if Block.is_reclaimed b && not (Block.recyclable b) then
+  if Block.is_reclaimed b && not (Block.recyclable b) then begin
+    if Block.is_poisoned b then Atomic.incr poisoned_reads;
     if Atomic.get strict then raise (Use_after_free b) else Atomic.incr uaf
+  end
 
 (** Raw counter for harness-side assertions. *)
 let current_unreclaimed () = Hpbrcu_runtime.Counter.get unreclaimed

@@ -34,6 +34,12 @@ type t = {
   recyclable : bool;
       (** pool-managed blocks may legally be observed post-reclaim (VBR);
           access checks skip them *)
+  poison : int Atomic.t;
+      (** poison stamp written at reclaim time when the allocator's
+          poisoning mode is on: [1 + version-at-free], the simulation's
+          0xdeadbeef.  0 = not poisoned.  Cleared by {!reanimate}, so a
+          read of a poisoned block is provably a read of freed memory of a
+          specific incarnation, not of a recycled successor. *)
 }
 
 let next_id = Atomic.make 0
@@ -54,6 +60,7 @@ let make ?(recyclable = false) () =
     birth_era = Atomic.make 0;
     retire_era = Atomic.make (-1);
     recyclable;
+    poison = Atomic.make 0;
   }
 
 let id t = t.id
@@ -72,6 +79,14 @@ let is_reclaimed t = state t = Reclaimed
 let transition t ~from ~to_ =
   Atomic.compare_and_set t.state (state_to_int from) (state_to_int to_)
 
+(** [poison t] — stamp the block as freed (the stamp encodes the dying
+    incarnation's version); {!is_poisoned} then identifies any later read
+    as a use-after-free of that incarnation.  Idempotent. *)
+let poison t = Atomic.set t.poison (1 + Atomic.get t.version)
+
+let unpoison t = Atomic.set t.poison 0
+let is_poisoned t = Atomic.get t.poison <> 0
+
 (** Reset a recycled block to [Live], bumping its version.  Only the pool
     calls this. *)
 let reanimate t ~era =
@@ -79,6 +94,7 @@ let reanimate t ~era =
   Atomic.incr t.version;
   Atomic.set t.birth_era era;
   Atomic.set t.retire_era (-1);
+  Atomic.set t.poison 0;
   Atomic.set t.state (state_to_int Live)
 
 let mark_retire_era t ~era = Atomic.set t.retire_era era

@@ -1,0 +1,235 @@
+(** One hunt case: a (scheme, seed, params, fault plan, schedule) tuple
+    executed under the controlled scheduler with every oracle armed
+    (DESIGN.md §11).
+
+    The execution mirrors the chaos harness — prefill to 50% occupancy
+    before faults arm, readers sweep the whole key range while writers
+    churn a hot region, a virtual-tick deadline bounds the run — with
+    three additions:
+
+    + the scheduler's branching decisions are delegated to a
+      {!Schedule.spec} and recorded, so the exact interleaving is an
+      input, not an accident of the seed;
+    + the allocator runs in counting + poisoning mode, so violations
+      convict instead of crash and freed memory is stamped;
+    + after a clean run, a {e census} (physical cleanup, then a whole-range
+      membership sweep, then a full scheme drain) closes the books:
+      every allocated block must be abandoned, reclaimed or still present.
+
+    A case is a pure function of its tuple: running it twice — including
+    with the tracer on — produces identical outcomes and identical event
+    logs.  The repro format ({!Repro}) and the shrinker ({!Shrink}) lean
+    on that. *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Rng = Hpbrcu_runtime.Rng
+module Trace = Hpbrcu_runtime.Trace
+module Fault = Hpbrcu_runtime.Fault
+module Signal = Hpbrcu_runtime.Signal
+module Caps = Hpbrcu_core.Caps
+module Schemes = Hpbrcu_schemes.Schemes
+module Registry = Hpbrcu_schemes.Registry
+module Matrix = Hpbrcu_workload.Matrix
+module Chaos = Hpbrcu_workload.Chaos
+module Ds = Hpbrcu_ds
+
+type case = {
+  scheme : string;  (** hunt-matrix name, possibly a mutant ("HP-BRCU!nomask") *)
+  seed : int;
+  p : Chaos.params;
+  plan : Fault.plan;
+  spec : Schedule.spec;  (** scheduling strategy, or a replayable prefix *)
+}
+
+type outcome = {
+  findings : Oracle.finding list;
+  terminated : bool;  (** finished inside the tick budget *)
+  crashes : int;
+  exhausted : bool;  (** a worker hit {!Registry.Exhausted} *)
+  ticks : int;
+  total_ops : int;
+  peak : int;
+  recording : Schedule.recording;
+}
+
+let failed o = o.findings <> []
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "%s ops=%d ticks=%d peak=%d crashes=%d%s%s"
+    (if o.findings = [] then "clean" else "FAIL")
+    o.total_ops o.ticks o.peak o.crashes
+    (if o.terminated then "" else " deadline")
+    (if o.exhausted then " exhausted" else "");
+  List.iter (fun f -> Fmt.pf ppf " [%a]" Oracle.pp f) o.findings
+
+(* The hunt's ds dispatch, following the chaos harness: HP cannot traverse
+   optimistically and drives HMList; everyone else gets the
+   harris-herlihy-shavit list, whose multi-node marked chains are what
+   make an aborted [retire_chain] observable. *)
+let with_map (module S : Matrix.SCHEME) base (k : (module Ds.Ds_intf.MAP) -> 'a)
+    : 'a =
+  if base = "HP" || not (Matrix.supports (module S) Caps.HHSList) then
+    k (module Ds.Hm_list.Make (S) : Ds.Ds_intf.MAP)
+  else k (module Ds.Harris_list.Make_hhs (S) : Ds.Ds_intf.MAP)
+
+let plan_has_signal_faults (pl : Fault.plan) =
+  List.exists
+    (fun r ->
+      match r.Fault.action with
+      | Fault.Drop_signal | Fault.Delay_signal _ -> true
+      | Fault.Stall _ | Fault.Crash | Fault.Exhaust_pool -> false)
+    pl.Fault.rules
+
+(** [run case] — execute [case].  With [~traced:true] the decoded event
+    log of the whole run (prefill, workload, census) is returned for
+    byte-identical replay checks. *)
+let run ?(traced = false) (case : case) : outcome * Trace.record list =
+  let spec = case.spec in
+  let (module S : Matrix.SCHEME) =
+    Matrix.find_scheme ~tuning:`Hunt case.scheme
+  in
+  let base = Matrix.base_scheme_name case.scheme in
+  let p = case.p in
+  let nthreads = p.Chaos.readers + p.Chaos.writers in
+  let bound = S.caps.Caps.bound ~nthreads in
+  (* Reset BEFORE arming the tracer (same rule as the chaos harness):
+     draining the previous case's leftovers must not pollute the log. *)
+  Schemes.reset_all ();
+  Alloc.reset ();
+  Alloc.set_strict false;
+  Alloc.set_poisoning true;
+  if traced then Trace.enable ~sink:Trace.Spool ();
+  let restore () =
+    Alloc.set_poisoning false;
+    Alloc.set_strict true;
+    if traced then Trace.disable ()
+  in
+  match
+    with_map (module S) base (fun (module L : Ds.Ds_intf.MAP) ->
+        let t = L.create () in
+        (* Prefill runs outside fiber mode: fault counters and schedule
+           decisions must index the workload proper. *)
+        let s = L.session t in
+        let rng = Rng.create ~seed:(case.seed lxor 0xfeed) in
+        let inserted = ref 0 in
+        while !inserted < p.Chaos.key_range / 2 do
+          if L.insert t s (Rng.int rng p.Chaos.key_range) 0 then incr inserted
+        done;
+        L.close_session s;
+        Alloc.reset_peak ();
+        let ops = Array.make nthreads 0 in
+        let deadline_hit = ref false in
+        let exhausted = ref false in
+        let end_tick = ref 0 in
+        Fault.install case.plan;
+        Sched.set_tick_deadline p.Chaos.tick_budget;
+        let worker tid =
+          let s = L.session t in
+          let rng = Rng.create ~seed:(case.seed + (tid * 104729)) in
+          let reader = tid < p.Chaos.readers in
+          let budget = if reader then p.Chaos.reader_ops else p.Chaos.writer_ops in
+          (try
+             for _ = 1 to budget do
+               if reader then
+                 ignore (L.get t s (Rng.int rng p.Chaos.key_range) : bool)
+               else begin
+                 let k = Rng.int rng p.Chaos.hot_width in
+                 if Rng.bool rng then ignore (L.insert t s k 0 : bool)
+                 else ignore (L.remove t s k : bool)
+               end;
+               ops.(tid) <- ops.(tid) + 1
+             done;
+             L.close_session s
+           with
+          | Sched.Deadline -> deadline_hit := true
+          | Registry.Exhausted _ -> exhausted := true);
+          if Sched.tick () > !end_tick then end_tick := Sched.tick ()
+        in
+        let (), recording =
+          Schedule.with_spec ~seed:case.seed spec (fun () ->
+              Sched.run
+                (Sched.Fibers { seed = case.seed; switch_every = 1 })
+                ~nthreads worker)
+        in
+        Sched.clear_tick_deadline ();
+        let crashes = Sched.crashed_count () in
+        Fault.clear ();
+        let terminated = not !deadline_hit in
+        (* Quiescence audits, in gate order.  [undelivered_pending] must be
+           read before the census creates fresh boxes. *)
+        let pending =
+          if terminated && crashes = 0 && not (plan_has_signal_faults case.plan)
+          then Signal.undelivered_pending ()
+          else 0
+        in
+        (* Census + drain: only meaningful (and only exact) for a clean
+           terminating run — a crashed or deadline-aborted fiber may hold
+           an in-flight node that is neither published nor discarded. *)
+        let clean = terminated && crashes = 0 && not !exhausted in
+        let present = ref 0 in
+        let census_ok = ref false in
+        if clean then begin
+          (try
+             let s = L.session t in
+             L.cleanup t s;
+             for k = 0 to p.Chaos.key_range - 1 do
+               if L.get t s k then incr present
+             done;
+             L.close_session s;
+             census_ok := true
+           with _ -> census_ok := false);
+          S.reset ()
+        end;
+        let st = Alloc.stats () in
+        let findings = ref [] in
+        let add f = findings := f :: !findings in
+        if st.Alloc.uaf > 0 then
+          add (Oracle.Uaf { count = st.Alloc.uaf; poisoned = st.Alloc.poisoned_reads });
+        if st.Alloc.double_retires > 0 then
+          add (Oracle.Double_retire st.Alloc.double_retires);
+        if st.Alloc.double_reclaims > 0 then
+          add (Oracle.Double_reclaim st.Alloc.double_reclaims);
+        (match bound with
+        | Some b when st.Alloc.peak_unreclaimed > b ->
+            add (Oracle.Bound_exceeded { peak = st.Alloc.peak_unreclaimed; bound = b })
+        | _ -> ());
+        if clean && !census_ok && not S.recycles then begin
+          (* allocated = abandoned + reclaimed + present(+1 head sentinel);
+             any slack is a block stranded Live-but-unreachable. *)
+          let lost =
+            st.Alloc.allocated - st.Alloc.abandoned - st.Alloc.reclaimed
+            - (!present + 1)
+          in
+          if lost > 0 then add (Oracle.Leak { lost })
+        end;
+        if pending > 0 then add (Oracle.Lost_signal { pending });
+        {
+          findings = List.rev !findings;
+          terminated;
+          crashes;
+          exhausted = !exhausted;
+          ticks = !end_tick;
+          total_ops = Array.fold_left ( + ) 0 ops;
+          peak = st.Alloc.peak_unreclaimed;
+          recording;
+        })
+  with
+  | outcome ->
+      let log = if traced then Trace.dump () else [] in
+      restore ();
+      (outcome, log)
+  | exception e ->
+      Sched.clear_tick_deadline ();
+      Sched.clear_chooser ();
+      Fault.clear ();
+      restore ();
+      raise e
+
+(** [pin case outcome] — the same case with its schedule frozen to what
+    the run actually did: strategy state is gone, only the decisions
+    remain.  Identity on overflowed recordings (an incomplete prefix
+    would diverge where the recording was cut). *)
+let pin (case : case) (o : outcome) : case =
+  if o.recording.Schedule.overflowed then case
+  else { case with spec = Schedule.Replay (Schedule.prefix_of o.recording) }

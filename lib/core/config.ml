@@ -29,6 +29,12 @@ type t = {
           Disabling it (ablation only!) makes checkpoints tearable by
           rollbacks — the torn-checkpoint unsoundness the design exists to
           prevent, observable as use-after-free in counting mode. *)
+  abort_masking : bool;
+      (** BRCU: honour Algorithm 6's Mask around abort-rollback-unsafe
+          regions.  Disabling it (mutation-testing only!) lets a
+          self-neutralization abort a physical-deletion region halfway
+          through, stranding the unretired tail of a snipped chain — the
+          planted bug `lib/check`'s hunt must catch (DESIGN.md §11). *)
 }
 
 let default =
@@ -40,6 +46,7 @@ let default =
     max_local_tasks = 64;
     pebr_eject_threshold = 2;
     double_buffering = true;
+    abort_masking = true;
   }
 
 (** NBR-Large: amortize signals with a large batch (paper §6: 8192). *)

@@ -280,6 +280,11 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
               true
             end
             else begin
+              (* IFlag lost: [op] was never published, so the fresh leaf
+                 and wrapper are unreachable — write them off as abandoned
+                 (leak-at-quiescence accounting, DESIGN.md §11). *)
+              Alloc.abandon new_leaf.blk;
+              Alloc.abandon new_internal.blk;
               help s (Atomic.get c.p.update);
               attempt ()
             end

@@ -102,7 +102,12 @@ module Make_gen (F : FLAVOUR) (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struc
         Block.set_birth_era b ~era:(S.current_era ());
         { blk = b; key; value; next = Link.cell None }
 
-  let discard t n = if S.recycles then Pool.release t.pool n
+  (* A node that was allocated but never published: recyclers take it back
+     into the pool; everyone else must tell the allocator it was abandoned,
+     or the leak-at-quiescence oracle (DESIGN.md §11) would book it as
+     stranded by a lost retirement. *)
+  let discard t n =
+    if S.recycles then Pool.release t.pool n else Alloc.abandon n.blk
 
   let scratch_read s ?src cell =
     let sh = s.scratch.(s.rot) in
@@ -261,8 +266,27 @@ module Make_gen (F : FLAVOUR) (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struc
         in
         go ())
 
+  (* A single max_int search is not enough: [step_search] advances [left]
+     past a marked chain whenever the next live node's key is below the
+     search key, so chains that precede a live node survive it — physically
+     linked, invisible to the read-only [get], and never retired, which the
+     leak-at-quiescence census (DESIGN.md §11) would book as stranded.
+     Sweeping the live keys in order puts every marked chain between some
+     search's left and right, where the snip CAS removes it. *)
   let cleanup t s =
-    ignore (S.op s.h (fun () -> snd (search t s max_int ~help:true)) : bool)
+    ignore
+      (S.op s.h (fun () ->
+           let rec sweep key =
+             let c, _ = search t s key ~help:true in
+             match c.node with
+             | Some n ->
+                 let k = key_of s n in
+                 if k < max_int then sweep (k + 1)
+             | None -> ()
+           in
+           sweep min_int;
+           true)
+        : bool)
 end
 
 module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP =

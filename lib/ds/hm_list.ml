@@ -99,8 +99,12 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
         Block.set_birth_era b ~era:(S.current_era ());
         { blk = b; key; value; next = Link.cell None }
 
-  (* A node that was allocated but never published. *)
-  let discard t n = if S.recycles then Pool.release t.pool n
+  (* A node that was allocated but never published: recyclers take it back
+     into the pool; everyone else must tell the allocator it was abandoned,
+     or the leak-at-quiescence oracle (DESIGN.md §11) would book it as
+     stranded by a lost retirement. *)
+  let discard t n =
+    if S.recycles then Pool.release t.pool n else Alloc.abandon n.blk
 
   (* ---------------- mediated accesses ---------------- *)
 

@@ -101,7 +101,10 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
         Block.set_birth_era n.blk ~era:(S.current_era ());
         n
 
-  let discard t n = if S.recycles then Pool.release t.pool n
+  (* Unpublished node: back to the pool, or booked as abandoned so the
+     leak-at-quiescence accounting stays exact (DESIGN.md §11). *)
+  let discard t n =
+    if S.recycles then Pool.release t.pool n else Alloc.abandon n.blk
 
   let scratch_read s ?src cell =
     let sh = s.scratch.(s.rot) in

@@ -296,7 +296,10 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
         let rec attempt () =
           let c, found = seek t s key in
           if found then begin
-            if S.recycles then Pool.release t.pool leaf;
+            (* Unpublished leaf: pool it, or book it as abandoned so the
+               leak-at-quiescence accounting stays exact (DESIGN.md §11). *)
+            if S.recycles then Pool.release t.pool leaf
+            else Alloc.abandon leaf.blk;
             false
           end
           else if Link.tag c.plink <> 0 then begin
@@ -314,10 +317,13 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
             let cell = child_cell c.par key in
             if Link.cas cell ~expected:c.plink ~desired:(Link.make (Some internal))
             then true
-            else
+            else begin
               (* Lost the race; the internal wrapper is unpublished (the
-                 GC collects it — it was never shared). *)
+                 GC collects it — it was never shared), but its lifecycle
+                 header must still be written off as abandoned. *)
+              Alloc.abandon internal.blk;
               attempt ()
+            end
           end
         in
         attempt ())

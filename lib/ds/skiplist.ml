@@ -131,7 +131,11 @@ module Make (S : Hpbrcu_core.Smr_intf.S) : Ds_intf.MAP = struct
         Block.set_birth_era b ~era:(S.current_era ());
         { blk = b; key; value; next = Array.init h (fun _ -> Link.cell None) }
 
-  let discard t n = if S.recycles then Pool.release t.pools.(height n) n
+  (* Unpublished node: back to the pool, or booked as abandoned so the
+     leak-at-quiescence accounting stays exact (DESIGN.md §11). *)
+  let discard t n =
+    if S.recycles then Pool.release t.pools.(height n) n
+    else Alloc.abandon n.blk
 
   let scratch_read s ?src cell =
     let sh = s.scratch.(s.rot) in

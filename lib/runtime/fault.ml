@@ -210,3 +210,100 @@ let plan_to_string p =
   match p.rules with
   | [] -> p.label
   | rs -> p.label ^ ": " ^ String.concat " " (List.map rule_to_string rs)
+
+(* ------------------------------------------------------------------ *)
+(* Plan serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One text format shared by the hand-written chaos plans, the fuzzer's
+   mutated plans and the repro artifacts (DESIGN.md §11):
+
+   {v
+   # smrbench-fault-plan v1
+   label stall-storm
+   rule yield -1 400 701 stall 3000
+   rule send -1 2 5 drop
+   v}
+
+   A [rule] line is "rule <site> <tid> <start> <period> <action> [n]". *)
+
+let magic = "# smrbench-fault-plan v1"
+
+let rule_to_line r =
+  let site =
+    match r.site with
+    | Yield -> "yield"
+    | Signal_send -> "send"
+    | Pool_acquire -> "pool"
+  in
+  let action =
+    match r.action with
+    | Stall n -> Printf.sprintf "stall %d" n
+    | Crash -> "crash"
+    | Drop_signal -> "drop"
+    | Delay_signal n -> Printf.sprintf "delay %d" n
+    | Exhaust_pool -> "exhaust"
+  in
+  Printf.sprintf "rule %s %d %d %d %s" site r.tid r.start r.period action
+
+let rule_of_line line =
+  let fail () = invalid_arg ("Fault.rule_of_line: bad rule: " ^ line) in
+  let int s = match int_of_string_opt s with Some n -> n | None -> fail () in
+  match String.split_on_char ' ' (String.trim line) with
+  | "rule" :: site :: tid :: start :: period :: action ->
+      let site =
+        match site with
+        | "yield" -> Yield
+        | "send" -> Signal_send
+        | "pool" -> Pool_acquire
+        | _ -> fail ()
+      in
+      let action =
+        match action with
+        | [ "stall"; n ] -> Stall (int n)
+        | [ "crash" ] -> Crash
+        | [ "drop" ] -> Drop_signal
+        | [ "delay"; n ] -> Delay_signal (int n)
+        | [ "exhaust" ] -> Exhaust_pool
+        | _ -> fail ()
+      in
+      { site; tid = int tid; start = int start; period = int period; action }
+  | _ -> fail ()
+
+let to_string p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b ("label " ^ p.label ^ "\n");
+  List.iter
+    (fun r ->
+      Buffer.add_string b (rule_to_line r);
+      Buffer.add_char b '\n')
+    p.rules;
+  Buffer.contents b
+
+let of_string s =
+  let label = ref "none" and rules = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if String.length line > 6 && String.sub line 0 6 = "label " then
+        label := String.sub line 6 (String.length line - 6)
+      else rules := rule_of_line line :: !rules)
+    (String.split_on_char '\n' s);
+  { label = !label; rules = List.rev !rules }
+
+let to_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

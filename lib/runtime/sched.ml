@@ -154,6 +154,22 @@ let reset_crashed () =
   crashed_total := 0
 
 (* ------------------------------------------------------------------ *)
+(* Controlled scheduling (lib/check)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The schedule explorer replaces the seeded random runnable-pick with its
+   own policy (recorded replay, DFS prefix enumeration, PCT priorities).
+   The chooser receives the ascending list of runnable fiber indices and
+   returns a position in that list; out-of-range answers clamp to 0, so a
+   stale recorded schedule can never crash the scheduler.  When no chooser
+   is installed the scheduler behaves exactly as before (the chooser path
+   costs one ref read per scheduling step). *)
+let chooser : (int list -> int) option ref = ref None
+
+let set_chooser f = chooser := Some f
+let clear_chooser () = chooser := None
+
+(* ------------------------------------------------------------------ *)
 (* Fiber simulator                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -325,7 +341,14 @@ let schedule_step c =
     c.tick <- !min_wake
   end
   else begin
-    let idx = List.nth !runnable (Rng.int c.rng !nrun) in
+    let pos =
+      match !chooser with
+      | Some f ->
+          let p = f !runnable in
+          if p < 0 || p >= !nrun then 0 else p
+      | None -> Rng.int c.rng !nrun
+    in
+    let idx = List.nth !runnable pos in
     let f = c.fibers.(idx) in
     let prev = c.current in
     c.current <- idx;

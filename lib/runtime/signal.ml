@@ -54,18 +54,52 @@ type box = {
   posted_seq : int Atomic.t;  (* seq of the most recently posted delivery *)
   consumed_seq : int Atomic.t;  (* seq of the delivery last consumed *)
   mutable owner_tid : int;  (* for waking a stalled fiber, like EINTR *)
+  detached : bool Atomic.t;
+      (* owner deregistered: later sends are the moral equivalent of ESRCH
+         and a leftover pending flag is not a lost delivery *)
 }
 
+(* Every live box, for the quiescence audit below.  Boxes are created on
+   the cold register path only, so a CAS-retried cons is cheap; the list is
+   cleared with the rest of the telemetry between cells. *)
+let all_boxes : box list Atomic.t = Atomic.make []
+
+let rec track box =
+  let old = Atomic.get all_boxes in
+  if not (Atomic.compare_and_set all_boxes old (box :: old)) then track box
+
 let make () =
-  {
-    pending = Atomic.make false;
-    not_before = Atomic.make 0;
-    acks = Atomic.make 0;
-    sent = Atomic.make 0;
-    posted_seq = Atomic.make 0;
-    consumed_seq = Atomic.make 0;
-    owner_tid = -1;
-  }
+  let box =
+    {
+      pending = Atomic.make false;
+      not_before = Atomic.make 0;
+      acks = Atomic.make 0;
+      sent = Atomic.make 0;
+      posted_seq = Atomic.make 0;
+      consumed_seq = Atomic.make 0;
+      owner_tid = -1;
+      detached = Atomic.make false;
+    }
+  in
+  track box;
+  box
+
+(** [undelivered_pending ()] — quiescence audit for the lost-signal /
+    stuck-rollback oracle (DESIGN.md §11): deliveries that were posted but
+    never consumed by a receiver that is not crashed.  With no drop/delay
+    faults in play, every post to a live receiver is consumed at the
+    receiver's next poll or critical-section exit, so after all workers
+    have finished a nonzero count means a rollback request was lost. *)
+let undelivered_pending () =
+  List.fold_left
+    (fun acc box ->
+      if
+        Atomic.get box.pending
+        && (not (Atomic.get box.detached))
+        && not (Sched.is_crashed box.owner_tid)
+      then acc + 1
+      else acc)
+    0 (Atomic.get all_boxes)
 
 (* --------------------- causal telemetry (DESIGN.md §10) ------------- *)
 
@@ -101,15 +135,25 @@ let inflight_gauge = Stats.Gauge.make ()
 (** Peak concurrent sends since the last {!reset_telemetry}. *)
 let max_inflight () = Stats.Gauge.maximum inflight_gauge
 
-(** Zero the seq counter and the in-flight watermark (between cells). *)
+(** Zero the seq counter, the in-flight watermark and the box registry
+    (between cells). *)
 let reset_telemetry () =
   Atomic.set seq_counter 0;
   Atomic.set inflight 0;
-  Stats.Gauge.reset inflight_gauge
+  Stats.Gauge.reset inflight_gauge;
+  Atomic.set all_boxes []
 
 (** [attach box] binds the box to the calling thread so that {!send} can
     interrupt its simulated stalls (signals interrupt blocked syscalls). *)
-let attach box = box.owner_tid <- Sched.self ()
+let attach box =
+  box.owner_tid <- Sched.self ();
+  Atomic.set box.detached false
+
+(** [detach box] — the owner is deregistering; a send that raced the
+    deregistration may still post afterwards (the sender read the registry
+    before the removal), and such a post is [ESRCH], not a lost delivery.
+    The quiescence audit ({!undelivered_pending}) skips detached boxes. *)
+let detach box = Atomic.set box.detached true
 
 let send_cost = Atomic.make 0 (* iterations of busy work per send *)
 

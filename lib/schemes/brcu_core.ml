@@ -207,7 +207,13 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
     end
 
   let mask h body =
-    if Atomic.get h.l.status <> st_incs then body () else mask_in_cs h body
+    if not C.config.abort_masking then
+      (* Mutation hook (lib/check): the region runs bare, so a
+         self-neutralization mid-body aborts it instead of being deferred
+         to the exit — Algorithm 6's bug, reintroduced on purpose. *)
+      body ()
+    else if Atomic.get h.l.status <> st_incs then body ()
+    else mask_in_cs h body
 
   (* Pop every segment stamped ≤ limit and run it (Algorithm 5 line 34).
      Surviving segments go back with one CAS before any task runs. *)
@@ -412,6 +418,7 @@ module Make (C : Hpbrcu_core.Config.CONFIG) () = struct
   let unregister h =
     assert (not (in_cs h));
     flush h;
+    Signal.detach h.l.box;
     let tid = Sched.self () in
     (if tid >= 0 && tid < Array.length locals_by_tid then
        match locals_by_tid.(tid) with

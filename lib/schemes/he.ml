@@ -61,7 +61,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
              would grow [hwm] past capacity on every failed alloc and the
              clamps below would mask the overflow. *)
           let i = Atomic.get hwm in
-          if i >= max_slots then failwith "HE: era slots exhausted";
+          if i >= max_slots then
+            raise (Registry.Exhausted "HE: era slots exhausted");
           if Atomic.compare_and_set hwm i (i + 1) then i
           else begin
             Sched.yield ();

@@ -188,6 +188,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let unregister h =
     flush h;
+    Signal.detach h.l.box;
     Core.unregister h.hp;
     Registry.Participants.remove participants h.idx
 

@@ -253,6 +253,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let unregister h =
     assert (h.nest = 0);
+    Signal.detach h.l.box;
     try_advance h;
     (* Remaining tasks are not yet expired; orphan them for adoption. *)
     Segstack.push_arr orphans (Vec.to_array h.tasks);

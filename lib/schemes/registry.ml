@@ -12,6 +12,15 @@
 
 module Block = Hpbrcu_alloc.Block
 
+exception Exhausted of string
+(** A fixed-capacity slot table ran out ({!Shields.alloc},
+    {!Participants.add}, HE's era table).  Typed — unlike the [Failure]
+    it replaces — so harnesses that drive fuzzed schedules (lib/check) can
+    catch exactly this condition at the worker and report a typed
+    "registry exhausted" outcome instead of letting an anonymous failure
+    escape through the fiber effect handler.  The [try_]-variants return
+    [None] instead of raising. *)
+
 (* ------------------------------------------------------------------ *)
 
 module Shields = struct
@@ -47,13 +56,17 @@ module Shields = struct
            and the clamps in [snapshot]/[reset] would then mask the
            overflow. Exhaustion must leave [hwm] untouched. *)
         let idx = Atomic.get t.hwm in
-        if idx >= max_shields then failwith "Shields.alloc: registry exhausted";
+        if idx >= max_shields then
+          raise (Exhausted "Shields.alloc: registry exhausted");
         if Atomic.compare_and_set t.hwm idx (idx + 1) then
           { slot = t.slots.(idx); idx; owner = t }
         else begin
           Hpbrcu_runtime.Sched.yield ();
           alloc t
         end
+
+  (** Non-raising variant of {!alloc}: [None] on exhaustion. *)
+  let try_alloc t = try Some (alloc t) with Exhausted _ -> None
 
   let release (s : shield) =
     (* Clear once, outside the retry loop: the store is not part of the
@@ -129,7 +142,8 @@ module Participants = struct
         (* Same bounded-CAS claim as [Shields.alloc]: never bump [hwm]
            past capacity on exhaustion. *)
         let idx = Atomic.get t.hwm in
-        if idx >= capacity then failwith "Participants.add: registry exhausted";
+        if idx >= capacity then
+          raise (Exhausted "Participants.add: registry exhausted");
         if Atomic.compare_and_set t.hwm idx (idx + 1) then begin
           Atomic.set t.slots.(idx) (Some l);
           idx
@@ -138,6 +152,9 @@ module Participants = struct
           Hpbrcu_runtime.Sched.yield ();
           add t l
         end
+
+  (** Non-raising variant of {!add}: [None] on exhaustion. *)
+  let try_add t l = try Some (add t l) with Exhausted _ -> None
 
   let remove t idx =
     (* As in [Shields.release]: the slot clear happens once, only the

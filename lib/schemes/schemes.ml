@@ -44,6 +44,48 @@ module Small = struct
   module HP_BRCU = Hp_brcu.Make (Small_cfg) ()
 end
 
+(** Hunt instances (lib/check): tiny batches and a hair-trigger force
+    threshold so the interesting reclamation machinery — flushes, forced
+    epoch advances, neutralization signals — fires every few operations
+    instead of every few thousand, maximizing what a short fuzzed schedule
+    can reach.  Only the schemes the hunt matrix drives are instantiated. *)
+module Hunt_cfg : Config.CONFIG = struct
+  let config =
+    {
+      Config.default with
+      batch = 16;
+      max_local_tasks = 4;
+      backup_period = 16;
+      max_steps = 16;
+      force_threshold = 1;
+    }
+end
+
+module Hunt = struct
+  module RCU = Ebr.Make (Hunt_cfg) ()
+  module HP = Hp.Make (Hunt_cfg) ()
+  module NBR = Nbr.Make (Hunt_cfg) ()
+  module VBR = Vbr.Make (Hunt_cfg) ()
+  module HP_RCU = Hp_rcu.Make (Hunt_cfg) ()
+  module HP_BRCU = Hp_brcu.Make (Hunt_cfg) ()
+
+  (* Planted bugs for mutation-testing the hunt itself (never part of any
+     benchmark suite).  [Nomask] drops BRCU's Mask (Algorithm 6) so a
+     self-neutralization can abort a physical-deletion region mid-chain;
+     [Nodb] drops §4.3's double buffering so rollbacks can tear Traverse
+     checkpoints. *)
+  module Nomask_cfg : Config.CONFIG = struct
+    let config = { Hunt_cfg.config with abort_masking = false }
+  end
+
+  module Nodb_cfg : Config.CONFIG = struct
+    let config = { Hunt_cfg.config with double_buffering = false }
+  end
+
+  module HP_BRCU_nomask = Hp_brcu.Make (Nomask_cfg) ()
+  module HP_BRCU_nodb = Hp_brcu.Make (Nodb_cfg) ()
+end
+
 (** Scheme-generic view for reporting and housekeeping. *)
 type info = {
   name : string;
@@ -79,6 +121,14 @@ let all_info : info list =
     info (module Small.VBR);
     info (module Small.HP_RCU);
     info (module Small.HP_BRCU);
+    info (module Hunt.RCU);
+    info (module Hunt.HP);
+    info (module Hunt.NBR);
+    info (module Hunt.VBR);
+    info (module Hunt.HP_RCU);
+    info (module Hunt.HP_BRCU);
+    info (module Hunt.HP_BRCU_nomask);
+    info (module Hunt.HP_BRCU_nodb);
   ]
 
 (** Reset every scheme's global state and the allocator counters; call

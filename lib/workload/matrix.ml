@@ -43,13 +43,46 @@ let schemes_small : (string * (module SCHEME)) list =
     ("HP-BRCU", (module Schemes.Small.HP_BRCU));
   ]
 
+(* Hunt instances for lib/check's schedule/fault exploration: hair-trigger
+   reclamation tunings, plus the planted mutants ("<scheme>!<bug>") the
+   hunt's mutation-testing gate must catch.  A mutant shares its base
+   scheme's applicability — [supports] callers strip the "!bug" suffix. *)
+let schemes_hunt : (string * (module SCHEME)) list =
+  [
+    ("RCU", (module Schemes.Hunt.RCU));
+    ("HP", (module Schemes.Hunt.HP));
+    ("NBR", (module Schemes.Hunt.NBR));
+    ("VBR", (module Schemes.Hunt.VBR));
+    ("HP-RCU", (module Schemes.Hunt.HP_RCU));
+    ("HP-BRCU", (module Schemes.Hunt.HP_BRCU));
+    ("HP-BRCU!nomask", (module Schemes.Hunt.HP_BRCU_nomask));
+    ("HP-BRCU!nodb", (module Schemes.Hunt.HP_BRCU_nodb));
+  ]
+
+let hunt_scheme_names =
+  List.filter (fun n -> not (String.contains n '!')) (List.map fst schemes_hunt)
+
+let mutant_names =
+  List.filter (fun n -> String.contains n '!') (List.map fst schemes_hunt)
+
+(** [base_scheme_name n] strips a mutant's "!bug" suffix. *)
+let base_scheme_name n =
+  match String.index_opt n '!' with
+  | Some i -> String.sub n 0 i
+  | None -> n
+
 (* The paper's §6 legend (figures use exactly these; HE/IBR remain
    addressable by name for custom sweeps and tests). *)
 let scheme_names =
   List.filter (fun n -> n <> "HE" && n <> "IBR") (List.map fst schemes)
 
 let find_scheme ?(tuning = `Default) name : (module SCHEME) =
-  let table = match tuning with `Default -> schemes | `Small -> schemes_small in
+  let table =
+    match tuning with
+    | `Default -> schemes
+    | `Small -> schemes_small
+    | `Hunt -> schemes_hunt
+  in
   match List.assoc_opt name table with
   | Some s -> s
   | None -> invalid_arg ("unknown scheme: " ^ name)

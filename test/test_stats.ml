@@ -275,7 +275,7 @@ let test_shields_exhaustion () =
     (try
        ignore (Registry.Shields.alloc t : Registry.Shields.shield);
        Alcotest.fail "alloc past capacity succeeded"
-     with Failure _ -> ());
+     with Registry.Exhausted _ -> ());
     (* The regression: a fetch_and_add here kept growing hwm on every
        failed alloc, silently masked by downstream clamps. *)
     Alcotest.(check int) "hwm untouched by failure" Registry.Shields.max_shields
@@ -298,7 +298,7 @@ let test_participants_exhaustion () =
     (try
        ignore (Registry.Participants.add t 0 : int);
        Alcotest.fail "add past capacity succeeded"
-     with Failure _ -> ());
+     with Registry.Exhausted _ -> ());
     Alcotest.(check int) "hwm untouched by failure"
       Registry.Participants.capacity (hwm ())
   done;
