@@ -357,6 +357,64 @@ let chaos_cmd =
       const run $ seeds_arg $ full_arg $ quick_arg $ scheme_arg $ plan_arg
       $ no_replay_arg $ trace_out_arg)
 
+let shards_cmd =
+  let scheme_arg =
+    Arg.(
+      value & opt string "RCU"
+      & info [ "scheme" ]
+          ~doc:
+            "Scheme whose domains shard the map (the epoch-based default \
+             shows the sharpest contrast).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~doc:"Shard (= domain) count, rounded up to a power of two.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic-schedule seed.")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit non-zero unless the isolation ratio clears the threshold \
+             (CI discriminator).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float W.Shards.default_threshold
+      & info [ "threshold" ]
+          ~doc:"Minimum shared-domain / isolated-build peak ratio.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag & info [ "quick" ] ~doc:"Reduced write budget (CI gate).")
+  in
+  let run profile outdir stats_json scheme shards seed gate threshold quick =
+    ignore (profile : string);
+    setup outdir stats_json;
+    let p = { W.Shards.default_params with shards; seed } in
+    let p = if quick then W.Shards.quick p else p in
+    let r = W.Shards.run_one ~threshold ~scheme p in
+    Fmt.pr "%a@." W.Shards.pp r;
+    W.Shards.record r;
+    W.Report.write_stats_json ();
+    if (not gate) || r.W.Shards.ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Shard-isolation experiment: a sharded hash map with one \
+          reclamation domain per shard vs the same map over a single \
+          shared domain, under a reader crashed inside shard 0.  Per-shard \
+          unreclaimed watermarks must stay flat in the isolated build \
+          while the shared build balloons.")
+    Term.(
+      const run $ profile_arg $ outdir_arg $ stats_json_arg $ scheme_arg
+      $ shards_arg $ seed_arg $ gate_arg $ threshold_arg $ quick_arg)
+
 let analyze_cmd =
   let module T = Hpbrcu_runtime.Trace in
   let module H = Hpbrcu_runtime.Stats.Histogram in
@@ -493,28 +551,30 @@ module Reclaim_bench = struct
     in
     (blocks, frees)
 
-  let retire_kernel ~iters ~gated (module S : Smr_intf.S) =
+  (* Each kernel owns a fresh throwaway domain: create/measure/destroy,
+     no global reset anywhere near the measured window. *)
+  let retire_kernel ~iters ~gated (module X : Smr_intf.SCHEME) =
     Alloc.reset ();
-    S.reset ();
-    let h = S.register () in
+    let d = X.create ~label:"bench" Config.default in
+    let h = X.register d in
     let blocks, frees = make_ring ring_size in
     let i = ref 0 in
     let ops = 256 in
     let cycle () =
       for _ = 1 to ops do
         let k = !i land (ring_size - 1) in
-        if Block.is_live blocks.(k) then S.retire h ?free:frees.(k) blocks.(k);
+        if Block.is_live blocks.(k) then X.retire h ?free:frees.(k) blocks.(k);
         incr i
       done
     in
     let ns, words = measure ~iters cycle in
-    S.flush h;
-    S.unregister h;
-    S.reset ();
+    X.flush h;
+    X.unregister h;
+    X.destroy ~force:true d;
     Alloc.reset ();
     {
       kernel = "retire";
-      scheme = S.name;
+      scheme = (X.caps Config.default).Hpbrcu_core.Caps.name;
       hazards = 0;
       iters;
       ops_per_cycle = ops;
@@ -527,28 +587,29 @@ module Reclaim_bench = struct
      shields (the batch threshold is pushed out of reach so only [flush]
      scans).  Reported per cycle: the scan dominates at every H. *)
   let scan_kernel ~iters ~hazards =
-    let module Big = struct
-      let config = { Config.default with batch = max_int lsr 1 }
-    end in
-    let module S = Hp.Make (Big) () in
+    let module X = Hp.Impl in
     Alloc.reset ();
-    let h = S.register () in
+    let d =
+      X.create ~label:"bench-scan"
+        { Config.default with batch = max_int lsr 1 }
+    in
+    let h = X.register d in
     let prot = Array.init hazards (fun _ -> Alloc.block ()) in
     let opts = Array.map (fun b -> Some b) prot in
-    let shields = Array.init hazards (fun _ -> S.new_shield h) in
-    Array.iteri (fun k s -> S.protect s opts.(k)) shields;
+    let shields = Array.init hazards (fun _ -> X.new_shield h) in
+    Array.iteri (fun k s -> X.protect s opts.(k)) shields;
     let blocks, frees = make_ring 128 in
     let cycle () =
       for k = 0 to 127 do
-        S.retire h ?free:frees.(k) blocks.(k)
+        X.retire h ?free:frees.(k) blocks.(k)
       done;
-      S.flush h
+      X.flush h
     in
     let ns, words = measure ~iters cycle in
-    Array.iter S.clear shields;
-    S.flush h;
-    S.unregister h;
-    S.reset ();
+    Array.iter X.clear shields;
+    X.flush h;
+    X.unregister h;
+    X.destroy ~force:true d;
     Alloc.reset ();
     {
       kernel = "scan";
@@ -561,18 +622,27 @@ module Reclaim_bench = struct
       gated = true;
     }
 
+  let dom_make ~scheme =
+    Smr_intf.Dom.make ~scheme ~label:"bench" Config.default
+
+  let dom_drop meta =
+    if Smr_intf.Dom.begin_destroy ~force:true meta then
+      Smr_intf.Dom.finish_destroy meta
+
   let pin_kernel ~iters =
-    let module E = Epoch_core.Make (Config.Default) () in
-    let h = E.register () in
+    let ed = Epoch_core.create (dom_make ~scheme:"RCU") in
+    let h = Epoch_core.register ed in
     let ops = 256 in
     let cycle () =
       for _ = 1 to ops do
-        E.pin h;
-        E.unpin h
+        Epoch_core.pin h;
+        Epoch_core.unpin h
       done
     in
     let ns, words = measure ~iters cycle in
-    E.unregister h;
+    Epoch_core.unregister h;
+    Epoch_core.drain ed;
+    dom_drop ed.Epoch_core.meta;
     {
       kernel = "pin_unpin";
       scheme = "EBR";
@@ -588,20 +658,22 @@ module Reclaim_bench = struct
      below the global epoch, the classic spin of a reclaimer waiting out a
      slow reader. *)
   let advance_kernel ~iters =
-    let module E = Epoch_core.Make (Config.Default) () in
-    let hs = Array.init 256 (fun _ -> E.register ()) in
-    E.pin hs.(0);
+    let ed = Epoch_core.create (dom_make ~scheme:"RCU") in
+    let hs = Array.init 256 (fun _ -> Epoch_core.register ed) in
+    Epoch_core.pin hs.(0);
     (* One successful advance turns hs.(0) into the lagging reader. *)
-    ignore (E.try_advance () : bool);
+    ignore (Epoch_core.try_advance ed : bool);
     let ops = 64 in
     let cycle () =
       for _ = 1 to ops do
-        ignore (E.try_advance () : bool)
+        ignore (Epoch_core.try_advance ed : bool)
       done
     in
     let ns, words = measure ~iters cycle in
-    E.unpin hs.(0);
-    Array.iter E.unregister hs;
+    Epoch_core.unpin hs.(0);
+    Array.iter Epoch_core.unregister hs;
+    Epoch_core.drain ed;
+    dom_drop ed.Epoch_core.meta;
     {
       kernel = "advance_fail";
       scheme = "EBR";
@@ -639,23 +711,69 @@ module Reclaim_bench = struct
       gated = true;
     }
 
+  (* The P0484-style scoped guards (Smr_intf.Scoped): with_op/with_crit/
+     with_mask are direct aliases of the underlying phase combinators, so
+     the guard layer must add exactly nothing over the bare phases.  The
+     gated number is the guarded-minus-bare allocation delta (EBR's op
+     allocates its retry closure by design — DESIGN.md §9 — in both
+     columns, so it cancels). *)
+  let guards_kernel ~iters =
+    let module X = Ebr.Impl in
+    let module G = Smr_intf.Scoped (X) in
+    Alloc.reset ();
+    let d = X.create ~label:"bench-guards" Config.default in
+    let h = X.register d in
+    let ops = 256 in
+    let body = fun () -> () in
+    let bare () =
+      for _ = 1 to ops do
+        X.op h body;
+        X.crit h body;
+        X.mask h body
+      done
+    in
+    let guarded () =
+      for _ = 1 to ops do
+        G.with_op h body;
+        G.with_crit h body;
+        G.with_mask h body
+      done
+    in
+    let _, bare_words = measure ~iters bare in
+    let ns, words = measure ~iters guarded in
+    X.unregister h;
+    X.destroy ~force:true d;
+    Alloc.reset ();
+    {
+      kernel = "guards";
+      scheme = "EBR";
+      hazards = 0;
+      iters;
+      ops_per_cycle = ops * 3;
+      ns_per_op = ns /. float_of_int (ops * 3);
+      minor_words_per_op =
+        Float.max 0. (words -. bare_words) /. float_of_int (ops * 3);
+      gated = true;
+    }
+
   let brcu_advance_kernel ~iters =
-    let module B = Brcu_core.Make (Config.Default) () in
-    let hs = Array.init 64 (fun _ -> B.register ()) in
+    let bd = Brcu_core.create (dom_make ~scheme:"BRCU") in
+    let hs = Array.init 64 (fun _ -> Brcu_core.register bd) in
     let res = ref (0., 0.) in
     let ops = 64 in
     (* hs.(0) pins inside a critical section; the first flush advances the
        global past it, after which every flush sees a lagging reader. *)
-    B.crit hs.(0) (fun () ->
-        B.flush hs.(1);
+    Brcu_core.crit hs.(0) (fun () ->
+        Brcu_core.flush hs.(1);
         res :=
           measure ~iters (fun () ->
               for _ = 1 to ops do
-                B.flush hs.(1)
+                Brcu_core.flush hs.(1)
               done));
     let ns, words = !res in
-    Array.iter B.unregister hs;
-    B.reset ();
+    Array.iter Brcu_core.unregister hs;
+    Brcu_core.drain bd;
+    dom_drop bd.Brcu_core.meta;
     {
       kernel = "advance_fail";
       scheme = "BRCU";
@@ -673,22 +791,23 @@ module Reclaim_bench = struct
     let retire ~gated m = retire_kernel ~iters:(it 1000) ~gated m in
     [
       (* Allocation-free single-step retire/scan cycles (gated). *)
-      retire ~gated:true (module Hp.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:true (module Hppp.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:true (module He.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:true (module Ibr.Make (Config.Default) () : Smr_intf.S);
+      retire ~gated:true (module Hp.Impl : Smr_intf.SCHEME);
+      retire ~gated:true (module Hppp.Impl : Smr_intf.SCHEME);
+      retire ~gated:true (module He.Impl : Smr_intf.SCHEME);
+      retire ~gated:true (module Ibr.Impl : Smr_intf.SCHEME);
       (* Deferred/two-step retirement allocates its closure by design
          (documented in DESIGN.md §9); reported, not gated. *)
-      retire ~gated:false (module Ebr.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:false (module Pebr.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:false (module Nbr.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:false (module Hp_rcu.Make (Config.Default) () : Smr_intf.S);
-      retire ~gated:false (module Hp_brcu.Make (Config.Default) () : Smr_intf.S);
+      retire ~gated:false (module Ebr.Impl : Smr_intf.SCHEME);
+      retire ~gated:false (module Pebr.Impl : Smr_intf.SCHEME);
+      retire ~gated:false (module Nbr.Impl : Smr_intf.SCHEME);
+      retire ~gated:false (module Hp_rcu.Impl : Smr_intf.SCHEME);
+      retire ~gated:false (module Hp_brcu.Impl : Smr_intf.SCHEME);
       scan_kernel ~iters:(it 1000) ~hazards:64;
       scan_kernel ~iters:(it 300) ~hazards:1024;
       scan_kernel ~iters:(it 60) ~hazards:16384;
       pin_kernel ~iters:(it 1000);
       advance_kernel ~iters:(it 1000);
+      guards_kernel ~iters:(it 1000);
       brcu_advance_kernel ~iters:(it 500);
       trace_emit_off_kernel ~iters:(it 2000);
     ]
@@ -974,6 +1093,7 @@ let main =
       longrun_cmd;
       trace_cmd;
       chaos_cmd;
+      shards_cmd;
       hunt_cmd;
       analyze_cmd;
       bench_reclaim_cmd;

@@ -6,6 +6,18 @@ set -eu
 dune build
 dune runtest
 
+# Legacy-reset gate: S.reset is the compatibility shim of the
+# first-class-domain redesign (Smr_intf.Globalize) and must not gain new
+# call sites — new code creates and destroys its own domains.  The only
+# sanctioned callers are the compat layer itself and Schemes.reset_all's
+# info table.
+if grep -rnE '[A-Za-z_]+\.reset \(\)' lib bin test examples --include='*.ml' \
+  | grep -vE 'Alloc\.reset \(\)' \
+  | grep -v 'lib/schemes/schemes\.ml' ; then
+  echo "check.sh: new S.reset-style call site (use domain create/destroy instead)" >&2
+  exit 1
+fi
+
 # Chaos smoke gate: the full scheme matrix under every fault plan, three
 # seeds, with the traced determinism probes.  Exits non-zero on any
 # invariant violation (non-termination, use-after-free, bound overshoot,
@@ -26,6 +38,14 @@ dune exec bin/smrbench.exe -- bench-reclaim --gate --quick --out /tmp/BENCH_recl
 dune exec bin/smrbench.exe -- longrun --scheme HP-BRCU --trace-out /tmp/smrbench.ci.trace
 dune exec bin/smrbench.exe -- analyze --require-ttr --outdir /tmp/smrbench.ci.results \
   --perfetto /tmp/smrbench.ci.perfetto.json /tmp/smrbench.ci.trace
+
+# Shard-isolation gate (DESIGN.md §12): the payoff discriminator of the
+# first-class-domain redesign.  A reader crashed inside shard 0's epoch
+# must leave the other shards' per-domain unreclaimed watermarks flat in
+# the one-domain-per-shard build, while the identical map over a single
+# shared domain balloons — the shared/isolated peak ratio must clear the
+# threshold, with exactly one crash and zero UAFs in both builds.
+dune exec bin/smrbench.exe -- shards --quick --gate
 
 # Hunt smoke gate (DESIGN.md §11): the mutation test for the checker
 # itself.  Both planted mutants (HP-BRCU!nomask, HP-BRCU!nodb) must be

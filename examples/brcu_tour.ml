@@ -11,14 +11,19 @@
 
 module Sched = Hpbrcu_runtime.Sched
 module Alloc = Hpbrcu_alloc.Alloc
+module B = Hpbrcu_schemes.Brcu_core
+module Dom = Hpbrcu_core.Smr_intf.Dom
 
-module B =
-  Hpbrcu_schemes.Brcu_core.Make
-    (struct
-      let config =
-        { Hpbrcu_core.Config.default with max_local_tasks = 8; force_threshold = 2 }
-    end)
-    ()
+(* A first-class BRCU domain: the machinery is a value now, not a functor
+   instantiation. *)
+let bd =
+  B.create
+    (Dom.make ~scheme:"BRCU" ~label:"tour"
+       {
+         Hpbrcu_core.Config.default with
+         max_local_tasks = 8;
+         force_threshold = 2;
+       })
 
 let () =
   Alloc.set_strict true;
@@ -27,7 +32,7 @@ let () =
       if tid = 0 then begin
         (* The reader: one long critical section with a masked sub-region.
            Each neutralization reruns the body from its checkpoint. *)
-        let h = B.register () in
+        let h = B.register bd in
         B.crit h (fun () ->
             incr attempts;
             (* A masked region: even if the signal lands here, the body
@@ -42,17 +47,17 @@ let () =
       else begin
         (* The reclaimer: defers enough tasks to force epoch advances past
            the lagging reader. *)
-        let h = B.register () in
+        let h = B.register bd in
         for i = 1 to 100 do
           let b = Alloc.block () in
           Alloc.retire b;
-          B.defer h (fun () -> Alloc.reclaim b);
+          B.defer h b;
           if i mod 25 = 0 then Sched.yield ()
         done;
         B.flush h;
         B.unregister h
       end);
-  let stats = B.stats () in
+  let stats = B.stats bd in
   let module Stats = Hpbrcu_runtime.Stats in
   Fmt.pr "reader critical-section attempts: %d (= 1 + rollbacks)@." !attempts;
   Fmt.pr "masked region completions:        %d (never torn)@." !masked_runs;

@@ -56,6 +56,82 @@ let poisoning = Atomic.make false
 
 let set_poisoning b = Atomic.set poisoning b
 
+(** Per-reclamation-domain unreclaimed watermarks.
+
+    Each live {!Hpbrcu_core.Smr_intf.Dom.t} holds a slot here; the scheme
+    stamps the slot id into the block header at retire time
+    ({!Block.set_owner}) and {!reclaim} debits the slot, so every domain
+    gets its own retired-but-unreclaimed counter with a peak — the
+    measurement the shard-isolation experiment is about.  Slot 0 is the
+    "no owner" slot (blocks retired outside any domain, or by the global
+    compatibility surface before it allocates a slot) and is never handed
+    out.  Slots are recycled through a free bitmap at domain destroy, so
+    thousands of short-lived cells cannot exhaust the table. *)
+module Owner = struct
+  let max_owners = 512
+
+  exception Exhausted
+
+  let counters =
+    Array.init max_owners (fun _ -> Hpbrcu_runtime.Counter.make ())
+
+  let labels = Array.make max_owners ""
+  let in_use = Array.init max_owners (fun _ -> Atomic.make false)
+
+  (** [fresh ~label] claims a free slot (1-based; raises {!Exhausted} when
+      all [max_owners - 1] slots are live at once). *)
+  let fresh ~label =
+    let rec scan i =
+      if i >= max_owners then raise Exhausted
+      else if
+        (not (Atomic.get in_use.(i)))
+        && Atomic.compare_and_set in_use.(i) false true
+      then begin
+        Hpbrcu_runtime.Counter.reset counters.(i);
+        labels.(i) <- label;
+        i
+      end
+      else scan (i + 1)
+    in
+    scan 1
+
+  (** [release i] returns a slot to the free pool (domain destroy). *)
+  let release i =
+    if i > 0 && i < max_owners then begin
+      Hpbrcu_runtime.Counter.reset counters.(i);
+      labels.(i) <- "";
+      Atomic.set in_use.(i) false
+    end
+
+  let[@inline] valid i = i > 0 && i < max_owners
+  let[@inline] on_retire i = if valid i then Hpbrcu_runtime.Counter.incr counters.(i)
+  let[@inline] on_reclaim i = if valid i then Hpbrcu_runtime.Counter.decr counters.(i)
+
+  let unreclaimed i = if valid i then Hpbrcu_runtime.Counter.get counters.(i) else 0
+  let peak i = if valid i then Hpbrcu_runtime.Counter.peak counters.(i) else 0
+  let label i = if valid i then labels.(i) else ""
+  let reset_peak i = if valid i then Hpbrcu_runtime.Counter.reset_peak counters.(i)
+
+  (** Live slots as [(slot, label, unreclaimed, peak)], for reports. *)
+  let snapshot () =
+    let acc = ref [] in
+    for i = max_owners - 1 downto 1 do
+      if Atomic.get in_use.(i) then
+        acc :=
+          (i, labels.(i), Hpbrcu_runtime.Counter.get counters.(i),
+           Hpbrcu_runtime.Counter.peak counters.(i))
+          :: !acc
+    done;
+    !acc
+
+  let reset_all () =
+    for i = 1 to max_owners - 1 do
+      Hpbrcu_runtime.Counter.reset counters.(i);
+      labels.(i) <- "";
+      Atomic.set in_use.(i) false
+    done
+end
+
 let stats () =
   {
     allocated = Atomic.get allocated;
@@ -84,7 +160,21 @@ let reset () =
      trace correlation arguments are deterministic per seed. *)
   Block.reset_ids ();
   Hpbrcu_runtime.Signal.reset_telemetry ();
-  Pool.reset_stats ()
+  Pool.reset_stats ();
+  (* Per-domain watermarks restart with the cell too, but the slots stay
+     claimed: long-lived domains (the compat Default domains in
+     particular) survive across cells. *)
+  Array.iteri
+    (fun i used ->
+      if i > 0 && Atomic.get used then
+        Hpbrcu_runtime.Counter.reset Owner.counters.(i))
+    Owner.in_use
+
+(** Zero every per-domain watermark slot {e without} freeing the slots:
+    cells re-measure inside long-lived domains.  Full slot release happens
+    at domain destroy; {!Owner.reset_all} is for whole-process resets. *)
+let reset_owner_peaks () =
+  List.iter (fun (i, _, _, _) -> Owner.reset_peak i) (Owner.snapshot ())
 
 (** Re-arm only the peak tracker (measure the peak of a window). *)
 let reset_peak () = Hpbrcu_runtime.Counter.reset_peak unreclaimed
@@ -135,6 +225,7 @@ let reclaim b =
     if Atomic.get poisoning then Block.poison b;
     Atomic.incr reclaimed;
     Hpbrcu_runtime.Counter.decr unreclaimed;
+    Owner.on_reclaim (Block.owner b);
     Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Reclaim
       (Hpbrcu_runtime.Counter.get unreclaimed)
       (Block.id b)

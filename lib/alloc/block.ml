@@ -40,6 +40,14 @@ type t = {
           0xdeadbeef.  0 = not poisoned.  Cleared by {!reanimate}, so a
           read of a poisoned block is provably a read of freed memory of a
           specific incarnation, not of a recycled successor. *)
+  owner : int Atomic.t;
+      (** reclamation-domain owner slot ({!Alloc.Owner}), stamped at retire
+          time by the retiring domain; 0 = untagged.  This is the P0484
+          [rcu_obj_base] idea flipped inside out: instead of embedding a
+          deleter closure in the object header, the header carries the
+          domain id and the allocator debits that domain's unreclaimed
+          watermark at reclaim time — intrusive accounting with no
+          per-retire closure. *)
 }
 
 let next_id = Atomic.make 0
@@ -61,9 +69,12 @@ let make ?(recyclable = false) () =
     retire_era = Atomic.make (-1);
     recyclable;
     poison = Atomic.make 0;
+    owner = Atomic.make 0;
   }
 
 let id t = t.id
+let owner t = Atomic.get t.owner
+let set_owner t o = Atomic.set t.owner o
 let state t = state_of_int (Atomic.get t.state)
 let version t = Atomic.get t.version
 let birth_era t = Atomic.get t.birth_era
@@ -95,6 +106,7 @@ let reanimate t ~era =
   Atomic.set t.birth_era era;
   Atomic.set t.retire_era (-1);
   Atomic.set t.poison 0;
+  Atomic.set t.owner 0;
   Atomic.set t.state (state_to_int Live)
 
 let mark_retire_era t ~era = Atomic.set t.retire_era era

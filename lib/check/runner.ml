@@ -63,15 +63,57 @@ let pp_outcome ppf (o : outcome) =
     (if o.exhausted then " exhausted" else "");
   List.iter (fun f -> Fmt.pf ppf " [%a]" Oracle.pp f) o.findings
 
+module Smr_intf = Hpbrcu_core.Smr_intf
+
 (* The hunt's ds dispatch, following the chaos harness: HP cannot traverse
    optimistically and drives HMList; everyone else gets the
    harris-herlihy-shavit list, whose multi-node marked chains are what
-   make an aborted [retire_chain] observable. *)
-let with_map (module S : Matrix.SCHEME) base (k : (module Ds.Ds_intf.MAP) -> 'a)
+   make an aborted [retire_chain] observable.  Each case binds a FRESH
+   domain of its scheme — or, under the "+shards" topology variant, one
+   domain per shard of the sharded map — and hands the continuation a
+   [teardown] that force-destroys it: since the first-class-domain
+   redesign, destroy-at-census replaces the legacy whole-scheme [reset],
+   and cross-case state bleed is impossible by construction.  [sentinels]
+   is the map's head-block count for the leak equation. *)
+let with_map (module X : Smr_intf.SCHEME) ~config ~sharded
+    (k :
+      (module Ds.Ds_intf.MAP) -> sentinels:int -> teardown:(unit -> unit) -> 'a)
     : 'a =
-  if base = "HP" || not (Matrix.supports (module S) Caps.HHSList) then
-    k (module Ds.Hm_list.Make (S) : Ds.Ds_intf.MAP)
-  else k (module Ds.Harris_list.Make_hhs (S) : Ds.Ds_intf.MAP)
+  if sharded then begin
+    let module M =
+      Ds.Sharded_hashmap.As_map
+        (X)
+        (struct
+          let config = config
+          let shards = 4
+          let buckets_per_shard = 8
+          let label = "hunt"
+        end)
+    in
+    Fun.protect ~finally:M.destroy_created (fun () ->
+        k
+          (module M : Ds.Ds_intf.MAP)
+          ~sentinels:M.sentinels ~teardown:M.destroy_created)
+  end
+  else begin
+    let caps = X.caps config in
+    let d = X.create ~label:"hunt" config in
+    let module S =
+      Smr_intf.Bind
+        (X)
+        (struct
+          let it = d
+        end)
+    in
+    let teardown () = X.destroy ~force:true d in
+    Fun.protect ~finally:teardown (fun () ->
+        if X.scheme = "HP" || caps.Caps.supports Caps.HHSList = Caps.No then
+          k (module Ds.Hm_list.Make (S) : Ds.Ds_intf.MAP) ~sentinels:1 ~teardown
+        else
+          k
+            (module Ds.Harris_list.Make_hhs (S) : Ds.Ds_intf.MAP)
+            ~sentinels:1 ~teardown)
+  end
 
 let plan_has_signal_faults (pl : Fault.plan) =
   List.exists
@@ -86,13 +128,13 @@ let plan_has_signal_faults (pl : Fault.plan) =
     byte-identical replay checks. *)
 let run ?(traced = false) (case : case) : outcome * Trace.record list =
   let spec = case.spec in
-  let (module S : Matrix.SCHEME) =
-    Matrix.find_scheme ~tuning:`Hunt case.scheme
-  in
-  let base = Matrix.base_scheme_name case.scheme in
+  let impl, config = Matrix.find_hunt_impl case.scheme in
+  let (module X : Smr_intf.SCHEME) = impl in
+  let sharded = Matrix.is_sharded case.scheme in
+  let caps = X.caps config in
   let p = case.p in
   let nthreads = p.Chaos.readers + p.Chaos.writers in
-  let bound = S.caps.Caps.bound ~nthreads in
+  let bound = caps.Caps.bound ~nthreads in
   (* Reset BEFORE arming the tracer (same rule as the chaos harness):
      draining the previous case's leftovers must not pollute the log. *)
   Schemes.reset_all ();
@@ -106,7 +148,8 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
     if traced then Trace.disable ()
   in
   match
-    with_map (module S) base (fun (module L : Ds.Ds_intf.MAP) ->
+    with_map (module X) ~config ~sharded (fun (module L : Ds.Ds_intf.MAP)
+                                              ~sentinels ~teardown ->
         let t = L.create () in
         (* Prefill runs outside fiber mode: fault counters and schedule
            decisions must index the workload proper. *)
@@ -179,7 +222,10 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
              L.close_session s;
              census_ok := true
            with _ -> census_ok := false);
-          S.reset ()
+          (* Destroying the case's domain(s) drains every retired queue —
+             the books close before the stats read below.  The Fun.protect
+             in [with_map] re-runs it harmlessly (idempotent). *)
+          teardown ()
         end;
         let st = Alloc.stats () in
         let findings = ref [] in
@@ -194,12 +240,13 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
         | Some b when st.Alloc.peak_unreclaimed > b ->
             add (Oracle.Bound_exceeded { peak = st.Alloc.peak_unreclaimed; bound = b })
         | _ -> ());
-        if clean && !census_ok && not S.recycles then begin
-          (* allocated = abandoned + reclaimed + present(+1 head sentinel);
-             any slack is a block stranded Live-but-unreachable. *)
+        if clean && !census_ok && not X.recycles then begin
+          (* allocated = abandoned + reclaimed + present (+ the map's head
+             sentinels: 1 for a plain list, shards×buckets for the sharded
+             map); any slack is a block stranded Live-but-unreachable. *)
           let lost =
             st.Alloc.allocated - st.Alloc.abandoned - st.Alloc.reclaimed
-            - (!present + 1)
+            - (!present + sentinels)
           in
           if lost > 0 then add (Oracle.Leak { lost })
         end;

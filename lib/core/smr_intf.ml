@@ -1,9 +1,25 @@
 (** The unified safe-memory-reclamation interface.
 
-    Every scheme in [lib/schemes] implements {!S}; every data structure in
-    [lib/ds] is a functor over {!S}.  The interface is designed so that one
-    data-structure implementation expresses, under different schemes, all
-    the phase disciplines the paper compares:
+    Since the first-class-domain redesign this file defines {e two}
+    surfaces:
+
+    - {!SCHEME} — the primary one.  A scheme is a set of operations over an
+      explicit [domain] {e value} ({!SCHEME.create} /{!SCHEME.destroy}), in
+      the style of P0484's [rcu_domain] and Hyaline's per-structure
+      contexts: registries, epochs, retired queues, signal routing and
+      statistics all hang off the domain, so one process can run any number
+      of independent instances of the same scheme (the sharded-service
+      architecture in [lib/ds/sharded_hashmap.ml] depends on exactly this).
+    - {!S} — the legacy single-global surface every data structure in
+      [lib/ds] is a functor over.  It is now a thin veneer produced by
+      {!Globalize} (one hidden default domain per functor application) or
+      {!Bind} (borrowing a caller-owned domain), kept so the harness and
+      the DS functors did not need a flag-day rewrite.  Its [reset] is the
+      compatibility shim for the old between-cells protocol and must not
+      gain new call sites (check.sh greps for them).
+
+    The phase discipline underneath is unchanged and is what the paper
+    compares:
 
     - {!S.op} wraps a whole operation.  EBR pins an epoch for its entire
       extent; VBR/PEBR put their announce-and-retry loop here; others are
@@ -21,7 +37,12 @@
     - {!S.crit} / {!S.mask} expose critical sections and abort-masked
       regions (Algorithms 5–6) for code written directly against a scheme.
     - {!S.retire} hands a block to the scheme; HP-(B)RCU implements it as
-      the two-step [defer (fun () -> hp_retire p)] (Algorithm 4).
+      the two-step defer-then-hp-retire (Algorithm 4).  Retirement is
+      {e intrusive}: the deferred work is recorded as a
+      {!Hpbrcu_alloc.Block.t} plus an epoch stamp in a preallocated entry
+      (P0484's [rcu_obj_base] header, not a per-retire closure), and the
+      block header carries the owning domain's id so the allocator debits
+      the right domain's unreclaimed watermark at reclaim time.
 
     Concurrency/rollback contract: scheme methods may raise two exceptions.
     [Rollback] (scheme-internal) unwinds to the nearest {!S.crit}; {!S.Restart}
@@ -30,12 +51,237 @@
     writes that cannot be repeated go inside {!S.mask}. *)
 
 module Block = Hpbrcu_alloc.Block
+module Alloc = Hpbrcu_alloc.Alloc
 
 (** Result of one traversal step (paper Algorithm 7's [StepResult]). *)
 type ('c, 'r) step_result =
   | Finish of 'c * 'r  (** reached the destination *)
   | Continue of 'c  (** advanced one step *)
   | Fail  (** cursor invalidated; caller must restart the operation *)
+
+(* ------------------------------------------------------------------ *)
+(* Domain identity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The scheme-independent core of a reclamation domain: identity, config,
+    the {!Hpbrcu_alloc.Alloc.Owner} watermark slot, handle census and the
+    destroy protocol.  Scheme [domain] records embed one of these
+    ({!SCHEME.dom} projects it); composite schemes (HP-RCU = epochs +
+    hazard pointers) share a single [Dom.t] between their two halves so
+    the pair reads as one domain to the allocator and the signal fence. *)
+module Dom = struct
+  type t = {
+    id : int;
+        (** {!Alloc.Owner} slot; doubles as the {!Hpbrcu_runtime.Signal}
+            routing id, so a neutralization storm in one domain cannot
+            page another domain's readers *)
+    label : string;  (** human-readable, e.g. ["RCU#3:shard2"] *)
+    scheme : string;  (** base scheme name *)
+    config : Config.t;
+    live_handles : int Atomic.t;
+    destroyed : bool Atomic.t;
+    leaked_at_destroy : int Atomic.t;
+        (** leak census taken by {!finish_destroy}: blocks the domain
+            retired but could not reclaim even at teardown (quarantined
+            batches of crashed readers); valid once destroyed *)
+  }
+
+  (** Raised by operations on a destroyed domain (register after destroy,
+      double destroy in strict callers). *)
+  exception
+    Destroyed of { scheme : string; id : int; label : string }
+
+  (** Raised by {!SCHEME.destroy} (without [~force]) when handles are
+      still registered: tearing the domain down under them would leak
+      their deferred batches silently.  The typed error carries the census
+      so the caller can report who is still alive. *)
+  exception
+    Domain_active of { scheme : string; id : int; label : string; live : int }
+
+  let seq = Atomic.make 0
+
+  let make ~scheme ?label config =
+    let n = Atomic.fetch_and_add seq 1 + 1 in
+    let label =
+      match label with Some l -> l | None -> Printf.sprintf "%s#%d" scheme n
+    in
+    {
+      id = Alloc.Owner.fresh ~label;
+      label;
+      scheme;
+      config;
+      live_handles = Atomic.make 0;
+      destroyed = Atomic.make false;
+      leaked_at_destroy = Atomic.make 0;
+    }
+
+  let id t = t.id
+  let label t = t.label
+  let config t = t.config
+  let destroyed t = Atomic.get t.destroyed
+  let live_handles t = Atomic.get t.live_handles
+
+  let check_alive t =
+    if Atomic.get t.destroyed then
+      raise (Destroyed { scheme = t.scheme; id = t.id; label = t.label })
+
+  (** Handle census, called by the schemes' register/unregister. *)
+  let on_register t =
+    check_alive t;
+    Atomic.incr t.live_handles
+
+  let on_unregister t = ignore (Atomic.fetch_and_add t.live_handles (-1))
+
+  (** [tag_retire t b] — intrusive ownership stamp: record in the block
+      header that [t] is responsible for reclaiming [b], and credit [t]'s
+      unreclaimed watermark.  Called {e after} the Live→Retired transition
+      so strict-mode double-retire raises before any accounting. *)
+  let[@inline] tag_retire t (b : Block.t) =
+    Block.set_owner b t.id;
+    Alloc.Owner.on_retire t.id;
+    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Owner_retire t.id
+      (Block.id b)
+
+  (** Leak census: blocks this domain retired and has not reclaimed. *)
+  let unreclaimed t = Alloc.Owner.unreclaimed t.id
+
+  let peak_unreclaimed t = Alloc.Owner.peak t.id
+
+  (** First half of the destroy protocol: flip the destroyed flag exactly
+      once.  Returns [false] when the domain was already destroyed (the
+      caller skips teardown — destroy is idempotent); raises
+      {!Domain_active} when handles are live and [force] is off. *)
+  let begin_destroy ?(force = false) t =
+    if Atomic.get t.destroyed then false
+    else begin
+      let live = Atomic.get t.live_handles in
+      if live > 0 && not force then
+        raise
+          (Domain_active { scheme = t.scheme; id = t.id; label = t.label; live });
+      Atomic.set t.destroyed true;
+      true
+    end
+
+  (** Second half, after the scheme has drained its queues: take the leak
+      census, then release the watermark slot back to the allocator's free
+      pool. *)
+  let finish_destroy t =
+    Atomic.set t.leaked_at_destroy (Alloc.Owner.unreclaimed t.id);
+    Alloc.Owner.release t.id
+
+  (** Blocks this domain could not reclaim even at teardown (only valid
+      after destroy). *)
+  let leak_census t = Atomic.get t.leaked_at_destroy
+
+  (** Identification fields for a scheme's {!Stats.snapshot}. *)
+  let stamp_stats t (s : Hpbrcu_runtime.Stats.snapshot) =
+    { s with Hpbrcu_runtime.Stats.domain_id = t.id; domain_label = t.label }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The primary, domain-valued scheme interface                         *)
+(* ------------------------------------------------------------------ *)
+
+module type SCHEME = sig
+  val scheme : string
+  (** Base scheme name ("HP-BRCU"); config-dependent display names (NBR vs
+      NBR-Large) come from [caps config]. *)
+
+  val caps : Config.t -> Caps.t
+  (** Robustness/applicability metadata (Tables 1 and 2) for a domain
+      running under [config]. *)
+
+  (** {1 Domain lifecycle} *)
+
+  type domain
+  (** One independent reclamation universe: registry, epochs/eras, retired
+      queues, signal routing and counters.  Domains of the same scheme
+      never share mutable state. *)
+
+  val create : ?label:string -> Config.t -> domain
+
+  val destroy : ?force:bool -> domain -> unit
+  (** Tear the domain down: drain what can be drained, release registry
+      and watermark slots.  Raises {!Dom.Domain_active} if handles are
+      still registered and [force] is false ([force] is for crash/chaos
+      harnesses that know readers are dead).  Idempotent once it has
+      succeeded.  After destroy, {!Dom.unreclaimed} of the domain's
+      {!dom} is the leak census: blocks stranded by crashed readers. *)
+
+  val dom : domain -> Dom.t
+
+  (** {1 Thread lifecycle} *)
+
+  type handle
+  (** Per-thread participant state, bound to the domain that registered
+      it. *)
+
+  val register : domain -> handle
+  (** Raises {!Dom.Destroyed} on a destroyed domain. *)
+
+  val unregister : handle -> unit
+
+  val flush : handle -> unit
+
+  (** {1 Shields (hazard-pointer slots)} *)
+
+  type shield
+
+  val new_shield : handle -> shield
+  val protect : shield -> Block.t option -> unit
+  val clear : shield -> unit
+
+  (** {1 Phases} *)
+
+  exception Restart
+
+  val op : handle -> (unit -> 'a) -> 'a
+  val crit : handle -> (unit -> 'a) -> 'a
+  val mask : handle -> (unit -> 'a) -> 'a
+
+  (** {1 Mediated memory accesses} *)
+
+  val read :
+    handle -> shield -> ?src:Block.t -> hdr:('n -> Block.t) -> 'n Link.cell -> 'n Link.t
+
+  val deref : handle -> Block.t -> unit
+
+  (** {1 Retirement and allocation} *)
+
+  val retire :
+    handle ->
+    ?free:(unit -> unit) ->
+    ?patch:Block.t list ->
+    ?claimed:bool ->
+    Block.t ->
+    unit
+
+  val recycles : bool
+
+  val current_era : domain -> int
+
+  (** {1 Traversal} *)
+
+  val traverse :
+    handle ->
+    prot:shield array ->
+    backup:shield array ->
+    protect:(shield array -> 'c -> unit) ->
+    validate:('c -> bool) ->
+    init:(unit -> 'c) ->
+    step:('c -> ('c, 'r) step_result) ->
+    ('c * shield array * 'r) option
+
+  (** {1 Introspection} *)
+
+  val stats : domain -> Hpbrcu_runtime.Stats.snapshot
+  (** Typed counters for this domain only, identified by
+      [domain_id]/[domain_label]. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The legacy single-global surface                                    *)
+(* ------------------------------------------------------------------ *)
 
 module type S = sig
   val name : string
@@ -44,8 +290,12 @@ module type S = sig
   (** Robustness/applicability metadata (Tables 1 and 2). *)
 
   val reset : unit -> unit
-  (** Clear all global scheme state (registries, epochs, queues) between
-      experiment cells.  No threads may be registered when called. *)
+  (** @deprecated Compatibility shim for the pre-domain between-cells
+      protocol: destroys the surface's hidden default domain (forcibly —
+      chaos cells leave crashed readers registered) and creates a fresh
+      one.  New code should own domains explicitly via {!SCHEME.create} /
+      {!SCHEME.destroy}; check.sh's grep gate rejects new [reset] call
+      sites outside the compat layer. *)
 
   (** {1 Thread lifecycle} *)
 
@@ -164,4 +414,120 @@ module type S = sig
       scheme does not own stay at {!Hpbrcu_runtime.Stats.empty}'s zero;
       composite schemes merge their halves with
       {!Hpbrcu_runtime.Stats.add}. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility functors                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [Globalize (X) (C) ()] — the old module-per-scheme surface: one hidden
+    default domain created at functor application, [reset] implemented as
+    forced destroy + create.  Generative ([()]) so two applications get
+    two independent domains, exactly like the old per-application global
+    state but without the shared-globals failure mode. *)
+module Globalize (X : SCHEME) (C : Config.CONFIG) () : S = struct
+  let caps = X.caps C.config
+  let name = caps.Caps.name
+
+  let make () = X.create ~label:(name ^ ":default") C.config
+  let cur = ref (make ())
+
+  (* The one sanctioned [reset] implementation (see the S.reset docs). *)
+  let reset () =
+    X.destroy ~force:true !cur;
+    cur := make ()
+
+  type handle = X.handle
+
+  let register () = X.register !cur
+  let unregister = X.unregister
+  let flush = X.flush
+
+  type shield = X.shield
+
+  let new_shield = X.new_shield
+  let protect = X.protect
+  let clear = X.clear
+
+  exception Restart = X.Restart
+
+  let op = X.op
+  let crit = X.crit
+  let mask = X.mask
+  let read = X.read
+  let deref = X.deref
+  let retire = X.retire
+  let recycles = X.recycles
+  let current_era () = X.current_era !cur
+  let traverse = X.traverse
+  let stats () = X.stats !cur
+end
+
+(** [Bind (X) (D)] — view a caller-owned domain through the legacy {!S}
+    surface, so the existing data-structure functors (which are written
+    over {!S}) can run inside an explicit domain — each shard of the
+    sharded hashmap binds its own.  The domain's lifetime belongs to the
+    caller: [reset] here is a programming error, not a teardown. *)
+module Bind (X : SCHEME) (D : sig
+  val it : X.domain
+end) : S = struct
+  let caps = X.caps (Dom.config (X.dom D.it))
+  let name = caps.Caps.name
+
+  let reset () =
+    invalid_arg
+      ("Smr_intf.Bind(" ^ name
+     ^ ").reset: surface borrows an external domain; destroy it instead")
+
+  type handle = X.handle
+
+  let register () = X.register D.it
+  let unregister = X.unregister
+  let flush = X.flush
+
+  type shield = X.shield
+
+  let new_shield = X.new_shield
+  let protect = X.protect
+  let clear = X.clear
+
+  exception Restart = X.Restart
+
+  let op = X.op
+  let crit = X.crit
+  let mask = X.mask
+  let read = X.read
+  let deref = X.deref
+  let retire = X.retire
+  let recycles = X.recycles
+  let current_era () = X.current_era D.it
+  let traverse = X.traverse
+  let stats () = X.stats D.it
+end
+
+(* ------------------------------------------------------------------ *)
+(* P0484-style scoped guards                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Scoped-guard combinators over a domain-valued scheme, mirroring
+    P0484's RAII types ([rcu_reader] ≈ {!with_session}+{!with_crit};
+    [rcu_domain::retire] ≈ the intrusive {!SCHEME.retire}).  The phase
+    guards are direct aliases of the scheme's own combinators — zero
+    additional allocation per guarded region, which check.sh's allocation
+    gate enforces — while {!with_session} pairs register/unregister
+    exception-safely on the cold path. *)
+module Scoped (X : SCHEME) = struct
+  (** [with_session d f] — register a participant for the extent of [f].
+      Cold path (slot allocation); don't wrap per-operation code in it. *)
+  let with_session d f =
+    let h = X.register d in
+    Fun.protect ~finally:(fun () -> X.unregister h) (fun () -> f h)
+
+  let with_op = X.op
+  let with_crit = X.crit
+  let with_mask = X.mask
+
+  (** [with_flush h f] — run [f] and flush the handle's deferred batches
+      on the way out, even on exceptions. *)
+  let with_flush h f = Fun.protect ~finally:(fun () -> X.flush h) (fun () -> f h)
 end

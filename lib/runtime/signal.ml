@@ -54,6 +54,11 @@ type box = {
   posted_seq : int Atomic.t;  (* seq of the most recently posted delivery *)
   consumed_seq : int Atomic.t;  (* seq of the delivery last consumed *)
   mutable owner_tid : int;  (* for waking a stalled fiber, like EINTR *)
+  domain : int Atomic.t;
+      (* reclamation-domain id of the box's owner (0 = unrouted).  A send
+         stamped with a different domain id is refused at this layer, so
+         one domain's neutralization storm can never page another domain's
+         readers even if a registry bug leaks a box across the fence. *)
   detached : bool Atomic.t;
       (* owner deregistered: later sends are the moral equivalent of ESRCH
          and a leftover pending flag is not a lost delivery *)
@@ -78,6 +83,7 @@ let make () =
       posted_seq = Atomic.make 0;
       consumed_seq = Atomic.make 0;
       owner_tid = -1;
+      domain = Atomic.make 0;
       detached = Atomic.make false;
     }
   in
@@ -132,6 +138,12 @@ let mark_self_delivery box ~seq = Atomic.set box.consumed_seq seq
 let inflight = Atomic.make 0
 let inflight_gauge = Stats.Gauge.make ()
 
+(* Sends refused by the domain fence (sender's domain stamp <> receiver's
+   box routing).  Nonzero means a registry leaked a participant across
+   domains — a bug the fence contains and this counter surfaces. *)
+let cross_domain_refused_c = Atomic.make 0
+let cross_domain_refused () = Atomic.get cross_domain_refused_c
+
 (** Peak concurrent sends since the last {!reset_telemetry}. *)
 let max_inflight () = Stats.Gauge.maximum inflight_gauge
 
@@ -141,12 +153,16 @@ let reset_telemetry () =
   Atomic.set seq_counter 0;
   Atomic.set inflight 0;
   Stats.Gauge.reset inflight_gauge;
+  Atomic.set cross_domain_refused_c 0;
   Atomic.set all_boxes []
 
-(** [attach box] binds the box to the calling thread so that {!send} can
-    interrupt its simulated stalls (signals interrupt blocked syscalls). *)
-let attach box =
+(** [attach ?domain box] binds the box to the calling thread so that
+    {!send} can interrupt its simulated stalls (signals interrupt blocked
+    syscalls), and routes it to [domain] (sends stamped with a different
+    domain id are refused). *)
+let attach ?(domain = 0) box =
   box.owner_tid <- Sched.self ();
+  Atomic.set box.domain domain;
   Atomic.set box.detached false
 
 (** [detach box] — the owner is deregistering; a send that raced the
@@ -225,7 +241,8 @@ let wait_domain box ~before ~is_out =
   done;
   Option.get !result
 
-(** [send ?seq box ~is_out] delivers a signal and reports the {!outcome}.
+(** [send_unrouted ~seq box ~is_out] delivers a signal and reports the
+    {!outcome} (the domain fence lives in {!send} below).
     [seq] (from {!next_seq}) correlates this send with the rollback it
     causes; 0 (the default) means "uncorrelated".
     Mirrors Assumption 1 of the paper ("the signaled thread is suspended
@@ -244,7 +261,7 @@ let wait_domain box ~before ~is_out =
     - In domain mode, threads are truly parallel and the poll/access pair
       is not atomic, so the sender always waits — now with exponential
       backoff and a bounded budget instead of forever. *)
-let send ?(seq = 0) box ~is_out =
+let send_unrouted ~seq box ~is_out =
   Atomic.incr box.sent;
   Stats.Gauge.observe inflight_gauge (Atomic.fetch_and_add inflight 1 + 1);
   let cost = Atomic.get send_cost in
@@ -294,6 +311,22 @@ let send ?(seq = 0) box ~is_out =
   in
   Atomic.decr inflight;
   outcome
+
+(** [send ?seq ?domain box ~is_out] — the routed front door.  [domain]
+    (the sending domain's id) must match the box's {!attach} routing when
+    both sides are routed: a mismatched send is refused without posting
+    anything and reports [No_ack], so the sender treats the reader as
+    possibly live (skips the round) rather than quarantining it. *)
+let send ?(seq = 0) ?(domain = 0) box ~is_out =
+  if
+    domain <> 0
+    && Atomic.get box.domain <> 0
+    && Atomic.get box.domain <> domain
+  then begin
+    Atomic.incr cross_domain_refused_c;
+    No_ack
+  end
+  else send_unrouted ~seq box ~is_out
 
 (** [poll box ~handler] — receiver side.  If a delivery is pending (and its
     injected delay, if any, has elapsed), consume it and run [handler]

@@ -250,6 +250,11 @@ end
       family, peak unreclaimed blocks, lives in {!Alloc} because it is a
       property of the run, not of one scheme.) *)
 type snapshot = {
+  domain_id : int;
+      (** owner slot of the reclamation domain this snapshot describes
+          ({!Hpbrcu_alloc.Alloc.Owner} id); 0 = whole-process / no domain *)
+  domain_label : string;
+      (** human label of that domain (e.g. ["RCU#3:shard2"]); [""] = none *)
   epoch : int;  (** current global epoch (epoch-family schemes) *)
   era : int;  (** current global era (VBR/HE/IBR) *)
   advances : int;  (** successful epoch advances *)
@@ -281,6 +286,8 @@ type snapshot = {
 
 let empty =
   {
+    domain_id = 0;
+    domain_label = "";
     epoch = 0;
     era = 0;
     advances = 0;
@@ -310,6 +317,11 @@ let empty =
     of its parts, not their total. *)
 let add a b =
   {
+    (* Identification merges (composite halves describe one domain): the
+       first non-empty side wins; counters below sum as usual. *)
+    domain_id = (if a.domain_id <> 0 then a.domain_id else b.domain_id);
+    domain_label =
+      (if a.domain_label <> "" then a.domain_label else b.domain_label);
     epoch = a.epoch + b.epoch;
     era = a.era + b.era;
     advances = a.advances + b.advances;
@@ -340,6 +352,7 @@ let add a b =
 let to_fields ?(keep_zeros = false) s =
   let all =
     [
+      ("domain", s.domain_id);
       ("epoch", s.epoch);
       ("era", s.era);
       ("advances", s.advances);

@@ -66,6 +66,11 @@ type event =
   | Flush_end  (** arg = outcome: 0 advanced, 1 gave up/vetoed *)
   | Op_begin  (** arg = op kind: 0 get, 1 insert, 2 remove *)
   | Op_end  (** arg = op kind (matches the [Op_begin]) *)
+  | Owner_retire
+      (** arg = owning domain id, arg2 = block id: the intrusive ownership
+          stamp taken at retire time, joining each block — and so each
+          [Retire]/[Reclaim] pair — to its reclamation domain, which is
+          what lets the analyzer group lifecycle metrics per domain *)
 
 let event_code = function
   | Epoch_advance -> 0
@@ -91,6 +96,7 @@ let event_code = function
   | Flush_end -> 20
   | Op_begin -> 21
   | Op_end -> 22
+  | Owner_retire -> 23
 
 let event_of_code = function
   | 0 -> Epoch_advance
@@ -116,11 +122,12 @@ let event_of_code = function
   | 20 -> Flush_end
   | 21 -> Op_begin
   | 22 -> Op_end
+  | 23 -> Owner_retire
   | _ -> invalid_arg "Trace.event_of_code"
 
 (** Number of event codes; codes are contiguous in [0, n_event_codes).
     The roundtrip test iterates this range against {!all_events}. *)
-let n_event_codes = 23
+let n_event_codes = 24
 
 (** Every constructor, in code order. *)
 let all_events =
@@ -148,6 +155,7 @@ let all_events =
     Flush_end;
     Op_begin;
     Op_end;
+    Owner_retire;
   ]
 
 let event_name = function
@@ -174,6 +182,7 @@ let event_name = function
   | Flush_end -> "flush-end"
   | Op_begin -> "op-begin"
   | Op_end -> "op-end"
+  | Owner_retire -> "owner-retire"
 
 (* ------------------------------------------------------------------ *)
 (* Providers (installed by Sched at init)                              *)

@@ -1,21 +1,25 @@
 (** EBR — Fraser-style epoch-based RCU (§2.2), the paper's "RCU" line.
 
-    Whole operations run inside one critical section ({!op} pins an epoch
-    for its entire extent), so traversal reads are bare loads — maximal
-    efficiency, zero robustness: a reader pinned at an old epoch blocks the
-    global epoch and with it all reclamation (the unbounded footprint of
-    Figures 1b and 6b). *)
+    Whole operations run inside one critical section ({!Impl.op} pins an
+    epoch for its entire extent), so traversal reads are bare loads —
+    maximal efficiency, zero robustness: a reader pinned at an old epoch
+    blocks the global epoch and with it all reclamation (the unbounded
+    footprint of Figures 1b and 6b).
 
-module Block = Hpbrcu_alloc.Block
+    The domain is the {!Epoch_core.domain} itself, with the default
+    executor (reclaim on expiry).  Retirement is intrusive: the block
+    header and epoch stamp land in a preallocated {!Retired.entry}, no
+    closure per retire. *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module E = Epoch_core
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module E = Epoch_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "RCU"
 
-  let name = "RCU"
-
-  let caps : Caps.t =
+  let caps (_ : Config.t) : Caps.t =
     {
       name = "RCU";
       robust_stalled = false;
@@ -28,12 +32,28 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       bound = Caps.unbounded;
     }
 
+  type domain = E.domain
+
+  let create ?label config = E.create (Dom.make ~scheme ?label config)
+  let dom (d : domain) = d.E.meta
+
+  let destroy ?force (d : domain) =
+    if Dom.begin_destroy ?force d.E.meta then begin
+      E.drain d;
+      Dom.finish_destroy d.E.meta
+    end
+
   type handle = E.handle
 
-  let register = E.register
-  let unregister = E.unregister
+  let register d =
+    Dom.on_register (dom d);
+    E.register d
+
+  let unregister (h : handle) =
+    E.unregister h;
+    Dom.on_unregister h.E.d.E.meta
+
   let flush = E.flush
-  let reset = E.reset
 
   type shield = unit
 
@@ -61,17 +81,21 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let deref _ blk = Alloc.check_access blk
 
-  let retire h ?free ?patch:_ ?(claimed = false) blk =
+  let retire (h : handle) ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
-    E.defer h (fun () ->
-        Alloc.reclaim blk;
-        match free with None -> () | Some f -> f ())
+    Dom.tag_retire h.E.d.E.meta blk;
+    E.defer h ?free blk
 
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let stats = E.stats
+  let stats (d : domain) = Dom.stamp_stats d.E.meta (E.stats d)
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

@@ -10,18 +10,20 @@
     HP requires each node to be unlinked from an unmarked predecessor
     before retirement, so it does not support optimistic traversal (the
     Figure 2 scenario): it runs HMList but not HList/HHSList/NMTree, as in
-    Table 1. *)
+    Table 1.
 
-module Block = Hpbrcu_alloc.Block
+    The domain is the {!Hp_core.domain} itself — shield table, orphan
+    list and scan counters all per-domain. *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module Core = Hp_core
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module Core = Hp_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "HP"
 
-  let name = "HP"
-
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
       name = "HP";
       robust_stalled = true;
@@ -33,15 +35,31 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
          its shield-protected blocks; a crashed thread leaks exactly that
          much and no more (shields pin single nodes, not epochs).  The
          slack factor absorbs orphan adoption races. *)
-      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 2));
+      bound = (fun ~nthreads -> Some (nthreads * (cfg.Config.batch + 64) * 2));
     }
+
+  type domain = Core.domain
+
+  let create ?label config = Core.create (Dom.make ~scheme ?label config)
+  let dom (d : domain) = d.Core.meta
+
+  let destroy ?force (d : domain) =
+    if Dom.begin_destroy ?force d.Core.meta then begin
+      Core.drain d;
+      Dom.finish_destroy d.Core.meta
+    end
 
   type handle = Core.handle
 
-  let register = Core.register
-  let unregister = Core.unregister
+  let register d =
+    Dom.on_register (dom d);
+    Core.register d
+
+  let unregister (h : handle) =
+    Core.unregister h;
+    Dom.on_unregister h.Core.d.Core.meta
+
   let flush = Core.flush
-  let reset = Core.reset
 
   type shield = Core.shield
 
@@ -84,11 +102,17 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     Core.retire h ?free ~patches:[] ~claimed blk
+
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let stats = Core.stats
+  let stats (d : domain) = Dom.stamp_stats d.Core.meta (Core.stats d)
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

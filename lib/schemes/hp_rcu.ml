@@ -12,20 +12,24 @@
     Robust against long-running operations (each critical section is at
     most [max_steps] long) but {e not} against stalled threads: a reader
     preempted inside a critical section still blocks the epoch — the gap
-    HP-BRCU closes. *)
+    HP-BRCU closes.
 
-module Block = Hpbrcu_alloc.Block
+    The domain embeds an epoch half and an HP half sharing one
+    {!Smr_intf.Dom.t} identity; the epoch half's executor hands expired
+    {!Hpbrcu_core.Retired.entry}s straight to the HP half's orphan list
+    (intrusive two-step retirement, no closure per retire). *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module E = Epoch_core
+module H = Hp_core
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module E = Epoch_core.Make (C) ()
-  module H = Hp_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "HP-RCU"
 
-  let name = "HP-RCU"
-
-  let caps : Caps.t =
+  let caps (_ : Config.t) : Caps.t =
     {
       name = "HP-RCU";
       robust_stalled = false;
@@ -38,25 +42,52 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       bound = Caps.unbounded;
     }
 
-  type handle = { e : E.handle; h : H.handle }
+  type domain = {
+    meta : Dom.t;
+    ed : E.domain;
+    hd : H.domain;
+    max_steps : int;
+  }
 
-  let register () = { e = E.register (); h = H.register () }
+  let create ?label config =
+    let meta = Dom.make ~scheme ?label config in
+    let hd = H.create meta in
+    {
+      meta;
+      hd;
+      (* Two-step retirement's second step: expired deferrals land in the
+         HP half, still subject to the shield scan. *)
+      ed = E.create ~execute:(H.retire_deferred_entry hd) meta;
+      max_steps = config.Config.max_steps;
+    }
+
+  let dom d = d.meta
+
+  let destroy ?force d =
+    if Dom.begin_destroy ?force d.meta then begin
+      E.drain d.ed;
+      H.drain d.hd;
+      Dom.finish_destroy d.meta
+    end
+
+  type handle = { d : domain; eh : E.handle; hh : H.handle }
+
+  let register d =
+    Dom.on_register d.meta;
+    { d; eh = E.register d.ed; hh = H.register d.hd }
 
   let unregister h =
-    E.unregister h.e;
-    H.unregister h.h
+    E.unregister h.eh;
+    H.unregister h.hh;
+    Dom.on_unregister h.d.meta
 
   let flush h =
-    E.flush h.e;
-    H.flush h.h
-
-  let reset () =
-    E.reset ();
-    H.reset ()
+    E.flush h.eh;
+    H.flush h.hh
 
   type shield = H.shield
 
-  let new_shield h = H.new_shield h.h
+  let new_shield h = H.new_shield h.hh
   let protect = H.protect
   let clear = H.clear
 
@@ -66,7 +97,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     let rec go () = try body () with Restart -> go () in
     go ()
 
-  let crit h body = E.crit h.e body
+  let crit h body = E.crit h.eh body
   let mask _ body = body ()
 
   (* Inside a critical section links are protected coarsely; no per-node
@@ -79,14 +110,16 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let deref _ blk = Alloc.check_access blk
 
-  (* Two-step retirement (Algorithm 4). *)
+  (* Two-step retirement (Algorithm 4), intrusive: the entry deferred on
+     the epoch side is the same record the HP side later scans. *)
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
-    E.defer h.e (fun () -> H.retire_deferred ?free blk);
-    H.maybe_scan h.h
+    Dom.tag_retire h.d.meta blk;
+    E.defer h.eh ?free blk;
+    H.maybe_scan h.hh
 
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   (* RCU-expedited traversal (Algorithm 3): repeat [max_steps]-bounded
      critical sections; checkpoint the cursor into [prot] before each one
@@ -100,7 +133,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     let cursor = ref None in
     let rec phases () =
       let outcome =
-        E.crit h.e (fun () ->
+        E.crit h.eh (fun () ->
             let c =
               match !cursor with
               | Some c -> if validate c then Some c else None
@@ -112,17 +145,19 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
             in
             match c with
             | None -> `Fail
-            | Some c ->
-              match Scheme_common.bounded_steps ~n:C.config.max_steps ~step c with
-              | Scheme_common.B_finished (c', r) ->
-                  protect prot c';
-                  cursor := Some c';
-                  `Done r
-              | Scheme_common.B_continue c' ->
-                  protect prot c';
-                  cursor := Some c';
-                  `More
-              | Scheme_common.B_failed -> `Fail)
+            | Some c -> (
+                match
+                  Scheme_common.bounded_steps ~n:h.d.max_steps ~step c
+                with
+                | Scheme_common.B_finished (c', r) ->
+                    protect prot c';
+                    cursor := Some c';
+                    `Done r
+                | Scheme_common.B_continue c' ->
+                    protect prot c';
+                    cursor := Some c';
+                    `More
+                | Scheme_common.B_failed -> `Fail))
       in
       match outcome with
       | `Done r -> Some (Option.get !cursor, prot, r)
@@ -134,5 +169,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     in
     phases ()
 
-  let stats () = Hpbrcu_runtime.Stats.add (E.stats ()) (H.stats ())
+  let stats d =
+    Dom.stamp_stats d.meta
+      (Hpbrcu_runtime.Stats.add (E.stats d.ed) (H.stats d.hd))
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

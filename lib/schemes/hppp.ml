@@ -19,18 +19,21 @@
     link validation tolerates tag-only changes (the "invalidate then
     protect" dance collapses, because our simulated allocator checks
     accesses rather than unmapping pages).  The protected-set semantics —
-    what may be reclaimed when — is the same. *)
+    what may be reclaimed when — is the same.
 
-module Block = Hpbrcu_alloc.Block
+    The domain is an {!Hp_core.domain} (shared machinery with HP); handles
+    additionally publish their patch sets into the domain's
+    [published_patches] list. *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module Core = Hp_core
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module Core = Hp_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "HP++"
 
-  let name = "HP++"
-
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
       name = "HP++";
       robust_stalled = true;
@@ -41,19 +44,33 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       (* HP++ adds patched (unlink-protected) nodes on top of HP's batch:
          a crashed reader can additionally pin the nodes its patches
          cover, still O(batch) per thread. *)
-      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 3));
+      bound = (fun ~nthreads -> Some (nthreads * (cfg.Config.batch + 64) * 3));
     }
+
+  type domain = Core.domain
+
+  let create ?label config = Core.create (Dom.make ~scheme ?label config)
+  let dom (d : domain) = d.Core.meta
+
+  let destroy ?force (d : domain) =
+    if Dom.begin_destroy ?force d.Core.meta then begin
+      Core.drain d;
+      Dom.finish_destroy d.Core.meta
+    end
 
   type handle = Core.handle
 
-  let register () =
-    let h = Core.register () in
+  let register d =
+    Dom.on_register (dom d);
+    let h = Core.register d in
     Core.enable_patches h;
     h
 
-  let unregister = Core.unregister
+  let unregister (h : handle) =
+    Core.unregister h;
+    Dom.on_unregister h.Core.d.Core.meta
+
   let flush = Core.flush
-  let reset = Core.reset
 
   type shield = Core.shield
 
@@ -103,10 +120,15 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Core.retire h ?free ~patches:patch ~claimed blk
 
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let stats = Core.stats
+  let stats (d : domain) = Dom.stamp_stats d.Core.meta (Core.stats d)
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

@@ -10,7 +10,9 @@
     retained (a stalled thread pins only the eras it reserved), but a
     {e long-running} operation keeps widening its interval and eventually
     pins everything — the ✗ in Table 2's long-running row, and the reason
-    the paper's Figure 1 family would show IBR's footprint growing. *)
+    the paper's Figure 1 family would show IBR's footprint growing.
+
+    The era clock, participant registry and orphan list are per-domain. *)
 
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
@@ -19,6 +21,7 @@ module Sched = Hpbrcu_runtime.Sched
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
 
 (* Reusable snapshot of the (lower, upper) reservation pairs, queried per
    retired block.  Sorted by lower with prefix-maxed uppers, an interval
@@ -83,10 +86,10 @@ let covered sc lo hi =
   let k = last_le sc.lo hi 0 sc.n in
   k > 0 && sc.up.(k - 1) >= lo
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  let name = "IBR"
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "IBR"
 
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
       name = "IBR";
       robust_stalled = true;
@@ -98,18 +101,48 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
          before its reserved upper era, so the leak per crash is bounded
          by what was live at crash time — batch-plus-reservations slack,
          like HE. *)
-      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 3));
+      bound = (fun ~nthreads -> Some (nthreads * (cfg.Config.batch + 64) * 3));
     }
 
-  let era = Atomic.make 1
-  let scans = Stats.Counter.make ()
+  type local = {
+    lower : int Atomic.t;
+    upper : int Atomic.t; (* -1 = inactive *)
+  }
 
-  type local = { lower : int Atomic.t; upper : int Atomic.t (* -1 = inactive *) }
+  type domain = {
+    meta : Dom.t;
+    era : int Atomic.t;
+    scans : Stats.Counter.t;
+    participants : local Registry.Participants.t;
+    orphans : Retired.entry Segstack.t;
+    batch_n : int;
+  }
 
-  let participants : local Registry.Participants.t = Registry.Participants.create ()
-  let orphans : Retired.entry Segstack.t = Segstack.create ()
+  let create ?label config =
+    {
+      meta = Dom.make ~scheme ?label config;
+      era = Atomic.make 1;
+      scans = Stats.Counter.make ();
+      participants = Registry.Participants.create ();
+      orphans = Segstack.create ();
+      batch_n = config.Config.batch;
+    }
+
+  let dom d = d.meta
+
+  let destroy ?force d =
+    if Dom.begin_destroy ?force d.meta then begin
+      (match Segstack.take_all d.orphans with
+      | None -> ()
+      | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
+      Registry.Participants.reset d.participants;
+      Atomic.set d.era 1;
+      Stats.Counter.reset d.scans;
+      Dom.finish_destroy d.meta
+    end
 
   type handle = {
+    d : domain;
     l : local;
     idx : int;
     batch : Retired.t;
@@ -119,9 +152,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     pred : Retired.entry -> bool;  (* built once; queries [sc] *)
   }
 
-  let register () =
+  let register d =
+    Dom.on_register d.meta;
     let l = { lower = Atomic.make (-1); upper = Atomic.make (-1) } in
-    let idx = Registry.Participants.add participants l in
+    let idx = Registry.Participants.add d.participants l in
     let sc =
       {
         lo = Array.make Registry.Participants.capacity 0;
@@ -130,6 +164,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       }
     in
     {
+      d;
       l;
       idx;
       batch = Retired.create ();
@@ -156,7 +191,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   (* Operations delimit the reservation interval. *)
   let start_op h =
     if h.nest = 0 then begin
-      let e = Atomic.get era in
+      let e = Atomic.get h.d.era in
       Atomic.set h.l.lower e;
       Atomic.set h.l.upper e
     end;
@@ -196,7 +231,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let read h () ?src ~hdr:_ cell =
     Sched.yield ();
     Option.iter Alloc.check_access src;
-    let e = Atomic.get era in
+    let e = Atomic.get h.d.era in
     if Atomic.get h.l.upper < e then Atomic.set h.l.upper e;
     Link.get cell
 
@@ -204,55 +239,55 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   (* Reclaim blocks whose lifetime intersects no reservation. *)
   let scan h =
-    Stats.Counter.incr scans;
-    (match Segstack.take_all orphans with
+    Stats.Counter.incr h.d.scans;
+    (match Segstack.take_all h.d.orphans with
     | None -> ()
     | Some _ as chain ->
         Segstack.iter chain (fun e -> Retired.push_entry h.batch e));
     h.sc.n <- 0;
-    Registry.Participants.iter participants h.snap;
+    Registry.Participants.iter h.d.participants h.snap;
     sort_pairs h.sc.lo h.sc.up h.sc.n;
     prefix_max h.sc.up h.sc.n;
     ignore (Retired.reclaim_where h.batch h.pred : int)
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
-    Block.mark_retire_era blk ~era:(Atomic.get era);
+    Dom.tag_retire h.d.meta blk;
+    Block.mark_retire_era blk ~era:(Atomic.get h.d.era);
     Retired.push h.batch ?free blk;
-    if Retired.length h.batch >= C.config.batch then begin
-      Atomic.incr era;
-      Trace.emit Trace.Epoch_advance (Atomic.get era);
+    if Retired.length h.batch >= h.d.batch_n then begin
+      Atomic.incr h.d.era;
+      Trace.emit Trace.Epoch_advance (Atomic.get h.d.era);
       scan h
     end
 
   let recycles = false
-  let current_era () = Atomic.get era
+  let current_era d = Atomic.get d.era
 
   let flush h =
-    Atomic.incr era;
+    Atomic.incr h.d.era;
     scan h
 
   let unregister h =
     assert (h.nest = 0);
     flush h;
-    Segstack.push_arr orphans (Retired.drain_array h.batch);
-    Registry.Participants.remove participants h.idx
+    Segstack.push_arr h.d.orphans (Retired.drain_array h.batch);
+    Registry.Participants.remove h.d.participants h.idx;
+    Dom.on_unregister h.d.meta
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let reset () =
-    (match Segstack.take_all orphans with
-    | None -> ()
-    | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
-    Registry.Participants.reset participants;
-    Atomic.set era 1;
-    Stats.Counter.reset scans
-
-  let stats () =
-    {
-      Stats.empty with
-      era = Atomic.get era;
-      scans = Stats.Counter.value scans;
-    }
+  let stats d =
+    Dom.stamp_stats d.meta
+      {
+        Stats.empty with
+        era = Atomic.get d.era;
+        scans = Stats.Counter.value d.scans;
+      }
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

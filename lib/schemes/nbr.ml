@@ -19,27 +19,33 @@
     would not be rollback-safe.  The data-structure functors honour this
     via {!Caps.supports_nbr}.
 
-    [Make (Config.Large)] is the paper's NBR-Large: an 8192-retirement
-    batch that trades footprint for fewer signals. *)
+    A [Config.Large] domain is the paper's NBR-Large: an 8192-retirement
+    batch that trades footprint for fewer signals ({!Impl.caps} picks the
+    name from the batch size).
 
-module Block = Hpbrcu_alloc.Block
+    The domain embeds an {!Hp_core.domain} (same {!Smr_intf.Dom.t}
+    identity) for shields and the reclamation scan, plus the participant
+    registry and signal counters.  Neutralization signals carry the
+    domain id, so one NBR domain's storm never pages readers of
+    another. *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module Core = Hp_core
 
 exception Rollback
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module Core = Hp_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "NBR"
 
-  let name = if C.config.batch >= 1024 then "NBR-Large" else "NBR"
-
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
-      name;
+      name = (if cfg.Config.batch >= 1024 then "NBR-Large" else "NBR");
       robust_stalled = true;
       robust_longrun = true;
       per_node = NoOverhead;
@@ -49,31 +55,68 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
          most [batch] before a neutralization round fires; a crashed
          reader leaks at most that plus its shields. *)
       bound =
-        (fun ~nthreads -> Some (nthreads * ((C.config.batch * 2) + 64) * 2));
+        (fun ~nthreads ->
+          Some (nthreads * ((cfg.Config.batch * 2) + 64) * 2));
     }
 
   type local = { status : int Atomic.t; box : Signal.box }
 
   let st_out = 0
   let st_incs = 1
-  let participants : local Registry.Participants.t = Registry.Participants.create ()
-  let neutralizations = Stats.Counter.make ()
-  let signals = Stats.Counter.make ()
-  let rollbacks = Stats.Counter.make ()
-  let signal_timeouts = Stats.Counter.make ()
-  let quarantines = Stats.Counter.make ()
 
-  type handle = { l : local; idx : int; hp : Core.handle; mutable pending : Retired.t }
+  type domain = {
+    meta : Dom.t;
+    hp : Core.domain;
+    participants : local Registry.Participants.t;
+    neutralizations : Stats.Counter.t;
+    signals : Stats.Counter.t;
+    rollbacks : Stats.Counter.t;
+    signal_timeouts : Stats.Counter.t;
+    quarantines : Stats.Counter.t;
+    batch_n : int;
+  }
 
-  let register () =
+  let create ?label config =
+    let meta = Dom.make ~scheme ?label config in
+    {
+      meta;
+      hp = Core.create meta;
+      participants = Registry.Participants.create ();
+      neutralizations = Stats.Counter.make ();
+      signals = Stats.Counter.make ();
+      rollbacks = Stats.Counter.make ();
+      signal_timeouts = Stats.Counter.make ();
+      quarantines = Stats.Counter.make ();
+      batch_n = config.Config.batch;
+    }
+
+  let dom d = d.meta
+
+  let destroy ?force d =
+    if Dom.begin_destroy ?force d.meta then begin
+      Core.drain d.hp;
+      Registry.Participants.reset d.participants;
+      Dom.finish_destroy d.meta
+    end
+
+  type handle = {
+    d : domain;
+    l : local;
+    idx : int;
+    hph : Core.handle;
+    mutable pending : Retired.t;
+  }
+
+  let register d =
+    Dom.on_register d.meta;
     let l = { status = Atomic.make st_out; box = Signal.make () } in
-    Signal.attach l.box;
-    let idx = Registry.Participants.add participants l in
-    { l; idx; hp = Core.register (); pending = Retired.create () }
+    Signal.attach ~domain:(Dom.id d.meta) l.box;
+    let idx = Registry.Participants.add d.participants l in
+    { d; l; idx; hph = Core.register d.hp; pending = Retired.create () }
 
   type shield = Core.shield
 
-  let new_shield h = Core.new_shield h.hp
+  let new_shield h = Core.new_shield h.hph
   let protect = Core.protect
   let clear = Core.clear
 
@@ -103,7 +146,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
           r
       | exception Rollback ->
           Atomic.set l.status st_out;
-          Stats.Counter.incr rollbacks;
+          Stats.Counter.incr h.d.rollbacks;
           Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq l.box);
           Trace.emit Trace.Cs_end 1;
           Sched.yield ();
@@ -137,8 +180,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     poll h;
     Alloc.check_access blk
 
-  (* Neutralize everyone, then reclaim the pre-signal batch minus
-     shield-protected blocks (delegated to the HP core's scan).
+  (* Neutralize everyone in this domain, then reclaim the pre-signal batch
+     minus shield-protected blocks (delegated to the HP core's scan).
 
      Graceful degradation (DESIGN.md §8): a [Dead_receiver] is a confirmed
      crash — it will never read again, so it leaves the registry
@@ -149,57 +192,52 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
      footprint degrades (that is what Table 2's robustness rows measure),
      but never its safety. *)
   let neutralize_and_reclaim h =
-    Stats.Counter.incr neutralizations;
+    let d = h.d in
+    Stats.Counter.incr d.neutralizations;
     let mine = h.l in
     let all_acked = ref true in
-    Registry.Participants.iter participants (fun l ->
+    Registry.Participants.iter d.participants (fun l ->
         if l != mine then begin
-          Stats.Counter.incr signals;
+          Stats.Counter.incr d.signals;
           let seq = Signal.next_seq () in
           Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
           match
-            Signal.send ~seq l.box
+            Signal.send ~seq ~domain:(Dom.id d.meta) l.box
               ~is_out:(fun () -> Atomic.get l.status = st_out)
           with
           | Signal.Delivered -> ()
           | Signal.Dead_receiver ->
-              Stats.Counter.incr quarantines;
+              Stats.Counter.incr d.quarantines;
               Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
-              Registry.Participants.remove_where participants (fun l' -> l' == l)
+              Registry.Participants.remove_where d.participants (fun l' ->
+                  l' == l)
           | Signal.No_ack ->
-              Stats.Counter.incr signal_timeouts;
+              Stats.Counter.incr d.signal_timeouts;
               all_acked := false
         end);
     if !all_acked then begin
       (* Move the snapshot into the HP batch and scan. *)
-      Retired.transfer h.pending ~into:h.hp.Core.batch;
-      Core.scan h.hp
+      Retired.transfer h.pending ~into:h.hph.Core.batch;
+      Core.scan h.hph
     end
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
+    Dom.tag_retire h.d.meta blk;
     Retired.push h.pending ?free blk;
-    if Retired.length h.pending >= C.config.batch then neutralize_and_reclaim h
+    if Retired.length h.pending >= h.d.batch_n then neutralize_and_reclaim h
 
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   let flush h = neutralize_and_reclaim h
 
   let unregister h =
     flush h;
     Signal.detach h.l.box;
-    Core.unregister h.hp;
-    Registry.Participants.remove participants h.idx
-
-  let reset () =
-    Core.reset ();
-    Registry.Participants.reset participants;
-    Stats.Counter.reset neutralizations;
-    Stats.Counter.reset signals;
-    Stats.Counter.reset rollbacks;
-    Stats.Counter.reset signal_timeouts;
-    Stats.Counter.reset quarantines
+    Core.unregister h.hph;
+    Registry.Participants.remove h.d.participants h.idx;
+    Dom.on_unregister h.d.meta
 
   (* NBR's traversal: one read-phase critical section from entry to
      destination, protecting the final cursor before the phase ends. *)
@@ -215,14 +253,20 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
         in
         go (init ()))
 
-  let stats () =
-    {
-      (Core.stats ()) with
-      Stats.neutralizations = Stats.Counter.value neutralizations;
-      signals = Stats.Counter.value signals;
-      rollbacks = Stats.Counter.value rollbacks;
-      signal_timeouts = Stats.Counter.value signal_timeouts;
-      quarantines = Stats.Counter.value quarantines;
-      max_signals_inflight = Signal.max_inflight ();
-    }
+  let stats d =
+    Dom.stamp_stats d.meta
+      {
+        (Core.stats d.hp) with
+        Stats.neutralizations = Stats.Counter.value d.neutralizations;
+        signals = Stats.Counter.value d.signals;
+        rollbacks = Stats.Counter.value d.rollbacks;
+        signal_timeouts = Stats.Counter.value d.signal_timeouts;
+        quarantines = Stats.Counter.value d.quarantines;
+        max_signals_inflight = Signal.max_inflight ();
+      }
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

@@ -15,22 +15,26 @@
     handshake ({!Hpbrcu_runtime.Signal}) to deliver ejections, and the
     ejected reader restarts rather than falling back to hazard-pointer
     mode.  Both the footprint bound and the restart-induced starvation —
-    the properties the paper measures — are preserved. *)
+    the properties the paper measures — are preserved.
 
-module Block = Hpbrcu_alloc.Block
+    The domain carries its own epoch (global, participants, orphans) next
+    to an embedded {!Hp_core.domain} for shields; deferral is intrusive
+    ({!Hpbrcu_core.Retired.entry} vectors, no per-retire closure), and
+    ejection signals are routed by domain id. *)
+
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Signal = Hpbrcu_runtime.Signal
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
+module HPC = Hp_core
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  module HPC = Hp_core.Make (C) ()
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "PEBR"
 
-  let name = "PEBR"
-
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
       name = "PEBR";
       robust_stalled = true;
@@ -44,54 +48,97 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       bound =
         (fun ~nthreads ->
           Some
-            (nthreads * C.config.batch * (C.config.pebr_eject_threshold + 2) * 2));
+            (nthreads * cfg.Config.batch
+            * (cfg.Config.pebr_eject_threshold + 2)
+            * 2));
     }
 
   exception Restart
 
   type local = { pin : int Atomic.t; box : Signal.box }
 
-  let global = Atomic.make 2
-  let participants : local Registry.Participants.t = Registry.Participants.create ()
+  type domain = {
+    meta : Dom.t;
+    hp : HPC.domain;
+    global : int Atomic.t;
+    participants : local Registry.Participants.t;
+    orphans : Retired.entry Segstack.t;
+        (* unexpired entries of departed threads, adopted later *)
+    (* Worst (global - lagging pin) gap at an advance attempt; ejection
+       bounds it by the patience threshold. *)
+    lag_gauge : Stats.Gauge.t;
+    ejections : Stats.Counter.t;
+    restarts : Stats.Counter.t;
+    advances : Stats.Counter.t;
+    signal_timeouts : Stats.Counter.t;
+    quarantines : Stats.Counter.t;
+    batch_n : int;
+    eject_threshold : int;
+  }
 
-  (* Worst (global - lagging pin) gap at an advance attempt; ejection
-     bounds it by the patience threshold. *)
-  let lag_gauge = Stats.Gauge.make ()
-  let ejections = Stats.Counter.make ()
-  let restarts = Stats.Counter.make ()
-  let advances = Stats.Counter.make ()
-  let signal_timeouts = Stats.Counter.make ()
-  let quarantines = Stats.Counter.make ()
+  let create ?label config =
+    let meta = Dom.make ~scheme ?label config in
+    {
+      meta;
+      hp = HPC.create meta;
+      global = Atomic.make 2;
+      participants = Registry.Participants.create ();
+      orphans = Segstack.create ();
+      lag_gauge = Stats.Gauge.make ();
+      ejections = Stats.Counter.make ();
+      restarts = Stats.Counter.make ();
+      advances = Stats.Counter.make ();
+      signal_timeouts = Stats.Counter.make ();
+      quarantines = Stats.Counter.make ();
+      batch_n = config.Config.batch;
+      eject_threshold = config.Config.pebr_eject_threshold;
+    }
+
+  let dom d = d.meta
+
+  let destroy ?force d =
+    if Dom.begin_destroy ?force d.meta then begin
+      (* No readers remain: run everything. *)
+      (match Segstack.take_all d.orphans with
+      | None -> ()
+      | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
+      HPC.drain d.hp;
+      Registry.Participants.reset d.participants;
+      Dom.finish_destroy d.meta
+    end
 
   type handle = {
+    d : domain;
     l : local;
     idx : int;
-    hp : HPC.handle;
+    hph : HPC.handle;
     mutable nest : int;
-    tasks : Epoch_core.task Vec.t;
-    expired : Epoch_core.task Vec.t;  (* scratch for [run_expired] *)
+    tasks : Retired.entry Vec.t;
+    expired : Retired.entry Vec.t;  (* scratch for [run_expired] *)
     mutable running : bool;  (* reentrancy guard: tasks may retire *)
     mutable push_cnt : int;
   }
 
-  let register () =
+  let register d =
+    Dom.on_register d.meta;
     let l = { pin = Atomic.make (-1); box = Signal.make () } in
-    Signal.attach l.box;
-    let idx = Registry.Participants.add participants l in
+    Signal.attach ~domain:(Dom.id d.meta) l.box;
+    let idx = Registry.Participants.add d.participants l in
     {
+      d;
       l;
       idx;
-      hp = HPC.register ();
+      hph = HPC.register d.hp;
       nest = 0;
-      tasks = Vec.create Epoch_core.dummy_task;
-      expired = Vec.create Epoch_core.dummy_task;
+      tasks = Vec.create (Epoch_core.dummy_entry ());
+      expired = Vec.create (Epoch_core.dummy_entry ());
       running = false;
       push_cnt = 0;
     }
 
   type shield = HPC.shield
 
-  let new_shield h = HPC.new_shield h.hp
+  let new_shield h = HPC.new_shield h.hph
   let protect = HPC.protect
   let clear = HPC.clear
 
@@ -102,7 +149,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
   let poll h = Signal.poll h.l.box ~handler:(handler h.l)
 
   let pin h =
-    if h.nest = 0 then Atomic.set h.l.pin (Atomic.get global);
+    if h.nest = 0 then Atomic.set h.l.pin (Atomic.get h.d.global);
     h.nest <- h.nest + 1
 
   let unpin h =
@@ -120,7 +167,7 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
           r
       | exception Restart ->
           unpin h;
-          Stats.Counter.incr restarts;
+          Stats.Counter.incr h.d.restarts;
           (* The ejection that raised Restart was consumed by poll; cite
              its send-sequence id so the analyzer can join the edge. *)
           Trace.emit2 Trace.Rollback 0 (Signal.consumed_seq h.l.box);
@@ -162,11 +209,8 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     poll h;
     Alloc.check_access blk
 
-  (* Unexpired tasks of departed threads, adopted during later advances. *)
-  let orphans : Epoch_core.task Segstack.t = Segstack.create ()
-
   let adopt_orphans h =
-    match Segstack.take_all orphans with
+    match Segstack.take_all h.d.orphans with
     | None -> ()
     | Some _ as chain -> Segstack.iter chain (fun t -> Vec.push h.tasks t)
 
@@ -174,12 +218,12 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     adopt_orphans h;
     if not h.running then begin
       h.running <- true;
-      let limit = Atomic.get global - 2 in
+      let limit = Atomic.get h.d.global - 2 in
       Vec.clear h.expired;
       Vec.partition_into h.tasks
-        (fun (t : Epoch_core.task) -> t.stamp <= limit)
+        (fun (e : Retired.entry) -> e.stamp <= limit)
         h.expired;
-      (try Vec.iter h.expired (fun (t : Epoch_core.task) -> t.run ())
+      (try Vec.iter h.expired Retired.reclaim_entry
        with e ->
          h.running <- false;
          raise e);
@@ -190,18 +234,19 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
      ejected once the patience threshold passes.  (Never self: retirement
      must complete once the node is unlinked.) *)
   let try_advance h =
-    let e = Atomic.get global in
+    let d = h.d in
+    let e = Atomic.get d.global in
     let lagging = ref [] in
-    Registry.Participants.iter participants (fun l ->
+    Registry.Participants.iter d.participants (fun l ->
         let p = Atomic.get l.pin in
-        if p <> -1 && p < e then Stats.Gauge.observe lag_gauge (e - p);
+        if p <> -1 && p < e then Stats.Gauge.observe d.lag_gauge (e - p);
         if p <> -1 && p < e && l != h.l then lagging := l :: !lagging);
     let self_lags =
       let p = Atomic.get h.l.pin in
       p <> -1 && p < e
     in
     h.push_cnt <- h.push_cnt + 1;
-    if !lagging <> [] && h.push_cnt < C.config.pebr_eject_threshold then ()
+    if !lagging <> [] && h.push_cnt < d.eject_threshold then ()
     else begin
       (* Every ejection must be confirmed before the epoch may advance: a
          dropped ejection with an advance on top would reclaim under a
@@ -211,27 +256,28 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       let all_ejected = ref true in
       List.iter
         (fun l ->
-          Stats.Counter.incr ejections;
+          Stats.Counter.incr d.ejections;
           let seq = Signal.next_seq () in
           Trace.emit2 Trace.Signal_sent l.box.Signal.owner_tid seq;
           match
-            Signal.send ~seq l.box ~is_out:(fun () ->
+            Signal.send ~seq ~domain:(Dom.id d.meta) l.box ~is_out:(fun () ->
                 let p = Atomic.get l.pin in
                 p = -1 || p >= e)
           with
           | Signal.Delivered -> ()
           | Signal.Dead_receiver ->
-              Stats.Counter.incr quarantines;
+              Stats.Counter.incr d.quarantines;
               Trace.emit Trace.Participant_quarantined l.box.Signal.owner_tid;
-              Registry.Participants.remove_where participants (fun l' -> l' == l)
+              Registry.Participants.remove_where d.participants (fun l' ->
+                  l' == l)
           | Signal.No_ack ->
-              Stats.Counter.incr signal_timeouts;
+              Stats.Counter.incr d.signal_timeouts;
               all_ejected := false)
         !lagging;
       h.push_cnt <- 0;
       if (not self_lags) && !all_ejected then
-        if Atomic.compare_and_set global e (e + 1) then begin
-          Stats.Counter.incr advances;
+        if Atomic.compare_and_set d.global e (e + 1) then begin
+          Stats.Counter.incr d.advances;
           Trace.emit Trace.Epoch_advance (e + 1)
         end
     end;
@@ -239,15 +285,13 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let retire h ?free ?patch:_ ?(claimed = false) blk =
     if not claimed then Alloc.retire blk;
-    let run () =
-      Alloc.reclaim blk;
-      match free with None -> () | Some f -> f ()
-    in
-    Vec.push h.tasks { Epoch_core.run; stamp = Atomic.get global };
-    if Vec.length h.tasks >= C.config.batch then try_advance h
+    Dom.tag_retire h.d.meta blk;
+    Vec.push h.tasks
+      { Retired.blk; free; stamp = Atomic.get h.d.global; patches = [] };
+    if Vec.length h.tasks >= h.d.batch_n then try_advance h
 
   let recycles = false
-  let current_era () = 0
+  let current_era _ = 0
 
   let flush h = try_advance h
 
@@ -256,40 +300,31 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
     Signal.detach h.l.box;
     try_advance h;
     (* Remaining tasks are not yet expired; orphan them for adoption. *)
-    Segstack.push_arr orphans (Vec.to_array h.tasks);
+    Segstack.push_arr h.d.orphans (Vec.to_array h.tasks);
     Vec.clear h.tasks;
-    HPC.unregister h.hp;
-    Registry.Participants.remove participants h.idx
-
-  let reset () =
-    (* No readers remain: run everything. *)
-    (match Segstack.take_all orphans with
-    | None -> ()
-    | Some _ as chain ->
-        Segstack.iter chain (fun (t : Epoch_core.task) -> t.run ()));
-    HPC.reset ();
-    Registry.Participants.reset participants;
-    Atomic.set global 2;
-    Stats.Counter.reset ejections;
-    Stats.Counter.reset restarts;
-    Stats.Counter.reset advances;
-    Stats.Counter.reset signal_timeouts;
-    Stats.Counter.reset quarantines;
-    Stats.Gauge.reset lag_gauge
+    HPC.unregister h.hph;
+    Registry.Participants.remove h.d.participants h.idx;
+    Dom.on_unregister h.d.meta
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let stats () =
-    {
-      Stats.empty with
-      epoch = Atomic.get global;
-      advances = Stats.Counter.value advances;
-      ejections = Stats.Counter.value ejections;
-      restarts = Stats.Counter.value restarts;
-      signal_timeouts = Stats.Counter.value signal_timeouts;
-      quarantines = Stats.Counter.value quarantines;
-      max_epoch_lag = Stats.Gauge.maximum lag_gauge;
-      max_signals_inflight = Signal.max_inflight ();
-    }
+  let stats d =
+    Dom.stamp_stats d.meta
+      {
+        Stats.empty with
+        epoch = Atomic.get d.global;
+        advances = Stats.Counter.value d.advances;
+        ejections = Stats.Counter.value d.ejections;
+        restarts = Stats.Counter.value d.restarts;
+        signal_timeouts = Stats.Counter.value d.signal_timeouts;
+        quarantines = Stats.Counter.value d.quarantines;
+        max_epoch_lag = Stats.Gauge.maximum d.lag_gauge;
+        max_signals_inflight = Signal.max_inflight ();
+      }
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

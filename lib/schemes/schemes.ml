@@ -1,6 +1,17 @@
 (** Canonical instantiations of the ten reclamation schemes benchmarked in
     §6, with the paper's parameters ({!Hpbrcu_core.Config.default}:
-    128-retirement batches, force threshold 2; NBR-Large: 8192). *)
+    128-retirement batches, force threshold 2; NBR-Large: 8192).
+
+    Two surfaces coexist since the first-class-domain redesign:
+
+    - the compat modules below ([NR], [RCU], …) are
+      {!Hpbrcu_core.Smr_intf.Globalize} wrappers, each owning one hidden
+      default domain — the pre-domain global API, used by the existing
+      matrix/bench harnesses;
+    - {!impls} packs the underlying domain-valued implementations
+      ({!Hpbrcu_core.Smr_intf.SCHEME}), for harnesses that create and
+      destroy their own domains (sharded structures, the hunt's
+      fresh-domain cells, multi-domain tests). *)
 
 module Config = Hpbrcu_core.Config
 
@@ -44,11 +55,14 @@ module Small = struct
   module HP_BRCU = Hp_brcu.Make (Small_cfg) ()
 end
 
-(** Hunt instances (lib/check): tiny batches and a hair-trigger force
+(** Hunt tuning (lib/check): tiny batches and a hair-trigger force
     threshold so the interesting reclamation machinery — flushes, forced
     epoch advances, neutralization signals — fires every few operations
     instead of every few thousand, maximizing what a short fuzzed schedule
-    can reach.  Only the schemes the hunt matrix drives are instantiated. *)
+    can reach.  Since the first-class-domain redesign the hunt does not
+    instantiate compat modules: each case [create]s a fresh domain of the
+    scheme's {!impls} entry under this config, and [destroy]s it at census
+    time — no cross-case state survives by construction. *)
 module Hunt_cfg : Config.CONFIG = struct
   let config =
     {
@@ -61,30 +75,39 @@ module Hunt_cfg : Config.CONFIG = struct
     }
 end
 
-module Hunt = struct
-  module RCU = Ebr.Make (Hunt_cfg) ()
-  module HP = Hp.Make (Hunt_cfg) ()
-  module NBR = Nbr.Make (Hunt_cfg) ()
-  module VBR = Vbr.Make (Hunt_cfg) ()
-  module HP_RCU = Hp_rcu.Make (Hunt_cfg) ()
-  module HP_BRCU = Hp_brcu.Make (Hunt_cfg) ()
-
-  (* Planted bugs for mutation-testing the hunt itself (never part of any
-     benchmark suite).  [Nomask] drops BRCU's Mask (Algorithm 6) so a
-     self-neutralization can abort a physical-deletion region mid-chain;
-     [Nodb] drops §4.3's double buffering so rollbacks can tear Traverse
-     checkpoints. *)
-  module Nomask_cfg : Config.CONFIG = struct
-    let config = { Hunt_cfg.config with abort_masking = false }
-  end
-
-  module Nodb_cfg : Config.CONFIG = struct
-    let config = { Hunt_cfg.config with double_buffering = false }
-  end
-
-  module HP_BRCU_nomask = Hp_brcu.Make (Nomask_cfg) ()
-  module HP_BRCU_nodb = Hp_brcu.Make (Nodb_cfg) ()
+(* Planted bugs for mutation-testing the hunt itself (never part of any
+   benchmark suite).  [Hunt_nomask_cfg] drops BRCU's Mask (Algorithm 6) so
+   a self-neutralization can abort a physical-deletion region mid-chain;
+   [Hunt_nodb_cfg] drops §4.3's double buffering so rollbacks can tear
+   Traverse checkpoints. *)
+module Hunt_nomask_cfg : Config.CONFIG = struct
+  let config = { Hunt_cfg.config with abort_masking = false }
 end
+
+module Hunt_nodb_cfg : Config.CONFIG = struct
+  let config = { Hunt_cfg.config with double_buffering = false }
+end
+
+(** First-class scheme implementations, keyed by canonical name.  Each
+    packs the domain-valued API: [create] as many independent domains of a
+    scheme as needed and [destroy] them when done, instead of sharing the
+    compat modules' hidden default domain. *)
+let impls : (string * (module Hpbrcu_core.Smr_intf.SCHEME)) list =
+  [
+    ("NR", (module Nr.Impl));
+    ("RCU", (module Ebr.Impl));
+    ("HP", (module Hp.Impl));
+    ("HP++", (module Hppp.Impl));
+    ("PEBR", (module Pebr.Impl));
+    ("NBR", (module Nbr.Impl));
+    ("VBR", (module Vbr.Impl));
+    ("HP-RCU", (module Hp_rcu.Impl));
+    ("HP-BRCU", (module Hp_brcu.Impl));
+    ("HE", (module He.Impl));
+    ("IBR", (module Ibr.Impl));
+  ]
+
+let find_impl name = List.assoc_opt name impls
 
 (** Scheme-generic view for reporting and housekeeping. *)
 type info = {
@@ -121,14 +144,6 @@ let all_info : info list =
     info (module Small.VBR);
     info (module Small.HP_RCU);
     info (module Small.HP_BRCU);
-    info (module Hunt.RCU);
-    info (module Hunt.HP);
-    info (module Hunt.NBR);
-    info (module Hunt.VBR);
-    info (module Hunt.HP_RCU);
-    info (module Hunt.HP_BRCU);
-    info (module Hunt.HP_BRCU_nomask);
-    info (module Hunt.HP_BRCU_nodb);
   ]
 
 (** Reset every scheme's global state and the allocator counters; call

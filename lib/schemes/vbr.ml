@@ -7,7 +7,7 @@
     instead of quiescence: every block carries a version bumped on reuse
     and birth/retire era stamps; an operation records the global era when
     it starts, and any read that reaches a block recycled {e after} the
-    operation began raises {!Make.Restart} — a coarse-grained restart from
+    operation began raises {!Impl.Restart} — a coarse-grained restart from
     scratch, which is why VBR (like NBR and PEBR) starves on long-running
     operations (Figures 1, 6).
 
@@ -18,7 +18,11 @@
     current era), which together with the birth-era check gives the same
     guarantee the version arithmetic gives: an operation can never observe
     a reincarnation of a block through links obtained before the
-    reincarnation. *)
+    reincarnation.
+
+    The global era and restart counter are per-domain: two VBR domains
+    advance their eras independently, so one domain's retire storm never
+    forces restarts in another. *)
 
 module Block = Hpbrcu_alloc.Block
 module Alloc = Hpbrcu_alloc.Alloc
@@ -26,11 +30,12 @@ module Sched = Hpbrcu_runtime.Sched
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 open Hpbrcu_core
+module Dom = Smr_intf.Dom
 
-module Make (C : Config.CONFIG) () : Smr_intf.S = struct
-  let name = "VBR"
+module Impl : Smr_intf.SCHEME = struct
+  let scheme = "VBR"
 
-  let caps : Caps.t =
+  let caps (cfg : Config.t) : Caps.t =
     {
       name = "VBR";
       robust_stalled = true;
@@ -41,21 +46,46 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
       (* VBR returns blocks to its type-stable pool immediately at retire;
          versions, not quiescence, protect readers.  Unreclaimed blocks
          are only the per-thread retire batches in flight. *)
-      bound = (fun ~nthreads -> Some (nthreads * (C.config.batch + 64) * 2));
+      bound = (fun ~nthreads -> Some (nthreads * (cfg.Config.batch + 64) * 2));
     }
 
-  let era = Atomic.make 1
-  let restarts = Stats.Counter.make ()
+  type domain = {
+    meta : Dom.t;
+    era : int Atomic.t;
+    restarts : Stats.Counter.t;
+    batch_n : int;
+  }
 
-  type handle = { mutable start_era : int; mutable retire_count : int }
+  let create ?label config =
+    {
+      meta = Dom.make ~scheme ?label config;
+      era = Atomic.make 1;
+      restarts = Stats.Counter.make ();
+      batch_n = config.Config.batch;
+    }
 
-  let register () = { start_era = 0; retire_count = 0 }
-  let unregister _ = ()
+  let dom d = d.meta
+
+  let destroy ?force d =
+    if Dom.begin_destroy ?force d.meta then begin
+      (* Nothing deferred to drain: VBR reclaims at retire. *)
+      Atomic.set d.era 1;
+      Stats.Counter.reset d.restarts;
+      Dom.finish_destroy d.meta
+    end
+
+  type handle = {
+    d : domain;
+    mutable start_era : int;
+    mutable retire_count : int;
+  }
+
+  let register d =
+    Dom.on_register d.meta;
+    { d; start_era = 0; retire_count = 0 }
+
+  let unregister h = Dom.on_unregister h.d.meta
   let flush _ = ()
-
-  let reset () =
-    Atomic.set era 1;
-    Stats.Counter.reset restarts
 
   type shield = unit
 
@@ -67,10 +97,10 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
 
   let op h body =
     let rec go () =
-      h.start_era <- Atomic.get era;
+      h.start_era <- Atomic.get h.d.era;
       try body ()
       with Restart ->
-        Stats.Counter.incr restarts;
+        Stats.Counter.incr h.d.restarts;
         Trace.emit Trace.Rollback 0;
         Sched.yield ();
         go ()
@@ -104,27 +134,34 @@ module Make (C : Config.CONFIG) () : Smr_intf.S = struct
      [batch] retirements, reclaim, and let [free] return the node to its
      pool. *)
   let retire h ?free ?patch:_ ?(claimed = false) blk =
-    Block.mark_retire_era blk ~era:(Atomic.get era);
+    Block.mark_retire_era blk ~era:(Atomic.get h.d.era);
     if not claimed then Alloc.retire blk;
+    Dom.tag_retire h.d.meta blk;
     Alloc.reclaim blk;
     (match free with None -> () | Some f -> f ());
     h.retire_count <- h.retire_count + 1;
-    if h.retire_count >= C.config.batch then begin
+    if h.retire_count >= h.d.batch_n then begin
       h.retire_count <- 0;
-      Atomic.incr era;
-      Trace.emit Trace.Epoch_advance (Atomic.get era)
+      Atomic.incr h.d.era;
+      Trace.emit Trace.Epoch_advance (Atomic.get h.d.era)
     end
 
   let recycles = true
-  let current_era () = Atomic.get era
+  let current_era d = Atomic.get d.era
 
   let traverse _h ~prot ~backup:_ ~protect ~validate:_ ~init ~step =
     Scheme_common.plain_traverse ~prot ~protect ~init ~step
 
-  let stats () =
-    {
-      Stats.empty with
-      era = Atomic.get era;
-      restarts = Stats.Counter.value restarts;
-    }
+  let stats d =
+    Dom.stamp_stats d.meta
+      {
+        Stats.empty with
+        era = Atomic.get d.era;
+        restarts = Stats.Counter.value d.restarts;
+      }
 end
+
+(** Compatibility: the old single-global surface over a hidden default
+    domain. *)
+module Make (C : Config.CONFIG) () : Smr_intf.S =
+  Smr_intf.Globalize (Impl) (C) ()

@@ -17,7 +17,11 @@
       spans, bucketed by power-of-two section length;
     - {b unreclaimed watermark over time}: the [Retire]/[Reclaim]
       unreclaimed counts, downsampled to a bounded curve (the shape of
-      Fig. 6, reproduced from the trace instead of end-of-run peaks).
+      Fig. 6, reproduced from the trace instead of end-of-run peaks);
+    - {b per-domain slices}: [Owner_retire] stamps each block with its
+      reclamation domain, so time-to-reclaim and the watermark curve are
+      additionally grouped per domain id — the multi-domain topologies
+      (sharded maps) read their isolation story straight off the trace.
 
     All latencies are in virtual ticks (fiber mode); the whole summary is
     a pure function of the record list, so the determinism test can assert
@@ -26,6 +30,19 @@
 module Trace = Hpbrcu_runtime.Trace
 module Stats = Hpbrcu_runtime.Stats
 module Histogram = Stats.Histogram
+
+(** Per-reclamation-domain slice of the lifecycle metrics, keyed by the
+    domain id carried on [Owner_retire] (the {!Hpbrcu_alloc.Alloc.Owner}
+    slot).  Traces recorded before the first-class-domain redesign carry
+    no [Owner_retire] events and yield an empty list. *)
+type domain_summary = {
+  dom : int;  (** domain id (watermark slot) *)
+  retired : int;  (** blocks this domain retired in-trace *)
+  ttr_d : Histogram.summary;  (** per-domain time-to-reclaim, ticks *)
+  never_reclaimed_d : int;
+  watermark_d : (int * int) list;
+      (** per-domain (tick, max unreclaimed in window) curve *)
+}
 
 type summary = {
   source : string;
@@ -44,9 +61,41 @@ type summary = {
       (** (length-bucket lower bound, sections, aborted) per 2^k bucket *)
   watermark : (int * int) list;
       (** (tick, max unreclaimed in window), ≤ {!watermark_points} points *)
+  by_domain : domain_summary list;
+      (** per-domain slices, ascending domain id; [] without
+          [Owner_retire] events *)
 }
 
 let watermark_points = 256
+
+(* Downsample a newest-first (tick, value) series to a ≤
+   [watermark_points] max-per-window curve. *)
+let downsample marks =
+  let marks = List.rev marks in
+  match marks with
+  | [] -> []
+  | (t0, _) :: _ ->
+      let tn = List.fold_left (fun _ (t, _) -> t) t0 marks in
+      let span = max 1 (tn - t0 + 1) in
+      let w = max 1 ((span + watermark_points - 1) / watermark_points) in
+      let acc = ref [] in
+      List.iter
+        (fun (t, v) ->
+          let win = t0 + ((t - t0) / w * w) in
+          match !acc with
+          | (pw, pv) :: rest when pw = win -> acc := (pw, max pv v) :: rest
+          | _ -> acc := (win, v) :: !acc)
+        marks;
+      List.rev !acc
+
+(* Running per-domain state while scanning the stream. *)
+type dstate = {
+  ttr_h_d : Histogram.t;
+  retired_at_d : (int, int) Hashtbl.t;  (* block id -> owner-retire tick *)
+  mutable unrec_d : int;
+  mutable retired_d : int;
+  mutable marks_d : (int * int) list;  (* newest first *)
+}
 
 (* Power-of-two bucketing for the abort-rate curve: bucket k holds lengths
    in [2^(k-1), 2^k) with bucket 0 holding length 0. *)
@@ -80,6 +129,25 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
   let cs_open : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let cs_aborted = ref 0 in
   let abort_buckets = Array.make 64 (0, 0) in
+  (* --- per-domain slices, joined through Owner_retire's block->domain map --- *)
+  let doms : (int, dstate) Hashtbl.t = Hashtbl.create 8 in
+  let dom_of_block : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let dstate did =
+    match Hashtbl.find_opt doms did with
+    | Some d -> d
+    | None ->
+        let d =
+          {
+            ttr_h_d = Histogram.make ();
+            retired_at_d = Hashtbl.create 64;
+            unrec_d = 0;
+            retired_d = 0;
+            marks_d = [];
+          }
+        in
+        Hashtbl.add doms did d;
+        d
+  in
   List.iter
     (fun (r : Trace.record) ->
       match r.event with
@@ -87,11 +155,30 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
           Hashtbl.replace retired_at r.arg2 r.tick;
           marks := (r.tick, r.arg) :: !marks;
           retires := (r.tick, max 2 !max_epoch + 2) :: !retires
+      | Trace.Owner_retire ->
+          let d = dstate r.arg in
+          Hashtbl.replace dom_of_block r.arg2 r.arg;
+          Hashtbl.replace d.retired_at_d r.arg2 r.tick;
+          d.retired_d <- d.retired_d + 1;
+          d.unrec_d <- d.unrec_d + 1;
+          d.marks_d <- (r.tick, d.unrec_d) :: d.marks_d
       | Trace.Reclaim ->
           (match Hashtbl.find_opt retired_at r.arg2 with
           | Some t0 ->
               Histogram.record ttr_h (r.tick - t0);
               Hashtbl.remove retired_at r.arg2
+          | None -> ());
+          (match Hashtbl.find_opt dom_of_block r.arg2 with
+          | Some did ->
+              let d = dstate did in
+              d.unrec_d <- d.unrec_d - 1;
+              d.marks_d <- (r.tick, d.unrec_d) :: d.marks_d;
+              (match Hashtbl.find_opt d.retired_at_d r.arg2 with
+              | Some t0 ->
+                  Histogram.record d.ttr_h_d (r.tick - t0);
+                  Hashtbl.remove d.retired_at_d r.arg2
+              | None -> ());
+              Hashtbl.remove dom_of_block r.arg2
           | None -> ());
           marks := (r.tick, r.arg) :: !marks
       | Trace.Epoch_advance ->
@@ -154,25 +241,21 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
       if i < nadv then Histogram.record grace_h (fst adv.(i) - t)
       else incr uncovered)
     !retires;
-  (* Watermark curve: max unreclaimed per fixed-width tick window. *)
-  let marks = List.rev !marks in
-  let watermark =
-    match marks with
-    | [] -> []
-    | (t0, _) :: _ ->
-        let tn = List.fold_left (fun _ (t, _) -> t) t0 marks in
-        let span = max 1 (tn - t0 + 1) in
-        let w = max 1 ((span + watermark_points - 1) / watermark_points) in
-        let acc = ref [] in
-        List.iter
-          (fun (t, v) ->
-            let win = t0 + ((t - t0) / w * w) in
-            match !acc with
-            | (pw, pv) :: rest when pw = win ->
-                acc := (pw, max pv v) :: rest
-            | _ -> acc := (win, v) :: !acc)
-          marks;
-        List.rev !acc
+  (* Watermark curves: max unreclaimed per fixed-width tick window. *)
+  let watermark = downsample !marks in
+  let by_domain =
+    Hashtbl.fold
+      (fun did (d : dstate) acc ->
+        {
+          dom = did;
+          retired = d.retired_d;
+          ttr_d = Histogram.summary d.ttr_h_d;
+          never_reclaimed_d = Hashtbl.length d.retired_at_d;
+          watermark_d = downsample d.marks_d;
+        }
+        :: acc)
+      doms []
+    |> List.sort (fun a b -> compare a.dom b.dom)
   in
   let abort_by_len =
     let rows = ref [] in
@@ -197,6 +280,7 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
     cs_aborted = !cs_aborted;
     abort_by_len;
     watermark;
+    by_domain;
   }
 
 let of_file path =
@@ -271,8 +355,48 @@ let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
               ])
           summaries;
     };
+  (* Per-domain table, only when some trace carried Owner_retire events. *)
+  if List.exists (fun s -> s.by_domain <> []) summaries then
+    Report.emit ~sinks
+      {
+        Report.title = "analyze: per-domain reclamation (ticks)";
+        header =
+          [
+            "source"; "domain"; "retired"; "ttr_n"; "ttr_p50"; "ttr_p90";
+            "ttr_p99"; "ttr_max"; "unreclaimed";
+          ];
+        rows =
+          List.concat_map
+            (fun s ->
+              List.map
+                (fun d ->
+                  (s.source :: Report.i d.dom :: Report.i d.retired
+                 :: hsum d.ttr_d)
+                  @ [ Report.i d.never_reclaimed_d ])
+                s.by_domain)
+            summaries;
+      };
   List.iter
     (fun s ->
+      List.iter
+        (fun d ->
+          Report.emit
+            ~sinks:
+              [
+                Report.Csv
+                  (Printf.sprintf "analyze_%s_dom%d_watermark.csv" s.source
+                     d.dom);
+              ]
+            {
+              Report.title =
+                Printf.sprintf "watermark %s domain %d" s.source d.dom;
+              header = [ "tick"; "unreclaimed_max" ];
+              rows =
+                List.map
+                  (fun (t, v) -> [ Report.i t; Report.i v ])
+                  d.watermark_d;
+            })
+        s.by_domain;
       Report.emit ~sinks:[ Report.Csv ("analyze_" ^ s.source ^ "_watermark.csv") ]
         {
           Report.title = "watermark " ^ s.source;

@@ -43,33 +43,62 @@ let schemes_small : (string * (module SCHEME)) list =
     ("HP-BRCU", (module Schemes.Small.HP_BRCU));
   ]
 
-(* Hunt instances for lib/check's schedule/fault exploration: hair-trigger
-   reclamation tunings, plus the planted mutants ("<scheme>!<bug>") the
-   hunt's mutation-testing gate must catch.  A mutant shares its base
-   scheme's applicability — [supports] callers strip the "!bug" suffix. *)
-let schemes_hunt : (string * (module SCHEME)) list =
+(* Hunt entries for lib/check's schedule/fault exploration: first-class
+   implementations paired with hair-trigger reclamation configs — each
+   hunt case [create]s a fresh domain from its entry and [destroy]s it at
+   census time, so no state bleeds between cases.  The table also carries
+   the planted mutants ("<scheme>!<bug>") the hunt's mutation-testing gate
+   must catch, and the "+shards" topology variant the runner drives
+   through {!Hpbrcu_ds.Sharded_hashmap} (one domain per shard).  Variants
+   share their base scheme's applicability — [supports] callers strip the
+   suffix. *)
+module SI = Hpbrcu_core.Smr_intf
+
+let hunt_impls : (string * ((module SI.SCHEME) * Hpbrcu_core.Config.t)) list =
+  let impl name =
+    match Schemes.find_impl name with
+    | Some i -> i
+    | None -> invalid_arg ("unknown scheme: " ^ name)
+  in
+  let hunt = Schemes.Hunt_cfg.config in
   [
-    ("RCU", (module Schemes.Hunt.RCU));
-    ("HP", (module Schemes.Hunt.HP));
-    ("NBR", (module Schemes.Hunt.NBR));
-    ("VBR", (module Schemes.Hunt.VBR));
-    ("HP-RCU", (module Schemes.Hunt.HP_RCU));
-    ("HP-BRCU", (module Schemes.Hunt.HP_BRCU));
-    ("HP-BRCU!nomask", (module Schemes.Hunt.HP_BRCU_nomask));
-    ("HP-BRCU!nodb", (module Schemes.Hunt.HP_BRCU_nodb));
+    ("RCU", (impl "RCU", hunt));
+    ("HP", (impl "HP", hunt));
+    ("NBR", (impl "NBR", hunt));
+    ("VBR", (impl "VBR", hunt));
+    ("HP-RCU", (impl "HP-RCU", hunt));
+    ("HP-BRCU", (impl "HP-BRCU", hunt));
+    ("RCU+shards", (impl "RCU", hunt));
+    ("HP-BRCU!nomask", (impl "HP-BRCU", Schemes.Hunt_nomask_cfg.config));
+    ("HP-BRCU!nodb", (impl "HP-BRCU", Schemes.Hunt_nodb_cfg.config));
   ]
 
 let hunt_scheme_names =
-  List.filter (fun n -> not (String.contains n '!')) (List.map fst schemes_hunt)
+  List.filter (fun n -> not (String.contains n '!')) (List.map fst hunt_impls)
 
 let mutant_names =
-  List.filter (fun n -> String.contains n '!') (List.map fst schemes_hunt)
+  List.filter (fun n -> String.contains n '!') (List.map fst hunt_impls)
 
-(** [base_scheme_name n] strips a mutant's "!bug" suffix. *)
+let find_hunt_impl name =
+  match List.assoc_opt name hunt_impls with
+  | Some x -> x
+  | None -> invalid_arg ("unknown hunt scheme: " ^ name)
+
+(** [is_sharded n] — the "+shards" multi-domain topology variant. *)
+let is_sharded n =
+  let suffix = "+shards" in
+  let ls = String.length suffix and ln = String.length n in
+  ln >= ls && String.sub n (ln - ls) ls = suffix
+
+(** [base_scheme_name n] strips a mutant's "!bug" or a topology variant's
+    "+shards" suffix. *)
 let base_scheme_name n =
-  match String.index_opt n '!' with
-  | Some i -> String.sub n 0 i
-  | None -> n
+  let strip c n =
+    match String.index_opt n c with
+    | Some i -> String.sub n 0 i
+    | None -> n
+  in
+  strip '!' (strip '+' n)
 
 (* The paper's §6 legend (figures use exactly these; HE/IBR remain
    addressable by name for custom sweeps and tests). *)
@@ -78,10 +107,7 @@ let scheme_names =
 
 let find_scheme ?(tuning = `Default) name : (module SCHEME) =
   let table =
-    match tuning with
-    | `Default -> schemes
-    | `Small -> schemes_small
-    | `Hunt -> schemes_hunt
+    match tuning with `Default -> schemes | `Small -> schemes_small
   in
   match List.assoc_opt name table with
   | Some s -> s

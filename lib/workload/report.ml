@@ -104,10 +104,15 @@ let json_of_summary (s : Stats.Histogram.summary) =
     ]
 
 (** Typed scheme snapshot → JSON, via the one sanctioned string-keyed
-    serializer ({!Stats.to_fields}); zeros are kept for a stable schema. *)
+    serializer ({!Stats.to_fields}); zeros are kept for a stable schema.
+    The domain label rides along as the one string field so multi-domain
+    runs can tell their counters apart by name, not just slot id. *)
 let json_of_snapshot (s : Stats.snapshot) =
   Json.Obj
-    (List.map (fun (k, v) -> (k, Json.Int v)) (Stats.to_fields ~keep_zeros:true s))
+    (("domain_label", Json.Str s.Stats.domain_label)
+    :: List.map
+         (fun (k, v) -> (k, Json.Int v))
+         (Stats.to_fields ~keep_zeros:true s))
 
 (* ------------------------------------------------------------------ *)
 (* The emitter                                                         *)

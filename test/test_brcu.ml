@@ -6,6 +6,8 @@ module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Config = Hpbrcu_core.Config
 module Stats = Hpbrcu_runtime.Stats
+module B = Hpbrcu_schemes.Brcu_core
+module Dom = Hpbrcu_core.Smr_intf.Dom
 
 module Cfg = struct
   let config =
@@ -17,121 +19,142 @@ let reset () =
   Alloc.reset ();
   Alloc.set_strict true
 
-(* Fresh BRCU instance per test so counters are isolated. *)
+(* Fresh BRCU domain per test so counters are isolated; torn down at the
+   end so the watermark slot is returned. *)
+let with_brcu ?(cfg = Cfg.config) f =
+  let bd = B.create (Dom.make ~scheme:"BRCU" ~label:"test" cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      if Dom.begin_destroy ~force:true bd.B.meta then begin
+        B.drain bd;
+        Dom.finish_destroy bd.B.meta
+      end)
+    (fun () -> f bd)
 
 let test_crit_returns () =
   reset ();
-  let module B = Hpbrcu_schemes.Brcu_core.Make (Cfg) () in
-  let h = B.register () in
-  Alcotest.(check int) "result" 42 (B.crit h (fun () -> 42));
-  Alcotest.(check bool) "out after" false (B.in_cs h);
-  B.unregister h
+  with_brcu (fun bd ->
+      let h = B.register bd in
+      Alcotest.(check int) "result" 42 (B.crit h (fun () -> 42));
+      Alcotest.(check bool) "out after" false (B.in_cs h);
+      B.unregister h)
 
 let test_crit_reraises () =
   reset ();
-  let module B = Hpbrcu_schemes.Brcu_core.Make (Cfg) () in
-  let h = B.register () in
-  (try B.crit h (fun () -> failwith "x") with Failure _ -> ());
-  Alcotest.(check bool) "status restored after exception" false (B.in_cs h);
-  B.unregister h
+  with_brcu (fun bd ->
+      let h = B.register bd in
+      (try B.crit h (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check bool) "status restored after exception" false
+        (B.in_cs h);
+      B.unregister h)
 
 let test_rollback_reruns_body () =
   reset ();
-  let module B = Hpbrcu_schemes.Brcu_core.Make (Cfg) () in
-  let h = B.register () in
-  let attempts = ref 0 in
-  let r =
-    B.crit h (fun () ->
-        incr attempts;
-        if !attempts < 3 then raise Hpbrcu_schemes.Brcu_core.Rollback;
-        "done")
-  in
-  Alcotest.(check string) "eventually returns" "done" r;
-  Alcotest.(check int) "re-ran to the checkpoint" 3 !attempts;
-  B.unregister h
+  with_brcu (fun bd ->
+      let h = B.register bd in
+      let attempts = ref 0 in
+      let r =
+        B.crit h (fun () ->
+            incr attempts;
+            if !attempts < 3 then raise B.Rollback;
+            "done")
+      in
+      Alcotest.(check string) "eventually returns" "done" r;
+      Alcotest.(check int) "re-ran to the checkpoint" 3 !attempts;
+      B.unregister h)
 
 (* A lagging reader is neutralized after force_threshold flushes; a
    current-epoch reader is not (selective signaling). *)
 let test_selective_signal () =
   reset ();
-  let module B = Hpbrcu_schemes.Brcu_core.Make (Cfg) () in
-  let rolled_back = ref 0 and completed = ref false in
-  Sched.run (Sched.Fibers { seed = 3; switch_every = 1 }) ~nthreads:2 (fun tid ->
-      if tid = 0 then begin
-        let h = B.register () in
-        (* Reader: long critical section; counts rollbacks. *)
-        (try
-           B.crit h (fun () ->
-               for _ = 1 to 5000 do
-                 B.poll h;
-                 Sched.yield ()
-               done;
-               completed := true)
-         with Not_found -> ());
-        B.unregister h
-      end
-      else begin
-        let h = B.register () in
-        (* Writer: defer a lot, forcing epoch advances past the reader. *)
-        for _ = 1 to 200 do
-          let b = Alloc.block () in
-          Alloc.retire b;
-          B.defer h (fun () -> Alloc.reclaim b);
-          Sched.yield ()
-        done;
-        B.flush h;
-        B.unregister h
-      end);
-  ignore !rolled_back;
-  let stats = B.stats () in
-  Alcotest.(check bool) "signals were sent" true (stats.Stats.signals > 0);
-  Alcotest.(check bool) "rollbacks happened" true (stats.Stats.rollbacks > 0)
+  with_brcu (fun bd ->
+      let rolled_back = ref 0 and completed = ref false in
+      Sched.run
+        (Sched.Fibers { seed = 3; switch_every = 1 })
+        ~nthreads:2
+        (fun tid ->
+          if tid = 0 then begin
+            let h = B.register bd in
+            (* Reader: long critical section; counts rollbacks. *)
+            (try
+               B.crit h (fun () ->
+                   for _ = 1 to 5000 do
+                     B.poll h;
+                     Sched.yield ()
+                   done;
+                   completed := true)
+             with Not_found -> ());
+            B.unregister h
+          end
+          else begin
+            let h = B.register bd in
+            (* Writer: defer a lot, forcing epoch advances past the
+               reader. *)
+            for _ = 1 to 200 do
+              let b = Alloc.block () in
+              Alloc.retire b;
+              B.defer h b;
+              Sched.yield ()
+            done;
+            B.flush h;
+            B.unregister h
+          end);
+      ignore !rolled_back;
+      let stats = B.stats bd in
+      Alcotest.(check bool) "signals were sent" true (stats.Stats.signals > 0);
+      Alcotest.(check bool)
+        "rollbacks happened" true
+        (stats.Stats.rollbacks > 0))
 
 (* Abort-masking: a signal delivered inside a mask defers the rollback to
    the region's exit, and the masked body is never torn. *)
 let test_mask_defers_rollback () =
   reset ();
-  let module B = Hpbrcu_schemes.Brcu_core.Make (Cfg) () in
-  let mask_completed = ref 0 and rollbacks_seen = ref 0 in
-  Sched.run (Sched.Fibers { seed = 5; switch_every = 1 }) ~nthreads:2 (fun tid ->
-      if tid = 0 then begin
-        let h = B.register () in
-        let attempts = ref 0 in
-        ignore
-          (B.crit h (fun () ->
-               incr attempts;
-               if !attempts > 1 then incr rollbacks_seen;
-               if !attempts <= 2 then begin
-                 (* Spin inside a mask until the signal has arrived;
-                    the handler must NOT abort us mid-mask. *)
-                 B.mask h (fun () ->
-                     for _ = 1 to 300 do
-                       B.poll h;
-                       Sched.yield ()
-                     done;
-                     incr mask_completed)
-                 (* On exit the deferred rollback fires (if signaled). *)
-               end)
-            : unit);
-        B.unregister h
-      end
-      else begin
-        let h = B.register () in
-        for _ = 1 to 120 do
-          let b = Alloc.block () in
-          Alloc.retire b;
-          B.defer h (fun () -> Alloc.reclaim b);
-          Sched.yield ()
-        done;
-        B.flush h;
-        B.unregister h
-      end);
-  (* Every mask body that started ran to completion (never torn). *)
-  Alcotest.(check bool) "mask bodies completed" true (!mask_completed >= 1);
-  let stats = B.stats () in
-  if stats.Stats.signals > 0 then
-    Alcotest.(check bool) "rollback deferred to mask exit" true
-      (!rollbacks_seen >= 1 || !mask_completed >= 1)
+  with_brcu (fun bd ->
+      let mask_completed = ref 0 and rollbacks_seen = ref 0 in
+      Sched.run
+        (Sched.Fibers { seed = 5; switch_every = 1 })
+        ~nthreads:2
+        (fun tid ->
+          if tid = 0 then begin
+            let h = B.register bd in
+            let attempts = ref 0 in
+            ignore
+              (B.crit h (fun () ->
+                   incr attempts;
+                   if !attempts > 1 then incr rollbacks_seen;
+                   if !attempts <= 2 then begin
+                     (* Spin inside a mask until the signal has arrived;
+                        the handler must NOT abort us mid-mask. *)
+                     B.mask h (fun () ->
+                         for _ = 1 to 300 do
+                           B.poll h;
+                           Sched.yield ()
+                         done;
+                         incr mask_completed)
+                     (* On exit the deferred rollback fires (if
+                        signaled). *)
+                   end)
+                : unit);
+            B.unregister h
+          end
+          else begin
+            let h = B.register bd in
+            for _ = 1 to 120 do
+              let b = Alloc.block () in
+              Alloc.retire b;
+              B.defer h b;
+              Sched.yield ()
+            done;
+            B.flush h;
+            B.unregister h
+          end);
+      (* Every mask body that started ran to completion (never torn). *)
+      Alcotest.(check bool) "mask bodies completed" true (!mask_completed >= 1);
+      let stats = B.stats bd in
+      if stats.Stats.signals > 0 then
+        Alcotest.(check bool) "rollback deferred to mask exit" true
+          (!rollbacks_seen >= 1 || !mask_completed >= 1))
 
 (* Defer runs tasks only after concurrent critical sections end
    (Theorem 5.1's guarantee, observed through the allocator).  Signals are
@@ -141,47 +164,51 @@ let test_mask_defers_rollback () =
    blocking property is only observable in the unsignaled regime. *)
 let test_defer_waits_for_cs () =
   reset ();
-  let module B =
-    Hpbrcu_schemes.Brcu_core.Make (struct
-      let config = { Cfg.config with Config.force_threshold = max_int }
-    end)
-    () in
-  let violation = ref false in
-  Sched.run (Sched.Fibers { seed = 7; switch_every = 1 }) ~nthreads:2 (fun tid ->
-      if tid = 0 then begin
-        let h = B.register () in
-        (try
-           B.crit h (fun () ->
-               (* If any task deferred *during* this CS runs before it
-                  ends, the reclaimed count would jump while we watch. *)
-               let seen = (Alloc.stats ()).Alloc.reclaimed in
-               for _ = 1 to 500 do
-                 B.poll h;
-                 Sched.yield ();
-                 if (Alloc.stats ()).Alloc.reclaimed > seen + Cfg.config.batch
-                 then violation := true
-               done)
-         with Hpbrcu_schemes.Brcu_core.Rollback -> ());
-        B.unregister h
-      end
-      else begin
-        let h = B.register () in
-        for _ = 1 to 60 do
-          let b = Alloc.block () in
-          Alloc.retire b;
-          B.defer h (fun () -> Alloc.reclaim b);
-          Sched.yield ()
-        done;
-        B.flush h;
-        B.unregister h
-      end);
-  (* Tasks deferred while the reader was pinned at the then-current epoch
-     may only run after it is signaled out; a small leak-through equal to
-     one epoch's backlog is legal, more is not.  (The reader's rollback
-     means the CS ended — then execution is legal, so we only check the
-     strictly-inside-CS window via the flag above.) *)
-  Alcotest.(check bool) "no defer executed inside a live CS beyond bound" false
-    !violation
+  with_brcu
+    ~cfg:{ Cfg.config with Config.force_threshold = max_int }
+    (fun bd ->
+      let violation = ref false in
+      Sched.run
+        (Sched.Fibers { seed = 7; switch_every = 1 })
+        ~nthreads:2
+        (fun tid ->
+          if tid = 0 then begin
+            let h = B.register bd in
+            (try
+               B.crit h (fun () ->
+                   (* If any task deferred *during* this CS runs before it
+                      ends, the reclaimed count would jump while we
+                      watch. *)
+                   let seen = (Alloc.stats ()).Alloc.reclaimed in
+                   for _ = 1 to 500 do
+                     B.poll h;
+                     Sched.yield ();
+                     if
+                       (Alloc.stats ()).Alloc.reclaimed
+                       > seen + Cfg.config.batch
+                     then violation := true
+                   done)
+             with B.Rollback -> ());
+            B.unregister h
+          end
+          else begin
+            let h = B.register bd in
+            for _ = 1 to 60 do
+              let b = Alloc.block () in
+              Alloc.retire b;
+              B.defer h b;
+              Sched.yield ()
+            done;
+            B.flush h;
+            B.unregister h
+          end);
+      (* Tasks deferred while the reader was pinned at the then-current
+         epoch may only run after it is signaled out; a small leak-through
+         equal to one epoch's backlog is legal, more is not.  (The reader's
+         rollback means the CS ended — then execution is legal, so we only
+         check the strictly-inside-CS window via the flag above.) *)
+      Alcotest.(check bool)
+        "no defer executed inside a live CS beyond bound" false !violation)
 
 (* The §5 bound: with G = max_local_tasks × force_threshold, N threads and
    H shields, peak unreclaimed ≤ 2GN + GN² + H (we run HP-BRCU under churn

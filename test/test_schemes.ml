@@ -140,6 +140,128 @@ let two_step_case (name, s) =
       T.shared := None;
       T.run ())
 
+module SI = Hpbrcu_core.Smr_intf
+module Dom = SI.Dom
+module Config = Hpbrcu_core.Config
+module Stats = Hpbrcu_runtime.Stats
+
+(* Two domains of the same scheme are fully independent: distinct
+   identities, private handle censuses, private watermarks, private
+   counters — and the destroy protocol enforces the handle census. *)
+let two_domains_case (name, impl) =
+  Alcotest.test_case ("independent/" ^ name) `Quick (fun () ->
+      reset ();
+      Alloc.set_strict false;
+      let module X = (val impl : SI.SCHEME) in
+      let d1 = X.create ~label:(name ^ "-a") Config.default in
+      let d2 = X.create ~label:(name ^ "-b") Config.default in
+      Alcotest.(check bool)
+        "distinct watermark slots" true
+        (Dom.id (X.dom d1) <> Dom.id (X.dom d2));
+      Alcotest.(check bool)
+        "stats carry distinct domain ids" true
+        ((X.stats d1).Stats.domain_id <> (X.stats d2).Stats.domain_id);
+      let h1 = X.register d1 in
+      Alcotest.(check int) "d1 handle census" 1 (Dom.live_handles (X.dom d1));
+      Alcotest.(check int) "d2 handle census untouched" 0
+        (Dom.live_handles (X.dom d2));
+      let n = 200 in
+      for _ = 1 to n do
+        X.retire h1 (Alloc.block ())
+      done;
+      X.flush h1;
+      X.flush h1;
+      (* Every retirement was debited to d1's watermark; d2 never moved. *)
+      Alcotest.(check bool)
+        "d1 watermark saw the traffic" true
+        (Dom.peak_unreclaimed (X.dom d1) > 0);
+      Alcotest.(check int) "d2 watermark flat" 0
+        (Dom.peak_unreclaimed (X.dom d2));
+      Alcotest.(check int) "d2 nothing unreclaimed" 0
+        (Dom.unreclaimed (X.dom d2));
+      (* Destroy under a live handle is a typed refusal, not a leak. *)
+      (match X.destroy d1 with
+      | () -> Alcotest.fail "destroy under a live handle must raise"
+      | exception Dom.Domain_active { live; _ } ->
+          Alcotest.(check int) "census in the error" 1 live);
+      X.unregister h1;
+      X.destroy d1;
+      (* Idempotent, and registration is refused after the fact. *)
+      X.destroy d1;
+      (match X.register d1 with
+      | _ -> Alcotest.fail "register on a destroyed domain must raise"
+      | exception Dom.Destroyed _ -> ());
+      X.destroy d2)
+
+(* The leak census at destroy: NR never reclaims, so everything it
+   retired is, by definition, leaked at teardown — the census must say
+   exactly that.  (For every real scheme the same census is the crashed-
+   reader stranding measure the shards experiment reads.) *)
+let test_leak_census () =
+  reset ();
+  Alloc.set_strict false;
+  let module X = (val (Option.get (Schemes.find_impl "NR")) : SI.SCHEME) in
+  let d = X.create ~label:"census" Config.default in
+  let h = X.register d in
+  let n = 123 in
+  for _ = 1 to n do
+    X.retire h (Alloc.block ())
+  done;
+  X.unregister h;
+  X.destroy d;
+  Alcotest.(check int) "leak census counts the stranded blocks" n
+    (Dom.leak_census (X.dom d))
+
+(* Epoch independence: churning one RCU domain advances its epoch only. *)
+let test_epochs_independent () =
+  reset ();
+  Alloc.set_strict false;
+  let module X = (val (Option.get (Schemes.find_impl "RCU")) : SI.SCHEME) in
+  let d1 = X.create ~label:"busy" Config.default in
+  let d2 = X.create ~label:"idle" Config.default in
+  let h = X.register d1 in
+  let h2 = X.register d2 in
+  let e1_before = (X.stats d1).Stats.epoch
+  and e2_before = (X.stats d2).Stats.epoch in
+  for _ = 1 to 1000 do
+    X.retire h (Alloc.block ())
+  done;
+  X.flush h;
+  X.flush h;
+  let e1 = (X.stats d1).Stats.epoch and e2 = (X.stats d2).Stats.epoch in
+  Alcotest.(check bool) "busy domain advanced" true (e1 > e1_before);
+  Alcotest.(check int) "idle domain did not" e2_before e2;
+  X.unregister h;
+  X.unregister h2;
+  X.destroy d1;
+  X.destroy d2
+
+(* The P0484-style scoped guards: session/flush guards release on every
+   exit path, and the op/crit aliases pass values through. *)
+let test_scoped_guards () =
+  reset ();
+  Alloc.set_strict false;
+  let module X = (val (Option.get (Schemes.find_impl "RCU")) : SI.SCHEME) in
+  let module G = SI.Scoped (X) in
+  let d = X.create ~label:"guards" Config.default in
+  let r =
+    G.with_session d (fun h ->
+        G.with_flush h (fun h ->
+            for _ = 1 to 64 do
+              X.retire h (Alloc.block ())
+            done;
+            G.with_op h (fun () -> G.with_crit h (fun () -> 42))))
+  in
+  Alcotest.(check int) "value through the guard stack" 42 r;
+  Alcotest.(check int) "session closed" 0 (Dom.live_handles (X.dom d));
+  (* Exceptional exit still unregisters. *)
+  (try
+     G.with_session d (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "session closed on raise" 0
+    (Dom.live_handles (X.dom d));
+  X.destroy d
+
 (* VBR reclaims immediately: the unreclaimed count never exceeds ~0. *)
 let test_vbr_immediate () =
   reset ();
@@ -192,6 +314,14 @@ let () =
         [ Alcotest.test_case "protection-defers" `Quick test_hp_protection_defers ] );
       ("ebr", [ Alcotest.test_case "pin-blocks" `Quick test_ebr_pin_blocks ]);
       ("two-step", List.map two_step_case two_step_schemes);
+      ( "domains",
+        List.map two_domains_case Schemes.impls
+        @ [
+            Alcotest.test_case "leak-census" `Quick test_leak_census;
+            Alcotest.test_case "epochs-independent" `Quick
+              test_epochs_independent;
+            Alcotest.test_case "scoped-guards" `Quick test_scoped_guards;
+          ] );
       ( "vbr",
         [
           Alcotest.test_case "immediate-reclaim" `Quick test_vbr_immediate;
