@@ -47,6 +47,15 @@ dune exec bin/smrbench.exe -- analyze --require-ttr --outdir /tmp/smrbench.ci.re
 # threshold, with exactly one crash and zero UAFs in both builds.
 dune exec bin/smrbench.exe -- shards --quick --gate
 
+# Self-healing gate (DESIGN.md §13): the KV service under a reader
+# crashed mid-section.  With the watchdog on, the escalation ladder
+# (nudge -> re-signal -> quarantine -> domain recycle) must keep the
+# peak retired-but-unreclaimed watermark within the budget with at least
+# one recycle in the trace; with it off, the same seed's peak must
+# exceed the supervised peak by >= 5x; both runs must be UAF-free and
+# the supervised run must replay byte-identically.
+dune exec bin/smrbench.exe -- serve --scheme RCU --faults crash-reader --compare --quick
+
 # Hunt smoke gate (DESIGN.md §11): the mutation test for the checker
 # itself.  Both planted mutants (HP-BRCU!nomask, HP-BRCU!nodb) must be
 # convicted within the budget — each by whichever of the rand/pct

@@ -24,6 +24,7 @@
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
+module Watchdog = Hpbrcu_runtime.Watchdog
 module Trace = Hpbrcu_runtime.Trace
 module Fault = Hpbrcu_runtime.Fault
 module Signal = Hpbrcu_runtime.Signal
@@ -77,8 +78,11 @@ module Smr_intf = Hpbrcu_core.Smr_intf
    is the map's head-block count for the leak equation. *)
 let with_map (module X : Smr_intf.SCHEME) ~config ~sharded
     (k :
-      (module Ds.Ds_intf.MAP) -> sentinels:int -> teardown:(unit -> unit) -> 'a)
-    : 'a =
+      (module Ds.Ds_intf.MAP) ->
+      sentinels:int ->
+      teardown:(unit -> unit) ->
+      subjects:Watchdog.subject list ->
+      'a) : 'a =
   if sharded then begin
     let module M =
       Ds.Sharded_hashmap.As_map
@@ -93,7 +97,7 @@ let with_map (module X : Smr_intf.SCHEME) ~config ~sharded
     Fun.protect ~finally:M.destroy_created (fun () ->
         k
           (module M : Ds.Ds_intf.MAP)
-          ~sentinels:M.sentinels ~teardown:M.destroy_created)
+          ~sentinels:M.sentinels ~teardown:M.destroy_created ~subjects:[])
   end
   else begin
     let caps = X.caps config in
@@ -105,14 +109,28 @@ let with_map (module X : Smr_intf.SCHEME) ~config ~sharded
           let it = d
         end)
     in
-    let teardown () = X.destroy ~force:true d in
+    (* Destroy raises the typed [Destroyed] on a second call now, and this
+       teardown legitimately runs twice (once at census, once from the
+       protecting [finally]) — gate on the lifecycle flag. *)
+    let teardown () =
+      if not (Smr_intf.Dom.destroyed (X.dom d)) then X.destroy ~force:true d
+    in
+    (* A supervision subject over the case's domain, for the "+watchdog"
+       variant: nudge/re-send only — recycling would invalidate the leak
+       census's books mid-case. *)
+    let module Sup = Smr_intf.Supervise (X) in
+    let subjects =
+      [ Sup.subject ~id:0 ~label:"hunt" ~current:(fun () -> d) () ]
+    in
     Fun.protect ~finally:teardown (fun () ->
         if X.scheme = "HP" || caps.Caps.supports Caps.HHSList = Caps.No then
-          k (module Ds.Hm_list.Make (S) : Ds.Ds_intf.MAP) ~sentinels:1 ~teardown
+          k
+            (module Ds.Hm_list.Make (S) : Ds.Ds_intf.MAP)
+            ~sentinels:1 ~teardown ~subjects
         else
           k
             (module Ds.Harris_list.Make_hhs (S) : Ds.Ds_intf.MAP)
-            ~sentinels:1 ~teardown)
+            ~sentinels:1 ~teardown ~subjects)
   end
 
 let plan_has_signal_faults (pl : Fault.plan) =
@@ -149,7 +167,7 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
   in
   match
     with_map (module X) ~config ~sharded (fun (module L : Ds.Ds_intf.MAP)
-                                              ~sentinels ~teardown ->
+                                              ~sentinels ~teardown ~subjects ->
         let t = L.create () in
         (* Prefill runs outside fiber mode: fault counters and schedule
            decisions must index the workload proper. *)
@@ -165,6 +183,28 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
         let deadline_hit = ref false in
         let exhausted = ref false in
         let end_tick = ref 0 in
+        let workers_done = ref 0 in
+        (* The "+watchdog" variant: one extra fiber walking the escalation
+           ladder over the case's domain, with threshold/poll/deadlines
+           fuzzed from the case seed.  Supervision must be invisible to
+           every oracle — it may only accelerate reclamation. *)
+        let watchdogged = Matrix.is_watchdog case.scheme && subjects <> [] in
+        let wd =
+          if not watchdogged then None
+          else begin
+            let wrng = Rng.create ~seed:(case.seed lxor 0x77a7c4) in
+            let cfg =
+              {
+                (Watchdog.default_config ~threshold:(1 + Rng.int wrng 64)) with
+                Watchdog.poll_every = 4 + Rng.int wrng 28;
+                nudge_deadline = 1 + Rng.int wrng 3;
+                resend_deadline = 1 + Rng.int wrng 3;
+                quarantine_deadline = 1 + Rng.int wrng 3;
+              }
+            in
+            Some (Watchdog.create ~seed:(case.seed lxor 0x5d0c) cfg subjects)
+          end
+        in
         Fault.install case.plan;
         Sched.set_tick_deadline p.Chaos.tick_budget;
         let worker tid =
@@ -187,13 +227,22 @@ let run ?(traced = false) (case : case) : outcome * Trace.record list =
            with
           | Sched.Deadline -> deadline_hit := true
           | Registry.Exhausted _ -> exhausted := true);
-          if Sched.tick () > !end_tick then end_tick := Sched.tick ()
+          if Sched.tick () > !end_tick then end_tick := Sched.tick ();
+          incr workers_done
         in
+        let fiber tid =
+          match wd with
+          | Some w when tid = nthreads ->
+              Watchdog.run w ~until:(fun () ->
+                  !workers_done + Sched.crashed_count () >= nthreads)
+          | _ -> worker tid
+        in
+        let total_fibers = nthreads + if wd = None then 0 else 1 in
         let (), recording =
           Schedule.with_spec ~seed:case.seed spec (fun () ->
               Sched.run
                 (Sched.Fibers { seed = case.seed; switch_every = 1 })
-                ~nthreads worker)
+                ~nthreads:total_fibers fiber)
         in
         Sched.clear_tick_deadline ();
         let crashes = Sched.crashed_count () in

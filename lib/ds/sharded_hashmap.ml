@@ -141,11 +141,17 @@ module Make_gen (B : Hashmap.BUCKETS) (X : Smr_intf.SCHEME) = struct
   let remove t ss key = ss.(shard_index t key).s_remove key
   let cleanup _t ss = Array.iter (fun s -> s.s_cleanup ()) ss
 
-  (** Destroy every shard's domain (idempotent per domain, so the shared
-      build's repeated hits on its one domain are fine).  Raises
-      {!Dom.Domain_active} on live handles unless [force] — crash
-      harnesses tear down under dead readers' registrations. *)
-  let destroy ?force t = Array.iter (fun s -> X.destroy ?force s.sdom) t.shards
+  (** Destroy every shard's domain.  Double-destroy now raises the typed
+      {!Dom.Destroyed}, so already-dead domains are skipped here — the
+      shared build hits its one domain once per shard, and harnesses may
+      call destroy again at teardown.  Raises {!Dom.Domain_active} on
+      live handles unless [force] — crash harnesses tear down under dead
+      readers' registrations. *)
+  let destroy ?force t =
+    Array.iter
+      (fun s ->
+        if not (Dom.destroyed (X.dom s.sdom)) then X.destroy ?force s.sdom)
+      t.shards
 end
 
 (** Sharded map over HHSList-bucketed shards (all schemes but HP). *)

@@ -179,10 +179,12 @@ module Histogram = struct
     p50 : int;
     p90 : int;
     p99 : int;
+    p999 : int;
     max : int;  (** exact, tracked out of band *)
   }
 
-  let empty_summary = { count = 0; sum = 0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+  let empty_summary =
+    { count = 0; sum = 0; p50 = 0; p90 = 0; p99 = 0; p999 = 0; max = 0 }
 
   (* Percentile over a frozen bucket array: the smallest bucket whose
      cumulative count reaches rank ceil(q·total); reported as the bucket's
@@ -217,6 +219,7 @@ module Histogram = struct
       p50 = percentile_of counts count 0.50;
       p90 = percentile_of counts count 0.90;
       p99 = percentile_of counts count 0.99;
+      p999 = percentile_of counts count 0.999;
       max = Atomic.get t.max;
     }
 
@@ -224,7 +227,8 @@ module Histogram = struct
     if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
 
   let pp_summary ppf (s : summary) =
-    Fmt.pf ppf "n=%d p50=%d p90=%d p99=%d max=%d" s.count s.p50 s.p90 s.p99 s.max
+    Fmt.pf ppf "n=%d p50=%d p90=%d p99=%d p999=%d max=%d" s.count s.p50 s.p90
+      s.p99 s.p999 s.max
 end
 
 (* ------------------------------------------------------------------ *)
@@ -282,6 +286,16 @@ type snapshot = {
           or forced advance; bounded for BRCU, unbounded for plain EBR *)
   max_signals_inflight : int;
       (** peak concurrent {!Signal.send}s posted but not yet resolved *)
+  watchdog_nudges : int;  (** supervisor forced-advance/scan nudges *)
+  watchdog_resends : int;  (** supervisor signal re-send attempts *)
+  watchdog_quarantines : int;  (** participants quarantined by the ladder *)
+  watchdog_recycles : int;  (** domains drained, destroyed and recreated *)
+  backpressure_waits : int;
+      (** allocation admissions that had to block-then-retry because the
+          unreclaimed watermark crossed the admission threshold *)
+  backpressure_rejects : int;
+      (** admissions that exhausted their bounded retry rounds and were
+          returned to the caller as a typed [Backpressure] outcome *)
 }
 
 let empty =
@@ -309,6 +323,12 @@ let empty =
     validate_failures = 0;
     max_epoch_lag = 0;
     max_signals_inflight = 0;
+    watchdog_nudges = 0;
+    watchdog_resends = 0;
+    watchdog_quarantines = 0;
+    watchdog_recycles = 0;
+    backpressure_waits = 0;
+    backpressure_rejects = 0;
   }
 
 (** Pointwise merge; composite schemes combine their halves with this
@@ -343,6 +363,12 @@ let add a b =
     validate_failures = a.validate_failures + b.validate_failures;
     max_epoch_lag = max a.max_epoch_lag b.max_epoch_lag;
     max_signals_inflight = max a.max_signals_inflight b.max_signals_inflight;
+    watchdog_nudges = a.watchdog_nudges + b.watchdog_nudges;
+    watchdog_resends = a.watchdog_resends + b.watchdog_resends;
+    watchdog_quarantines = a.watchdog_quarantines + b.watchdog_quarantines;
+    watchdog_recycles = a.watchdog_recycles + b.watchdog_recycles;
+    backpressure_waits = a.backpressure_waits + b.backpressure_waits;
+    backpressure_rejects = a.backpressure_rejects + b.backpressure_rejects;
   }
 
 (** The serializer boundary: the one place a snapshot becomes string-keyed
@@ -374,6 +400,12 @@ let to_fields ?(keep_zeros = false) s =
       ("validate_failures", s.validate_failures);
       ("max_epoch_lag", s.max_epoch_lag);
       ("max_signals_inflight", s.max_signals_inflight);
+      ("watchdog_nudges", s.watchdog_nudges);
+      ("watchdog_resends", s.watchdog_resends);
+      ("watchdog_quarantines", s.watchdog_quarantines);
+      ("watchdog_recycles", s.watchdog_recycles);
+      ("backpressure_waits", s.backpressure_waits);
+      ("backpressure_rejects", s.backpressure_rejects);
     ]
   in
   if keep_zeros then all else List.filter (fun (_, v) -> v <> 0) all

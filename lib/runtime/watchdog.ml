@@ -1,0 +1,313 @@
+(** Per-domain reclamation supervisor (DESIGN.md §13).
+
+    Fault injection (§8) showed what a stalled or crashed reader does to a
+    reclamation domain; first-class domains (§12) showed how to contain
+    the blast radius.  This module closes the loop: it {e detects} a
+    laggard at runtime and {e acts}, walking a deterministic escalation
+    ladder until the domain's unreclaimed watermark is back under control:
+
+    {v nudge -> signal re-send (seeded backoff) -> quarantine -> recycle v}
+
+    - {b Nudge}: ask the scheme for a forced epoch-advance / hazard scan.
+      For schemes with a neutralization path (HP-BRCU, NBR) this is
+      usually the whole story — the flush signals the laggard, the
+      laggard's sections are bounded, the watermark collapses.
+    - {b Re-send}: repeat the flush on a seeded exponential backoff with
+      jitter, counting attempts.  Covers dropped/late signal deliveries.
+    - {b Quarantine}: evict the laggard from the domain's registries
+      (PR 2's parking lot), trading a bounded leak for liveness.
+    - {b Recycle}: the containment of last resort for schemes with no
+      neutralization story (plain RCU/EBR): drain, destroy and recreate
+      the domain.  Only meaningful where the embedding can rebind users
+      to the fresh domain, so it is an optional callback.
+
+    The engine is deliberately {e generic}: a {!subject} is a bundle of
+    closures (probe + the four rungs), so this module depends only on its
+    runtime siblings ({!Sched}, {!Rng}, {!Trace}) and never on the
+    allocator or the scheme signatures — the wiring lives with the caller
+    ({!Hpbrcu_core.Smr_intf.Supervise}, {!Hpbrcu_workload.Kvservice}).
+
+    {b Determinism.}  The supervisor runs as an ordinary fiber under the
+    seeded scheduler; probes are paced in scheduler yields, backoff delays
+    are measured in probe rounds, and jitter comes from a {!Rng} seeded by
+    the caller.  Two runs with the same seed therefore walk byte-identical
+    ladders (asserted by the kvservice replay probe). *)
+
+(* ------------------------------------------------------------------ *)
+(* Subjects                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One health sample of a supervised domain. *)
+type probe = {
+  unreclaimed : int;  (** blocks retired to the domain, not yet reclaimed *)
+  lag : int;  (** worst epoch lag / hazard age observed so far *)
+  no_acks : int;  (** cumulative signal sends that expired unacknowledged *)
+}
+
+(** A supervised domain, as closures so the engine stays scheme-agnostic.
+    All callbacks run on the supervisor fiber. *)
+type subject = {
+  label : string;
+  id : int;  (** owner/domain id, stamped into trace events *)
+  probe : unit -> probe;
+  nudge : unit -> unit;  (** rung 1: forced advance / scan *)
+  resend : unit -> bool;  (** rung 2: re-send signals; [true] = progress *)
+  quarantine : unit -> int;  (** rung 3: evict laggards; returns count *)
+  recycle : (unit -> bool) option;
+      (** rung 4: drain + destroy + recreate; [false] = deferred (e.g. a
+          live non-crashed session is still open), retried next round.
+          [None] = the embedding cannot rebind users, never recycle. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  poll_every : int;  (** scheduler yields between probe rounds *)
+  unreclaimed_threshold : int;
+      (** probe is "laggard" when [unreclaimed] exceeds this (typically a
+          fraction of the watermark budget / [Caps.bound]) *)
+  lag_threshold : int;  (** ... or when [lag] exceeds this (0 = ignore) *)
+  no_ack_streak : int;
+      (** ... or when [no_acks] grew over this many consecutive rounds *)
+  nudge_deadline : int;
+      (** consecutive laggard rounds tolerated at the nudge rung before
+          escalating to re-sends *)
+  resend_deadline : int;  (** ditto, re-send rung -> quarantine *)
+  quarantine_deadline : int;  (** ditto, quarantine rung -> recycle *)
+  backoff_base : int;  (** first re-send backoff, in probe rounds *)
+  backoff_cap : int;  (** backoff ceiling, in probe rounds *)
+  jitter : int;  (** max extra rounds drawn from the seeded rng *)
+}
+
+let default_config ~threshold =
+  {
+    poll_every = 16;
+    unreclaimed_threshold = threshold;
+    lag_threshold = 0;
+    no_ack_streak = 2;
+    nudge_deadline = 2;
+    resend_deadline = 3;
+    quarantine_deadline = 2;
+    backoff_base = 1;
+    backoff_cap = 8;
+    jitter = 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type level = Observe | Nudge | Resend | Quarantine | Recycle
+
+let level_name = function
+  | Observe -> "observe"
+  | Nudge -> "nudge"
+  | Resend -> "resend"
+  | Quarantine -> "quarantine"
+  | Recycle -> "recycle"
+
+type state = {
+  sub : subject;
+  mutable level : level;
+  mutable streak : int;  (** consecutive laggard rounds *)
+  mutable attempts : int;  (** re-sends performed this episode *)
+  mutable next_resend : int;  (** round index gating the next re-send *)
+  mutable last_no_acks : int;  (** no_acks at the previous round *)
+  mutable ack_streak : int;  (** consecutive rounds with fresh no_acks *)
+  mutable worst_level : level;  (** highest rung reached over the run *)
+}
+
+type counts = {
+  nudges : int;
+  resends : int;
+  quarantined : int;
+  recycles : int;
+  laggard_rounds : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  states : state array;
+  mutable rounds : int;
+  mutable nudges : int;
+  mutable resends : int;
+  mutable quarantined : int;
+  mutable recycles : int;
+  mutable laggard_rounds : int;
+}
+
+let create ~seed cfg subjects =
+  let mk sub =
+    {
+      sub;
+      level = Observe;
+      streak = 0;
+      attempts = 0;
+      next_resend = 0;
+      last_no_acks = 0;
+      ack_streak = 0;
+      worst_level = Observe;
+    }
+  in
+  {
+    cfg;
+    rng = Rng.create ~seed;
+    states = Array.of_list (List.map mk subjects);
+    rounds = 0;
+    nudges = 0;
+    resends = 0;
+    quarantined = 0;
+    recycles = 0;
+    laggard_rounds = 0;
+  }
+
+let counts t =
+  {
+    nudges = t.nudges;
+    resends = t.resends;
+    quarantined = t.quarantined;
+    recycles = t.recycles;
+    laggard_rounds = t.laggard_rounds;
+  }
+
+(** Highest rung any subject reached (the kvservice verdict reports it:
+    the paper's headline is HP-BRCU never passing [Nudge]). *)
+let worst_level t =
+  let rank = function
+    | Observe -> 0
+    | Nudge -> 1
+    | Resend -> 2
+    | Quarantine -> 3
+    | Recycle -> 4
+  in
+  Array.fold_left
+    (fun acc s -> if rank s.worst_level > rank acc then s.worst_level else acc)
+    Observe t.states
+
+let counts_to_snapshot (c : counts) =
+  {
+    Stats.empty with
+    Stats.watchdog_nudges = c.nudges;
+    watchdog_resends = c.resends;
+    watchdog_quarantines = c.quarantined;
+    watchdog_recycles = c.recycles;
+  }
+
+let bump_worst st lvl =
+  let rank = function
+    | Observe -> 0
+    | Nudge -> 1
+    | Resend -> 2
+    | Quarantine -> 3
+    | Recycle -> 4
+  in
+  if rank lvl > rank st.worst_level then st.worst_level <- lvl
+
+(* One ladder step for one subject.  Escalation is driven purely by the
+   laggard streak against the per-rung deadlines, so the walk is a pure
+   function of the probe sequence and the rng — no wall clock anywhere. *)
+let step_subject t st =
+  let cfg = t.cfg in
+  let p = st.sub.probe () in
+  (* No-ack streak detection: did new unacknowledged sends appear? *)
+  if p.no_acks > st.last_no_acks then st.ack_streak <- st.ack_streak + 1
+  else st.ack_streak <- 0;
+  st.last_no_acks <- p.no_acks;
+  let laggard =
+    p.unreclaimed > cfg.unreclaimed_threshold
+    || (cfg.lag_threshold > 0 && p.lag > cfg.lag_threshold)
+    || (cfg.no_ack_streak > 0 && st.ack_streak >= cfg.no_ack_streak)
+  in
+  if not laggard then begin
+    (* Recovered: de-escalate fully and forget the episode. *)
+    st.level <- Observe;
+    st.streak <- 0;
+    st.attempts <- 0
+  end
+  else begin
+    t.laggard_rounds <- t.laggard_rounds + 1;
+    st.streak <- st.streak + 1;
+    (* Which rung does this streak entitle us to? *)
+    let l1 = cfg.nudge_deadline in
+    let l2 = l1 + cfg.resend_deadline in
+    let l3 = l2 + cfg.quarantine_deadline in
+    let entitled =
+      if st.streak <= l1 then Nudge
+      else if st.streak <= l2 then Resend
+      else if st.streak <= l3 then Quarantine
+      else Recycle
+    in
+    (* Never skip the recycle rung when the embedding cannot recycle. *)
+    let entitled =
+      match (entitled, st.sub.recycle) with
+      | Recycle, None -> Quarantine
+      | e, _ -> e
+    in
+    if st.level <> entitled then st.level <- entitled;
+    bump_worst st entitled;
+    match entitled with
+    | Observe -> ()
+    | Nudge ->
+        st.sub.nudge ();
+        t.nudges <- t.nudges + 1;
+        Trace.emit2 Trace.Watchdog_nudge st.sub.id p.unreclaimed
+    | Resend ->
+        if t.rounds >= st.next_resend then begin
+          st.attempts <- st.attempts + 1;
+          t.resends <- t.resends + 1;
+          Trace.emit2 Trace.Watchdog_resend st.sub.id st.attempts;
+          let progressed = st.sub.resend () in
+          let back =
+            let b = cfg.backoff_base lsl (st.attempts - 1) in
+            if b > cfg.backoff_cap || b <= 0 then cfg.backoff_cap else b
+          in
+          let jit = if cfg.jitter > 0 then Rng.int t.rng (cfg.jitter + 1) else 0 in
+          st.next_resend <- t.rounds + back + jit;
+          if progressed then st.attempts <- 0
+        end
+    | Quarantine ->
+        let n = st.sub.quarantine () in
+        t.quarantined <- t.quarantined + n;
+        Trace.emit2 Trace.Watchdog_quarantine st.sub.id n
+    | Recycle -> (
+        match st.sub.recycle with
+        | None -> ()
+        | Some f ->
+            let ok = f () in
+            Trace.emit2 Trace.Watchdog_recycle st.sub.id (if ok then 1 else 0);
+            if ok then begin
+              t.recycles <- t.recycles + 1;
+              (* Fresh domain: restart the ladder from the bottom. *)
+              st.level <- Observe;
+              st.streak <- 0;
+              st.attempts <- 0;
+              st.ack_streak <- 0
+            end)
+  end
+
+(** One probe round over every subject.  Deterministic given the probe
+    results and the rng state; callable directly from tests. *)
+let step t =
+  t.rounds <- t.rounds + 1;
+  Array.iter (fun st -> step_subject t st) t.states
+
+(** Supervisor fiber body: probe every [poll_every] yields until [until]
+    says the workers are done (or the tick deadline fires).  Run it as an
+    extra fiber under {!Sched.run}; it performs no blocking waits of its
+    own, so it can never deadlock the scheduler. *)
+let run t ~until =
+  let live = ref true in
+  while !live && not (until ()) do
+    (try
+       for _ = 1 to max 1 t.cfg.poll_every do
+         Sched.yield_now ()
+       done
+     with Sched.Deadline -> live := false);
+    if !live && not (until ()) then
+      (* A nudge/resend flushes through the scheme and can itself trip the
+         tick deadline mid-walk; the supervisor just stops supervising. *)
+      try step t with Sched.Deadline -> live := false
+  done

@@ -38,7 +38,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom (d : domain) = d.E.meta
 
   let destroy ?force (d : domain) =
-    if Dom.begin_destroy ?force d.E.meta then begin
+    Dom.begin_destroy ?force d.E.meta;
+    begin
       E.drain d;
       Dom.finish_destroy d.E.meta
     end
@@ -54,6 +55,7 @@ module Impl : Smr_intf.SCHEME = struct
     Dom.on_unregister h.E.d.E.meta
 
   let flush = E.flush
+  let expedite = flush
 
   type shield = unit
 

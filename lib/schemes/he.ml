@@ -134,7 +134,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       Slots.reset d.slots;
       (match Segstack.take_all d.orphans with
       | None -> ()
@@ -245,6 +246,8 @@ module Impl : Smr_intf.SCHEME = struct
   let flush h =
     Atomic.incr h.d.era;
     scan h
+
+  let expedite = flush
 
   let unregister h =
     flush h;

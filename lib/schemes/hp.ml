@@ -44,7 +44,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom (d : domain) = d.Core.meta
 
   let destroy ?force (d : domain) =
-    if Dom.begin_destroy ?force d.Core.meta then begin
+    Dom.begin_destroy ?force d.Core.meta;
+    begin
       Core.drain d;
       Dom.finish_destroy d.Core.meta
     end
@@ -60,6 +61,7 @@ module Impl : Smr_intf.SCHEME = struct
     Dom.on_unregister h.Core.d.Core.meta
 
   let flush = Core.flush
+  let expedite = flush
 
   type shield = Core.shield
 

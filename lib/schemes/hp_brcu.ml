@@ -88,7 +88,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       B.drain d.bd;
       H.drain d.hd;
       Dom.finish_destroy d.meta
@@ -107,6 +108,12 @@ module Impl : Smr_intf.SCHEME = struct
 
   let flush h =
     B.flush h.bh;
+    H.flush h.hh
+
+  (* The nudge rung: force stranded TASKS through even though the
+     supervisor's transient handle has an empty batch of its own. *)
+  let expedite h =
+    B.expedite h.bh;
     H.flush h.hh
 
   (* The HP slot plus the BRCU domain: the checkpoint delivery point must

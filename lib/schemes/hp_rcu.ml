@@ -64,7 +64,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       E.drain d.ed;
       H.drain d.hd;
       Dom.finish_destroy d.meta
@@ -84,6 +85,8 @@ module Impl : Smr_intf.SCHEME = struct
   let flush h =
     E.flush h.eh;
     H.flush h.hh
+
+  let expedite = flush
 
   type shield = H.shield
 

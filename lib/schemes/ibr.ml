@@ -131,7 +131,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       (match Segstack.take_all d.orphans with
       | None -> ()
       | Some _ as chain -> Segstack.iter chain Retired.reclaim_entry);
@@ -267,6 +268,8 @@ module Impl : Smr_intf.SCHEME = struct
   let flush h =
     Atomic.incr h.d.era;
     scan h
+
+  let expedite = flush
 
   let unregister h =
     assert (h.nest = 0);

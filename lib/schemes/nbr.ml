@@ -93,7 +93,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       Core.drain d.hp;
       Registry.Participants.reset d.participants;
       Dom.finish_destroy d.meta
@@ -231,6 +232,7 @@ module Impl : Smr_intf.SCHEME = struct
   let current_era _ = 0
 
   let flush h = neutralize_and_reclaim h
+  let expedite = flush
 
   let unregister h =
     flush h;

@@ -33,7 +33,8 @@ module Impl : Smr_intf.SCHEME = struct
   let create ?label config = Dom.make ~scheme ?label config
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d then Dom.finish_destroy d
+    Dom.begin_destroy ?force d;
+    Dom.finish_destroy d
 
   let dom d = d
 
@@ -45,6 +46,7 @@ module Impl : Smr_intf.SCHEME = struct
 
   let unregister h = Dom.on_unregister h
   let flush _ = ()
+  let expedite = flush
 
   type shield = unit
 

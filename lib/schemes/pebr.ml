@@ -97,7 +97,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       (* No readers remain: run everything. *)
       (match Segstack.take_all d.orphans with
       | None -> ()
@@ -294,6 +295,7 @@ module Impl : Smr_intf.SCHEME = struct
   let current_era _ = 0
 
   let flush h = try_advance h
+  let expedite = flush
 
   let unregister h =
     assert (h.nest = 0);

@@ -67,7 +67,8 @@ module Impl : Smr_intf.SCHEME = struct
   let dom d = d.meta
 
   let destroy ?force d =
-    if Dom.begin_destroy ?force d.meta then begin
+    Dom.begin_destroy ?force d.meta;
+    begin
       (* Nothing deferred to drain: VBR reclaims at retire. *)
       Atomic.set d.era 1;
       Stats.Counter.reset d.restarts;
@@ -86,6 +87,7 @@ module Impl : Smr_intf.SCHEME = struct
 
   let unregister h = Dom.on_unregister h.d.meta
   let flush _ = ()
+  let expedite = flush
 
   type shield = unit
 

@@ -1,0 +1,771 @@
+(** The self-healing KV service ([smrbench serve]): a service-shaped
+    workload with SLO verdicts, and the payoff cell of the reclamation
+    supervisor (DESIGN.md §13).
+
+    A (sharded) hash map plays a KV store: each shard owns a private
+    reclamation domain; clients issue a read/write/range-scan mix over a
+    Zipfian key distribution with optional key churn; fault plans inject
+    the adversaries of the chaos harness (a reader crashed mid-section,
+    stall storms, dropped signals).  On top sit the two robustness layers
+    this experiment exists to exercise:
+
+    - a {!Hpbrcu_runtime.Watchdog} fiber supervising every shard through
+      {!Hpbrcu_core.Smr_intf.Supervise}, with the recycle rung implemented
+      here as a {e generation} swap: when the ladder reaches the top, the
+      shard's domain is force-destroyed and a fresh domain + empty map
+      takes its place (self-healing-cache semantics — the shard's contents
+      are repopulated by subsequent writes, like any cache node restart);
+    - allocation backpressure ({!Hpbrcu_alloc.Alloc.Admission}): each
+      domain gets an admission limit, so writers over a ballooning domain
+      block-then-retry boundedly and shed writes instead of outrunning the
+      supervisor.
+
+    The verdict is a service-level objective: p99/p999 request latency (in
+    virtual ticks) and the peak retired-but-unreclaimed watermark against
+    a budget, plus zero use-after-frees and the expected crash count.  The
+    headline discriminator mirrors the paper's robustness story: under a
+    crashed-reader plan, RCU/EBR with the watchdog {b on} stays within the
+    watermark budget (the trace shows [watchdog-recycle]) while {b off} it
+    exceeds the on-peak several times over; HP-BRCU passes the same SLO
+    with the ladder never escalating past the nudge rung, because its
+    bounded sections + neutralization make the nudge itself sufficient.
+
+    Everything is a pure function of the seed: requests, faults, ladder
+    walks and backoff jitter all draw from seeded generators under the
+    deterministic scheduler, so a traced run replays byte-identically
+    ({!check}'s replay probe asserts it). *)
+
+module Alloc = Hpbrcu_alloc.Alloc
+module Sched = Hpbrcu_runtime.Sched
+module Rng = Hpbrcu_runtime.Rng
+module Fault = Hpbrcu_runtime.Fault
+module Trace = Hpbrcu_runtime.Trace
+module Stats = Hpbrcu_runtime.Stats
+module Watchdog = Hpbrcu_runtime.Watchdog
+module Config = Hpbrcu_core.Config
+module Caps = Hpbrcu_core.Caps
+module SI = Hpbrcu_core.Smr_intf
+module Dom = SI.Dom
+module Schemes = Hpbrcu_schemes.Schemes
+module Ds = Hpbrcu_ds
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type params = {
+  shards : int;  (** power of two *)
+  buckets_per_shard : int;
+  keys : int;
+  theta : float;  (** Zipf skew (0 = uniform; 0.99 = YCSB-style) *)
+  clients : int;  (** tid 0 is the victim under crash plans *)
+  requests : int;  (** per client *)
+  read_pct : int;
+  write_pct : int;  (** scan share is the remainder *)
+  scan_len : int;  (** keys touched by one range scan *)
+  churn_period : int;  (** requests between key-space rotations; 0 = off *)
+  budget : int;  (** peak-unreclaimed watermark SLO (whole service) *)
+  slo_p99 : int;  (** request-latency SLO, virtual ticks *)
+  slo_p999 : int;
+  watchdog : bool;
+  backpressure : bool;
+  crash_at : int;  (** victim's crashing yield index (crash plans) *)
+  tick_budget : int;
+  seed : int;
+  switch_every : int;
+}
+
+let default_params =
+  {
+    shards = 4;
+    buckets_per_shard = 16;
+    keys = 512;
+    theta = 0.99;
+    clients = 4;
+    requests = 4000;
+    read_pct = 70;
+    write_pct = 25;
+    scan_len = 8;
+    churn_period = 500;
+    budget = 150;
+    slo_p99 = 600;
+    slo_p999 = 3000;
+    watchdog = true;
+    backpressure = true;
+    crash_at = 800;
+    tick_budget = 8_000_000;
+    seed = 1;
+    switch_every = 4;
+  }
+
+let quick p = { p with requests = 1500 }
+
+(* Small batches so watermarks track stranding, not the batch floor (same
+   tuning as the shards experiment). *)
+let config =
+  {
+    Config.default with
+    batch = 32;
+    max_local_tasks = 16;
+    backup_period = 32;
+    max_steps = 32;
+  }
+
+(* Supervisor tuning derived from the watermark budget: a shard domain is
+   "laggard" above its share of the budget, and the ladder is tight
+   enough to recycle well before the whole-service budget is spent. *)
+let watchdog_config (p : params) =
+  {
+    (Watchdog.default_config ~threshold:(max 12 (p.budget / 8))) with
+    Watchdog.poll_every = 12;
+    nudge_deadline = 1;
+    resend_deadline = 2;
+    quarantine_deadline = 1;
+  }
+
+(* Backpressure: each domain individually admits up to half the service
+   budget; combined with the supervisor threshold at a quarter, writers
+   shed only when the ladder is already several rungs up. *)
+let admission_limit (p : params) = max 8 (p.budget / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let plan_names = [ "none"; "crash-reader"; "crash-two"; "stall-storm"; "signal-chaos" ]
+
+let plan_of_name (p : params) = function
+  | "none" -> Fault.no_faults
+  | "crash-reader" ->
+      {
+        Fault.label = "crash-reader";
+        rules =
+          [
+            {
+              Fault.site = Yield;
+              tid = 0;
+              start = p.crash_at;
+              period = 0;
+              action = Crash;
+            };
+          ];
+      }
+  | "crash-two" ->
+      {
+        Fault.label = "crash-two";
+        rules =
+          [
+            { Fault.site = Yield; tid = 0; start = p.crash_at; period = 0; action = Crash };
+            {
+              Fault.site = Yield;
+              tid = 1;
+              start = p.crash_at * 2;
+              period = 0;
+              action = Crash;
+            };
+          ];
+      }
+  | "stall-storm" ->
+      {
+        Fault.label = "stall-storm";
+        rules =
+          [
+            {
+              Fault.site = Yield;
+              tid = -1;
+              start = 200;
+              period = 97;
+              action = Stall 40;
+            };
+          ];
+      }
+  | "signal-chaos" ->
+      {
+        Fault.label = "signal-chaos";
+        rules =
+          [
+            { Fault.site = Signal_send; tid = -1; start = 3; period = 7; action = Drop_signal };
+            {
+              Fault.site = Signal_send;
+              tid = -1;
+              start = 5;
+              period = 11;
+              action = Delay_signal 30;
+            };
+          ];
+      }
+  | s -> invalid_arg ("unknown fault plan: " ^ s ^ " (" ^ String.concat "/" plan_names ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* Zipf sampling                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Precomputed CDF + binary search; rank 0 is the hottest key.  Built
+   once per run, sampled with the worker's seeded rng. *)
+let zipf_cdf ~n ~theta =
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let zipf_sample cdf rng =
+  let u = Rng.float rng in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* ------------------------------------------------------------------ *)
+(* Shards as generations                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A session on one shard's current generation, as closures (the map and
+   scheme types stay hidden, like the sharded hashmap's). *)
+type sess = {
+  k_get : int -> bool;
+  k_insert : int -> int -> bool;
+  k_remove : int -> bool;
+  k_close : unit -> unit;
+}
+
+(* One generation: a private domain, a map bound to it, and the watchdog
+   probes over it.  [g_opens] counts open sessions per tid — the recycle
+   precondition is that every open session belongs to a crashed fiber
+   (crashed fibers never touch memory again, so destroying under them is
+   exactly the force-destroy contract). *)
+type gen = {
+  g_meta : Dom.t;
+  g_opens : int array;
+  g_open : int -> sess;
+  g_probe : unit -> Watchdog.probe;
+  g_nudge : unit -> unit;
+  g_resend : unit -> bool;
+  g_stats : unit -> Stats.snapshot;
+  g_destroy : unit -> unit;
+}
+
+type shard = {
+  sh_id : int;
+  mutable sh_gen : gen;
+  mutable sh_recycles : int;
+  mutable sh_retired_peak : int;  (** worst peak among recycled generations *)
+}
+
+(* Build one generation.  Runtime functor application, exactly like
+   [Sharded_hashmap.mk_shard]; the bucket flavour follows the paper's
+   split (HMList under HP, HHSList elsewhere). *)
+let make_gen (module X : SI.SCHEME) ~label ~buckets ~slots ~limit cfg : gen =
+  let caps = X.caps cfg in
+  let d = X.create ~label cfg in
+  let meta = X.dom d in
+  if limit > 0 then Alloc.Admission.set_limit (Dom.id meta) limit;
+  let opens = Array.make slots 0 in
+  let module Sup = SI.Supervise (X) in
+  let current () = d in
+  let mk_open session ~get ~insert ~remove ~close tid =
+    let s = session () in
+    opens.(tid) <- opens.(tid) + 1;
+    {
+      k_get = (fun k -> get s k);
+      k_insert = (fun k v -> insert s k v);
+      k_remove = (fun k -> remove s k);
+      k_close =
+        (fun () ->
+          opens.(tid) <- opens.(tid) - 1;
+          close s);
+    }
+  in
+  let g_open =
+    if X.scheme = "HP" || caps.Caps.supports Caps.HHSList = Caps.No then begin
+      let module S = SI.Bind (X) (struct let it = d end) in
+      let module M = Ds.Hashmap.Make_gen (Ds.Hm_list.Make) (S) in
+      let m = M.create_sized buckets in
+      mk_open
+        (fun () -> M.session m)
+        ~get:(fun s k -> M.get m s k)
+        ~insert:(fun s k v -> M.insert m s k v)
+        ~remove:(fun s k -> M.remove m s k)
+        ~close:M.close_session
+    end
+    else begin
+      let module S = SI.Bind (X) (struct let it = d end) in
+      let module M = Ds.Hashmap.Make_gen (Ds.Harris_list.Make_hhs) (S) in
+      let m = M.create_sized buckets in
+      mk_open
+        (fun () -> M.session m)
+        ~get:(fun s k -> M.get m s k)
+        ~insert:(fun s k v -> M.insert m s k v)
+        ~remove:(fun s k -> M.remove m s k)
+        ~close:M.close_session
+    end
+  in
+  {
+    g_meta = meta;
+    g_opens = opens;
+    g_open;
+    g_probe = Sup.probe current;
+    g_nudge = Sup.nudge current;
+    g_resend = Sup.resend current;
+    g_stats = (fun () -> if Dom.destroyed meta then Stats.empty else X.stats d);
+    g_destroy =
+      (fun () ->
+        if not (Dom.destroyed meta) then begin
+          Alloc.Admission.set_limit (Dom.id meta) 0;
+          X.destroy ~force:true d
+        end);
+  }
+
+(* The recycle rung: defer while any open session belongs to a live
+   (non-crashed) fiber; otherwise swap in a fresh generation FIRST (so
+   workers racing past the swap only ever see the new domain), then
+   force-destroy the old one under its dead readers. *)
+let try_recycle make (sh : shard) () =
+  let g = sh.sh_gen in
+  let blocked = ref false in
+  Array.iteri
+    (fun tid n -> if n > 0 && not (Sched.is_crashed tid) then blocked := true)
+    g.g_opens;
+  if !blocked then false
+  else begin
+    sh.sh_retired_peak <- max sh.sh_retired_peak (Dom.peak_unreclaimed g.g_meta);
+    sh.sh_gen <- make (sh.sh_recycles + 1);
+    g.g_destroy ();
+    sh.sh_recycles <- sh.sh_recycles + 1;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  v_latency : bool;
+  v_watermark : bool;
+  v_safety : bool;  (** zero UAFs and the plan's expected crash count *)
+  v_ok : bool;
+}
+
+type result = {
+  scheme : string;
+  plan : string;
+  p : params;
+  served : int;  (** requests that completed (not shed, not deadline-cut) *)
+  shed : int;  (** writes refused by backpressure *)
+  retries : int;  (** requests re-run after losing a domain to a recycle *)
+  lat : Stats.Histogram.summary;  (** all served requests *)
+  lat_scan : Stats.Histogram.summary;
+  peak : int;  (** whole-service peak unreclaimed over the window *)
+  final_unreclaimed : int;
+  shard_peaks : int array;  (** per shard: worst generation's peak *)
+  recycles : int;
+  worst_rung : Watchdog.level;
+  wd : Watchdog.counts;
+  bp_waits : int;
+  bp_rejects : int;
+  crashes : int;
+  uaf : int;
+  deadline_hit : bool;
+  snap : Stats.snapshot;  (** scheme counters + watchdog/backpressure merge *)
+  verdict : verdict;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The cell                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pow2_ge n =
+  let s = ref 1 in
+  while !s < n do
+    s := !s * 2
+  done;
+  !s
+
+let run_one ?(scheme = "RCU") ?(plan = "none") (p : params) : result =
+  (* NBR-Large is NBR under the paper's 8192-entry batches; every other
+     name resolves directly.  The huge batch is the point: it trades the
+     watermark for throughput, and the verdict table shows the cost. *)
+  let impl_name = if scheme = "NBR-Large" then "NBR" else scheme in
+  let config =
+    if scheme = "NBR-Large" then
+      { config with Config.batch = Config.large_batch.Config.batch }
+    else config
+  in
+  let impl =
+    match Schemes.find_impl impl_name with
+    | Some i -> i
+    | None -> invalid_arg ("unknown scheme: " ^ scheme)
+  in
+  let (module X : SI.SCHEME) = impl in
+  let nshards = pow2_ge (max 1 p.shards) in
+  let shard_mask = nshards - 1 in
+  let pl = plan_of_name p plan in
+  Alloc.reset ();
+  Alloc.set_strict false;
+  Alloc.Admission.clear_all ();
+  let nthreads = p.clients + if p.watchdog then 1 else 0 in
+  let limit = if p.backpressure then admission_limit p else 0 in
+  let mk_gen sh_id generation =
+    make_gen
+      (module X)
+      ~label:(Printf.sprintf "serve:%s:shard%d.g%d" scheme sh_id generation)
+      ~buckets:p.buckets_per_shard ~slots:(p.clients + 2) ~limit config
+  in
+  let shards =
+    Array.init nshards (fun i ->
+        { sh_id = i; sh_gen = mk_gen i 0; sh_recycles = 0; sh_retired_peak = 0 })
+  in
+  (* Same multiplicative hash as the hash map's bucket routing, so
+     consecutive scan keys spread over shards (scans hold several shard
+     sessions at once — the long-op stressor). *)
+  let shard_of k = (k * 0x2545F4914F6CDD1D lsr 17) land shard_mask in
+  (* Prefill to 50% occupancy before faults arm or peaks are measured. *)
+  let prefill_tid = p.clients + 1 in
+  let psess = Array.init nshards (fun i -> shards.(i).sh_gen.g_open prefill_tid) in
+  let k = ref 0 in
+  while !k < p.keys do
+    ignore (psess.(shard_of !k).k_insert !k 0 : bool);
+    k := !k + 2
+  done;
+  Array.iter (fun s -> s.k_close ()) psess;
+  Alloc.reset_peak ();
+  Alloc.reset_owner_peaks ();
+  (* Workload state. *)
+  let cdf = zipf_cdf ~n:(max 1 p.keys) ~theta:p.theta in
+  let lat = Stats.Histogram.make () in
+  let lat_scan = Stats.Histogram.make () in
+  let served = Array.make (p.clients + 1) 0 in
+  let shed = Array.make (p.clients + 1) 0 in
+  let retries = Array.make (p.clients + 1) 0 in
+  let done_clients = ref 0 in
+  let deadline_hit = ref false in
+  let wd =
+    Watchdog.create ~seed:(p.seed lxor 0xd09) (watchdog_config p)
+      (Array.to_list
+         (Array.map
+            (fun sh ->
+              {
+                Watchdog.label = Printf.sprintf "shard%d" sh.sh_id;
+                id = sh.sh_id;
+                probe = (fun () -> sh.sh_gen.g_probe ());
+                nudge = (fun () -> sh.sh_gen.g_nudge ());
+                resend = (fun () -> sh.sh_gen.g_resend ());
+                quarantine = (fun () -> 0);
+                recycle = Some (try_recycle (mk_gen sh.sh_id) sh);
+              })
+            shards))
+  in
+  let client tid =
+    let rng = Rng.create ~seed:(p.seed + (tid * 104729)) in
+    let scan_share = max 0 (100 - p.read_pct - p.write_pct) in
+    let churn = ref 0 in
+    (* Per-request shard-session cache: reads/writes open one shard, scans
+       up to [scan_len]; everything closes at request end so no session
+       outlives a request (which is what keeps recycle windows short). *)
+    let cache : sess option array = Array.make nshards None in
+    let close_cache () =
+      Array.iteri
+        (fun i s ->
+          match s with
+          | None -> ()
+          | Some s ->
+              cache.(i) <- None;
+              (try s.k_close () with Dom.Destroyed _ -> ()))
+        cache
+    in
+    let get_sess i =
+      match cache.(i) with
+      | Some s -> s
+      | None ->
+          let s = shards.(i).sh_gen.g_open tid in
+          cache.(i) <- Some s;
+          s
+    in
+    let key rank = (rank + !churn) mod p.keys in
+    let run_request req =
+      if p.churn_period > 0 && req mod p.churn_period = 0 then
+        churn := !churn + (p.keys / 8);
+      let r = Rng.int rng 100 in
+      let rank = zipf_sample cdf rng in
+      let t0 = Sched.tick () in
+      let ok = ref true in
+      let scan = r >= p.read_pct + p.write_pct && scan_share > 0 in
+      if r < p.read_pct || (not scan) && p.write_pct = 0 then begin
+        let k = key rank in
+        ignore ((get_sess (shard_of k)).k_get k : bool)
+      end
+      else if not scan then begin
+        let k = key rank in
+        let i = shard_of k in
+        let s = get_sess i in
+        if limit > 0 then begin
+          match Alloc.Admission.admit ~owner:(Dom.id shards.(i).sh_gen.g_meta) () with
+          | Alloc.Admission.Admitted ->
+              if Rng.bool rng then ignore (s.k_insert k tid : bool)
+              else ignore (s.k_remove k : bool)
+          | Alloc.Admission.Backpressure _ ->
+              shed.(tid) <- shed.(tid) + 1;
+              ok := false
+        end
+        else if Rng.bool rng then ignore (s.k_insert k tid : bool)
+        else ignore (s.k_remove k : bool)
+      end
+      else
+        for j = 0 to p.scan_len - 1 do
+          let k = key (rank + j) in
+          ignore ((get_sess (shard_of k)).k_get k : bool)
+        done;
+      close_cache ();
+      if !ok then begin
+        served.(tid) <- served.(tid) + 1;
+        let dt = Sched.tick () - t0 in
+        Stats.Histogram.record lat dt;
+        if scan then Stats.Histogram.record lat_scan dt
+      end
+    in
+    (try
+       for req = 1 to p.requests do
+         (* A recycle can destroy a domain between reading [sh_gen] and
+            registering on it; the typed [Destroyed] tells the client to
+            drop its cached sessions and re-run against the fresh
+            generation. *)
+         let rec attempt tries =
+           try run_request req
+           with Dom.Destroyed _ ->
+             close_cache ();
+             if tries < 3 then begin
+               retries.(tid) <- retries.(tid) + 1;
+               attempt (tries + 1)
+             end
+         in
+         attempt 0
+       done
+     with Sched.Deadline ->
+       close_cache ();
+       deadline_hit := true);
+    incr done_clients
+  in
+  Fault.install pl;
+  Sched.set_tick_deadline p.tick_budget;
+  let body tid =
+    if tid < p.clients then client tid
+    else
+      Watchdog.run wd ~until:(fun () ->
+          !done_clients + Sched.crashed_count () >= p.clients)
+  in
+  Sched.run (Sched.Fibers { seed = p.seed; switch_every = p.switch_every })
+    ~nthreads body;
+  Sched.clear_tick_deadline ();
+  let crashes = Sched.crashed_count () in
+  Fault.clear ();
+  let st = Alloc.stats () in
+  (* Per-shard worst peaks: live generation vs recycled ancestors, read
+     before destroy releases the slots. *)
+  let shard_peaks =
+    Array.map
+      (fun sh -> max sh.sh_retired_peak (Dom.peak_unreclaimed sh.sh_gen.g_meta))
+      shards
+  in
+  (* Scheme counters summed over the live generations, then the watchdog
+     and backpressure tallies merged in. *)
+  let snap =
+    Array.fold_left
+      (fun acc sh -> Stats.add acc (sh.sh_gen.g_stats ()))
+      Stats.empty shards
+  in
+  let snap =
+    Stats.add snap
+      {
+        (Watchdog.counts_to_snapshot (Watchdog.counts wd)) with
+        Stats.backpressure_waits = Alloc.Admission.wait_count ();
+        backpressure_rejects = Alloc.Admission.reject_count ();
+      }
+  in
+  Array.iter (fun sh -> sh.sh_gen.g_destroy ()) shards;
+  Alloc.Admission.clear_all ();
+  let expected_crashes =
+    match plan with "crash-reader" -> 1 | "crash-two" -> 2 | _ -> 0
+  in
+  let lat_s = Stats.Histogram.summary lat in
+  let v_latency =
+    lat_s.Stats.Histogram.p99 <= p.slo_p99
+    && lat_s.Stats.Histogram.p999 <= p.slo_p999
+  in
+  let v_watermark = st.Alloc.peak_unreclaimed <= p.budget in
+  let v_safety = st.Alloc.uaf = 0 && crashes = expected_crashes in
+  {
+    scheme;
+    plan;
+    p;
+    served = Array.fold_left ( + ) 0 served;
+    shed = Array.fold_left ( + ) 0 shed;
+    retries = Array.fold_left ( + ) 0 retries;
+    lat = lat_s;
+    lat_scan = Stats.Histogram.summary lat_scan;
+    peak = st.Alloc.peak_unreclaimed;
+    final_unreclaimed = st.Alloc.unreclaimed;
+    shard_peaks;
+    recycles = Array.fold_left (fun a sh -> a + sh.sh_recycles) 0 shards;
+    worst_rung = Watchdog.worst_level wd;
+    wd = Watchdog.counts wd;
+    bp_waits = Alloc.Admission.wait_count ();
+    bp_rejects = Alloc.Admission.reject_count ();
+    crashes;
+    uaf = st.Alloc.uaf;
+    deadline_hit = !deadline_hit;
+    snap;
+    verdict =
+      {
+        v_latency;
+        v_watermark;
+        v_safety;
+        v_ok = v_latency && v_watermark && v_safety && not !deadline_hit;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Traced runs and the replay probe                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ?scheme ?plan (p : params) : result * Trace.record list =
+  Trace.enable ~sink:Trace.Spool ();
+  let r = run_one ?scheme ?plan p in
+  let records = Trace.dump () in
+  Trace.disable ();
+  (r, records)
+
+let run_traced_to_file ?scheme ?plan ~path (p : params) : result =
+  let r, records = run_traced ?scheme ?plan p in
+  Trace.to_file path records;
+  r
+
+(** Seed-determinism probe: two traced runs of the same cell must produce
+    identical event logs (and so identical verdicts). *)
+let replay_identical ?scheme ?plan (p : params) : bool =
+  let _, a = run_traced ?scheme ?plan p in
+  let _, b = run_traced ?scheme ?plan p in
+  a = b
+
+(* ------------------------------------------------------------------ *)
+(* The watchdog-payoff comparison (the check.sh gate)                  *)
+(* ------------------------------------------------------------------ *)
+
+type compare_result = {
+  on_run : result;
+  off_run : result;
+  off_over_on : float;  (** watchdog-off peak / watchdog-on peak *)
+  replay_ok : bool;
+  cmp_ok : bool;
+}
+
+let default_off_ratio = 5.
+
+(** [run_compare ~scheme ~plan p] — the ISSUE's headline assertion: with
+    the watchdog on, the fault keeps the watermark within budget and the
+    trace shows recycles; off, the watermark exceeds the on-peak by at
+    least [ratio]; both runs are UAF-free and the on-run replays
+    byte-identically. *)
+let run_compare ?(ratio = default_off_ratio) ?(scheme = "RCU")
+    ?(plan = "crash-reader") (p : params) : compare_result =
+  let on_run = run_one ~scheme ~plan { p with watchdog = true } in
+  let off_run =
+    run_one ~scheme ~plan { p with watchdog = false; backpressure = false }
+  in
+  let off_over_on =
+    float_of_int off_run.peak /. float_of_int (max 1 on_run.peak)
+  in
+  let replay_ok = replay_identical ~scheme ~plan { p with watchdog = true } in
+  {
+    on_run;
+    off_run;
+    off_over_on;
+    replay_ok;
+    cmp_ok =
+      on_run.verdict.v_watermark && on_run.recycles >= 1
+      && off_over_on >= ratio && on_run.uaf = 0 && off_run.uaf = 0
+      && replay_ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_verdict ppf (v : verdict) =
+  let flag ppf b = Fmt.string ppf (if b then "pass" else "FAIL") in
+  Fmt.pf ppf "latency=%a watermark=%a safety=%a => %s" flag v.v_latency flag
+    v.v_watermark flag v.v_safety
+    (if v.v_ok then "SLO PASS" else "SLO FAIL")
+
+let pp ppf (r : result) =
+  let pp_peaks ppf pks =
+    Array.iteri
+      (fun i pk -> Fmt.pf ppf "%s%d" (if i = 0 then "" else "/") pk)
+      pks
+  in
+  Fmt.pf ppf
+    "serve %s: plan=%s watchdog=%s backpressure=%s seed=%d@\n\
+    \  served=%d shed=%d retries=%d crashes=%d uaf=%d%s@\n\
+    \  latency (ticks): %a@\n\
+    \  scans:           %a@\n\
+    \  watermark: peak=%d (budget %d), shard peaks %a, final=%d@\n\
+    \  ladder: worst=%s nudges=%d resends=%d quarantined=%d recycles=%d; \
+     backpressure waits=%d rejects=%d@\n\
+    \  %a"
+    r.scheme r.plan
+    (if r.p.watchdog then "on" else "off")
+    (if r.p.backpressure then "on" else "off")
+    r.p.seed r.served r.shed r.retries r.crashes r.uaf
+    (if r.deadline_hit then " DEADLINE" else "")
+    Stats.Histogram.pp_summary r.lat Stats.Histogram.pp_summary r.lat_scan
+    r.peak r.p.budget pp_peaks r.shard_peaks r.final_unreclaimed
+    (Watchdog.level_name r.worst_rung)
+    r.wd.Watchdog.nudges r.wd.Watchdog.resends r.wd.Watchdog.quarantined
+    r.wd.Watchdog.recycles r.bp_waits r.bp_rejects pp_verdict r.verdict
+
+let pp_compare ppf (c : compare_result) =
+  Fmt.pf ppf
+    "%a@\n%a@\n\
+     watchdog payoff: off-peak %d / on-peak %d = %.1fx (need >= %.0fx); \
+     on-recycles=%d replay=%s => %s"
+    pp c.on_run pp c.off_run c.off_run.peak c.on_run.peak c.off_over_on
+    default_off_ratio c.on_run.recycles
+    (if c.replay_ok then "identical" else "DIVERGED")
+    (if c.cmp_ok then "OK" else "FAILED")
+
+(** Rows for the report emitter / --stats-json. *)
+let record (r : result) =
+  Report.record_cell
+    ([
+       ("kind", Report.Json.Str "serve");
+       ("scheme", Report.Json.Str r.scheme);
+       ("plan", Report.Json.Str r.plan);
+       ("watchdog", Report.Json.Bool r.p.watchdog);
+       ("backpressure", Report.Json.Bool r.p.backpressure);
+       ("seed", Report.Json.Int r.p.seed);
+       ("served", Report.Json.Int r.served);
+       ("shed", Report.Json.Int r.shed);
+       ("retries", Report.Json.Int r.retries);
+       ("lat_p50", Report.Json.Int r.lat.Stats.Histogram.p50);
+       ("lat_p99", Report.Json.Int r.lat.Stats.Histogram.p99);
+       ("lat_p999", Report.Json.Int r.lat.Stats.Histogram.p999);
+       ("lat_max", Report.Json.Int r.lat.Stats.Histogram.max);
+       ("peak", Report.Json.Int r.peak);
+       ("budget", Report.Json.Int r.p.budget);
+       ( "shard_peaks",
+         Report.Json.List
+           (Array.to_list (Array.map (fun x -> Report.Json.Int x) r.shard_peaks))
+       );
+       ("recycles", Report.Json.Int r.recycles);
+       ("worst_rung", Report.Json.Str (Watchdog.level_name r.worst_rung));
+       ("crashes", Report.Json.Int r.crashes);
+       ("uaf", Report.Json.Int r.uaf);
+       ("slo_ok", Report.Json.Bool r.verdict.v_ok);
+     ]
+    @ List.map
+        (fun (k, v) -> (k, Report.Json.Int v))
+        (Stats.to_fields ~keep_zeros:false r.snap))

@@ -25,7 +25,8 @@ let with_brcu ?(cfg = Cfg.config) f =
   let bd = B.create (Dom.make ~scheme:"BRCU" ~label:"test" cfg) in
   Fun.protect
     ~finally:(fun () ->
-      if Dom.begin_destroy ~force:true bd.B.meta then begin
+      if not (Dom.destroyed bd.B.meta) then begin
+        Dom.begin_destroy ~force:true bd.B.meta;
         B.drain bd;
         Dom.finish_destroy bd.B.meta
       end)

@@ -186,8 +186,11 @@ let two_domains_case (name, impl) =
           Alcotest.(check int) "census in the error" 1 live);
       X.unregister h1;
       X.destroy d1;
-      (* Idempotent, and registration is refused after the fact. *)
-      X.destroy d1;
+      (* Double-destroy is a typed lifecycle error, and registration is
+         refused after the fact. *)
+      (match X.destroy d1 with
+      | () -> Alcotest.fail "double destroy must raise"
+      | exception Dom.Destroyed _ -> ());
       (match X.register d1 with
       | _ -> Alcotest.fail "register on a destroyed domain must raise"
       | exception Dom.Destroyed _ -> ());
