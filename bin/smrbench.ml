@@ -21,6 +21,22 @@ let profile_arg =
   let doc = "Measurement profile: quick (default), full, or sim (fiber simulator; plays the second machine)." in
   Arg.(value & opt string "quick" & info [ "profile"; "p" ] ~doc)
 
+(* The substrate switch (ISSUE 8).  Historically a [Spec.Domains] profile
+   was silently rewritten to fibers in the longrun command; now the
+   substrate is an explicit flag and the rewrite is gone. *)
+let mode_of_string = function
+  | "fibers" -> `Fibers
+  | "domains" -> `Domains
+  | s -> invalid_arg ("unknown mode: " ^ s ^ " (expected fibers|domains)")
+
+let mode_arg =
+  let doc =
+    "Execution substrate: $(b,fibers) (default; the deterministic \
+     simulator) or $(b,domains) (real Domain.spawn workers; thread sweeps \
+     are clamped to the hardware's parallelism)."
+  in
+  Arg.(value & opt string "fibers" & info [ "mode" ] ~docv:"SUBSTRATE" ~doc)
+
 let outdir_arg =
   let doc = "Directory for CSV outputs." in
   Arg.(value & opt string "results" & info [ "outdir" ] ~doc)
@@ -43,15 +59,17 @@ let setup outdir stats_json =
         Printf.eprintf "smrbench: cannot write --stats-json file: %s\n" msg;
         exit 1)
 
-let with_profile f profile outdir stats_json =
+let with_profile f profile mode outdir stats_json =
   setup outdir stats_json;
-  f (profile_of_string profile);
+  f (W.Figures.with_mode (profile_of_string profile) (mode_of_string mode));
   W.Report.write_stats_json ();
   0
 
 let simple_cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (with_profile f) $ profile_arg $ outdir_arg $ stats_json_arg)
+    Term.(
+      const (with_profile f) $ profile_arg $ mode_arg $ outdir_arg
+      $ stats_json_arg)
 
 let fig1_cmd = simple_cmd "fig1" "Figure 1: long-running reads, headline schemes" W.Figures.fig1
 let fig5_cmd = simple_cmd "fig5" "Figure 5: read-only thread sweeps" W.Figures.fig5
@@ -71,9 +89,9 @@ let appendix_cmd =
     let doc = "Restrict to small or large key ranges." in
     Arg.(value & opt (some string) None & info [ "range" ] ~doc)
   in
-  let run profile outdir stats_json wl ds range =
+  let run profile mode outdir stats_json wl ds range =
     setup outdir stats_json;
-    let p = profile_of_string profile in
+    let p = W.Figures.with_mode (profile_of_string profile) (mode_of_string mode) in
     let workloads =
       match wl with
       | None -> [ W.Spec.Write_only; W.Spec.Read_write; W.Spec.Read_intensive; W.Spec.Read_only ]
@@ -98,8 +116,8 @@ let appendix_cmd =
   Cmd.v
     (Cmd.info "appendix" ~doc:"Appendix B/C grids (figures 8-36)")
     Term.(
-      const run $ profile_arg $ outdir_arg $ stats_json_arg $ workload_arg
-      $ ds_arg $ range_arg)
+      const run $ profile_arg $ mode_arg $ outdir_arg $ stats_json_arg
+      $ workload_arg $ ds_arg $ range_arg)
 
 let sweep_cmd =
   let ds_arg =
@@ -111,9 +129,9 @@ let sweep_cmd =
   let range_arg =
     Arg.(value & opt int 1024 & info [ "range" ] ~doc:"Key range.")
   in
-  let run profile outdir stats_json ds wl range =
+  let run profile mode outdir stats_json ds wl range =
     setup outdir stats_json;
-    let p = profile_of_string profile in
+    let p = W.Figures.with_mode (profile_of_string profile) (mode_of_string mode) in
     W.Figures.sweep
       ~title:(Printf.sprintf "sweep: %s %s range=%d" ds wl range)
       ~file:(Printf.sprintf "sweep_%s_%s_%d" ds wl range)
@@ -126,8 +144,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"One custom thread sweep")
     Term.(
-      const run $ profile_arg $ outdir_arg $ stats_json_arg $ ds_arg $ wl_arg
-      $ range_arg)
+      const run $ profile_arg $ mode_arg $ outdir_arg $ stats_json_arg
+      $ ds_arg $ wl_arg $ range_arg)
 
 (* Shared by the trace/chaos/longrun commands: spool the run's event log
    to FILE in the line format `smrbench analyze` ingests. *)
@@ -145,9 +163,11 @@ let longrun_cmd =
   let range_arg =
     Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Single key range.")
   in
-  let run profile outdir stats_json scheme range trace_out =
+  let run profile mode_s outdir stats_json scheme range trace_out =
     setup outdir stats_json;
-    let p = profile_of_string profile in
+    let p =
+      W.Figures.with_mode (profile_of_string profile) (mode_of_string mode_s)
+    in
     let p =
       match range with
       | None -> p
@@ -156,16 +176,23 @@ let longrun_cmd =
     match trace_out with
     | Some out ->
         (* One traced fiber-mode cell; the grid forms make no sense with a
-           single spool. *)
+           single spool.  The spool is timestamped by the deterministic
+           tick clock, so domain mode cannot produce it — say so instead
+           of silently substituting a substrate the user did not ask for
+           (which is what this command used to do). *)
+        (match p.W.Figures.longrun_mode with
+        | W.Spec.Fibers _ -> ()
+        | W.Spec.Domains ->
+            Printf.eprintf
+              "smrbench longrun: --trace-out requires the fiber substrate \
+               (the spooled trace is a pure function of the seed); drop \
+               --mode domains\n";
+            exit 1);
         let scheme = Option.value scheme ~default:"HP-BRCU" in
         let range =
           match p.W.Figures.longrun_ranges with r :: _ -> r | [] -> 4096
         in
-        let mode =
-          match p.W.Figures.longrun_mode with
-          | W.Spec.Fibers _ as m -> m
-          | W.Spec.Domains -> W.Spec.Fibers p.W.Figures.seed
-        in
+        let mode = p.W.Figures.longrun_mode in
         let c =
           W.Longrun.config ~key_range:range
             ~readers:p.W.Figures.longrun_threads
@@ -197,8 +224,8 @@ let longrun_cmd =
   Cmd.v
     (Cmd.info "longrun" ~doc:"Long-running-operation benchmark")
     Term.(
-      const run $ profile_arg $ outdir_arg $ stats_json_arg $ scheme_arg
-      $ range_arg $ trace_out_arg)
+      const run $ profile_arg $ mode_arg $ outdir_arg $ stats_json_arg
+      $ scheme_arg $ range_arg $ trace_out_arg)
 
 let trace_cmd =
   let module T = Hpbrcu_runtime.Trace in
@@ -384,19 +411,33 @@ let shards_cmd =
   in
   let threshold_arg =
     Arg.(
-      value & opt float W.Shards.default_threshold
+      value
+      & opt (some float) None
       & info [ "threshold" ]
-          ~doc:"Minimum shared-domain / isolated-build peak ratio.")
+          ~doc:
+            "Minimum shared-domain / isolated-build peak ratio (default 8 \
+             under fibers, 4 under domains — real scheduling spreads the \
+             non-crashed shards' peaks).")
   in
   let quick_arg =
     Arg.(
       value & flag & info [ "quick" ] ~doc:"Reduced write budget (CI gate).")
   in
-  let run profile outdir stats_json scheme shards seed gate threshold quick =
+  let run profile mode outdir stats_json scheme shards seed gate threshold
+      quick =
     ignore (profile : string);
     ignore (gate : bool);
     setup outdir stats_json;
-    let p = { W.Shards.default_params with shards; seed } in
+    let substrate = mode_of_string mode in
+    let threshold =
+      match threshold with
+      | Some t -> t
+      | None -> (
+          match substrate with
+          | `Fibers -> W.Shards.default_threshold
+          | `Domains -> W.Shards.default_threshold_domains)
+    in
+    let p = { W.Shards.default_params with shards; seed; substrate } in
     let p = if quick then W.Shards.quick p else p in
     let r = W.Shards.run_one ~threshold ~scheme p in
     Fmt.pr "%a@." W.Shards.pp r;
@@ -413,8 +454,9 @@ let shards_cmd =
           unreclaimed watermarks must stay flat in the isolated build \
           while the shared build balloons.")
     Term.(
-      const run $ profile_arg $ outdir_arg $ stats_json_arg $ scheme_arg
-      $ shards_arg $ seed_arg $ gate_arg $ threshold_arg $ quick_arg)
+      const run $ profile_arg $ mode_arg $ outdir_arg $ stats_json_arg
+      $ scheme_arg $ shards_arg $ seed_arg $ gate_arg $ threshold_arg
+      $ quick_arg)
 
 let serve_cmd =
   let module K = W.Kvservice in
@@ -512,10 +554,25 @@ let serve_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Spool the run's event log to $(docv) (v2 text format).")
   in
-  let run outdir stats_json scheme faults watchdog no_backpressure shards keys
-      theta clients requests (read_pct, write_pct) scan_len churn budget
-      slo_p99 slo_p999 seed quick compare ratio trace_out =
+  let run mode outdir stats_json scheme faults watchdog no_backpressure
+      shards keys theta clients requests (read_pct, write_pct) scan_len churn
+      budget slo_p99 slo_p999 seed quick compare ratio trace_out =
     setup outdir stats_json;
+    let substrate = mode_of_string mode in
+    (match substrate with
+    | `Fibers -> ()
+    | `Domains ->
+        let reject what why =
+          Printf.eprintf "smrbench serve: %s requires the fiber substrate \
+                          (%s); drop --mode domains\n" what why;
+          exit 1
+        in
+        if compare then
+          reject "--compare" "the payoff cell injects faults and replays traces";
+        if trace_out <> None then
+          reject "--trace-out" "the spooled trace needs the deterministic tick clock";
+        if faults <> "none" then
+          reject ("--faults " ^ faults) "faults inject at simulator yield points");
     let p =
       {
         K.default_params with
@@ -549,7 +606,7 @@ let serve_cmd =
         let r =
           match trace_out with
           | Some path -> K.run_traced_to_file ~scheme ~plan:faults ~path p
-          | None -> K.run_one ~scheme ~plan:faults p
+          | None -> K.run_one ~scheme ~plan:faults ~substrate p
         in
         Fmt.pr "%a@." K.pp r;
         K.record r;
@@ -569,11 +626,11 @@ let serve_cmd =
           allocation backpressure.  Exits non-zero on any SLO miss \
           (p99/p999 latency, peak-unreclaimed watermark, UAFs).")
     Term.(
-      const run $ outdir_arg $ stats_json_arg $ scheme_arg $ faults_arg
-      $ watchdog_arg $ no_backpressure_arg $ shards_arg $ keys_arg $ theta_arg
-      $ clients_arg $ requests_arg $ mix_arg $ scan_len_arg $ churn_arg
-      $ budget_arg $ slo_p99_arg $ slo_p999_arg $ seed_arg $ quick_arg
-      $ compare_arg $ ratio_arg $ trace_out_arg)
+      const run $ mode_arg $ outdir_arg $ stats_json_arg $ scheme_arg
+      $ faults_arg $ watchdog_arg $ no_backpressure_arg $ shards_arg
+      $ keys_arg $ theta_arg $ clients_arg $ requests_arg $ mix_arg
+      $ scan_len_arg $ churn_arg $ budget_arg $ slo_p99_arg $ slo_p999_arg
+      $ seed_arg $ quick_arg $ compare_arg $ ratio_arg $ trace_out_arg)
 
 let analyze_cmd =
   let module T = Hpbrcu_runtime.Trace in
@@ -1036,6 +1093,78 @@ module Reclaim_bench = struct
       end
       else 1
     end
+
+  (* ---------------------------------------------------------------- *)
+  (* Domain parity: the same kernels inside a spawned domain           *)
+  (* (the bench-domains single-domain-overhead and allocation gates).  *)
+  (* ---------------------------------------------------------------- *)
+
+  type parity = {
+    pkernel : string;
+    pscheme : string;
+    main_ns : float;  (** ns/op on the main domain (the bench-reclaim row) *)
+    dom_ns : float;  (** ns/op inside a [Sched.run Domains] worker *)
+    dom_words : float;  (** minor words/op measured inside the worker *)
+  }
+
+  (* Run [f] inside a single spawned worker under the Domains backend.
+     [Gc.minor_words] inside the worker counts that domain's own minor
+     allocation (the main domain sits in [Domain.join] and allocates
+     nothing meanwhile), so the allocation gate is measured where the
+     work actually happens. *)
+  let in_domain (f : unit -> 'a) : 'a =
+    let module Sched = Hpbrcu_runtime.Sched in
+    let r = ref None in
+    Sched.run Sched.Domains ~nthreads:1 (fun _ -> r := Some (f ()));
+    Option.get !r
+
+  (** [domain_parity ~quick] — re-runs the gated retire kernels and the
+      epoch pin kernel inside a spawned domain and pairs each with its
+      main-domain twin.  Best-of-two on both sides damps scheduler noise
+      on a shared box; neither side runs effect handlers, so the ratio
+      isolates what the backend itself adds to the hot path. *)
+  let domain_parity ~quick =
+    let sc = if quick then 8 else 1 in
+    let it n = max 8 (n / sc) in
+    let kernels =
+      [
+        (fun () ->
+          retire_kernel ~iters:(it 1000) ~gated:true
+            (module Hp.Impl : Smr_intf.SCHEME));
+        (fun () ->
+          retire_kernel ~iters:(it 1000) ~gated:true
+            (module Hppp.Impl : Smr_intf.SCHEME));
+        (fun () ->
+          retire_kernel ~iters:(it 1000) ~gated:true
+            (module He.Impl : Smr_intf.SCHEME));
+        (fun () ->
+          retire_kernel ~iters:(it 1000) ~gated:true
+            (module Ibr.Impl : Smr_intf.SCHEME));
+        (fun () -> pin_kernel ~iters:(it 1000));
+      ]
+    in
+    let best_of_two f =
+      let a = f () in
+      let b = f () in
+      if a.ns_per_op <= b.ns_per_op then a else b
+    in
+    List.map
+      (fun k ->
+        (* The main-domain twin runs under a parked companion domain so
+           both sides pay the runtime's multi-domain Atomic paths; see
+           {!Hpbrcu_runtime.Backend.with_parked_domain}. *)
+        let m =
+          best_of_two (fun () -> Hpbrcu_runtime.Backend.with_parked_domain k)
+        in
+        let d = best_of_two (fun () -> in_domain k) in
+        {
+          pkernel = m.kernel;
+          pscheme = m.scheme;
+          main_ns = m.ns_per_op;
+          dom_ns = d.ns_per_op;
+          dom_words = d.minor_words_per_op;
+        })
+      kernels
 end
 
 let bench_reclaim_cmd =
@@ -1066,6 +1195,160 @@ let bench_reclaim_cmd =
           H hazards, epoch pin/unpin, failed advance) with per-op time and \
           minor-heap allocation; writes BENCH_reclaim.json")
     Term.(const run $ out_arg $ gate_arg $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-domains: the real-parallelism thread-sweep matrix.            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_domains_cmd =
+  let module DB = W.Domains_bench in
+  let module Json = W.Report.Json in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_domains.json"
+      & info [ "out" ] ~doc:"Output JSON path.")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit non-zero on any census/uaf failure, single-domain \
+             overhead beyond 1.5x the fiber baseline, kernel parity \
+             beyond 1.5x or allocating in-domain, or (on multi-core \
+             hardware) an absolute multi-domain slowdown.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Reduced cell and kernel sizes (CI gate).")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt string "1,2,4,8"
+      & info [ "threads"; "t" ]
+          ~doc:
+            "Comma-separated domain counts to sweep; clamped to the \
+             hardware's parallelism.")
+  in
+  let scheme_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheme" ]
+          ~doc:"Comma-separated scheme subset (default: all twelve).")
+  in
+  let ds_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ds" ]
+          ~doc:
+            "Comma-separated structure subset (default: \
+             HMList,HHSList,HashMap,NMTree).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 4000
+      & info [ "ops" ] ~doc:"Operations per worker per cell.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let split s = String.split_on_char ',' s |> List.map String.trim in
+  let run out gate quick threads scheme ds ops seed =
+    let threads = List.map int_of_string (split threads) in
+    let schemes =
+      match scheme with None -> DB.all_scheme_names | Some s -> split s
+    in
+    let dss =
+      match ds with
+      | None -> DB.default_dss
+      | Some s -> List.map W.Matrix.ds_of_string (split s)
+    in
+    (* Cells must stay long enough to amortize Domain.spawn (~a
+       millisecond per worker) or ns/op gates on spawn cost; the quick
+       floor is 2000 ops, not lower. *)
+    let ops_per_thread = if quick then min ops 2000 else ops in
+    let v =
+      DB.sweep ~schemes ~dss ~threads ~ops_per_thread ~seed
+        ~progress:print_endline ()
+    in
+    (* Kernel parity: the bench-reclaim microkernels re-run inside a
+       spawned domain and compared against their main-domain twins. *)
+    let parity = Reclaim_bench.domain_parity ~quick in
+    let parity_failures =
+      List.concat_map
+        (fun pr ->
+          let open Reclaim_bench in
+          Printf.printf
+            "kernel %-8s %-8s main %8.1f ns/op  domain %8.1f ns/op  %6.4f \
+             words/op\n"
+            pr.pkernel pr.pscheme pr.main_ns pr.dom_ns pr.dom_words;
+          (* +2 ns absolute grace: at tens-of-ns kernels a timer blip
+             should not trip a ratio gate. *)
+          (if pr.dom_ns > (pr.main_ns *. DB.overhead_limit) +. 2. then
+             [
+               Printf.sprintf
+                 "kernel %s/%s in-domain %.1f ns/op > %.1fx main-domain %.1f \
+                  ns/op"
+                 pr.pkernel pr.pscheme pr.dom_ns DB.overhead_limit pr.main_ns;
+             ]
+           else [])
+          @
+          if pr.dom_words > Reclaim_bench.gate_threshold then
+            [
+              Printf.sprintf
+                "kernel %s/%s allocates %.4f minor words/op inside the domain"
+                pr.pkernel pr.pscheme pr.dom_words;
+            ]
+          else [])
+        parity
+    in
+    let kernel_rows =
+      List.map
+        (fun pr ->
+          let open Reclaim_bench in
+          Json.Obj
+            [
+              ("kernel", Json.Str pr.pkernel);
+              ("scheme", Json.Str pr.pscheme);
+              ("main_ns_per_op", Json.Float pr.main_ns);
+              ("domain_ns_per_op", Json.Float pr.dom_ns);
+              ("domain_minor_words_per_op", Json.Float pr.dom_words);
+              ( "ratio",
+                Json.Float (pr.dom_ns /. Float.max 1e-9 pr.main_ns) );
+            ])
+        parity
+    in
+    let v = { v with DB.failures = v.DB.failures @ parity_failures } in
+    DB.write_json out v ~kernel_rows;
+    Printf.printf "wrote %s\n" out;
+    if not gate then 0
+    else if v.DB.failures = [] then begin
+      Printf.printf
+        "bench-domains: gate passed (%d cells, %d parity kernels, %d \
+         hardware threads)\n"
+        (List.length v.DB.cells) (List.length parity)
+        (Hpbrcu_runtime.Backend.hardware_threads ());
+      0
+    end
+    else begin
+      List.iter (Printf.eprintf "bench-domains: GATE FAIL %s\n") v.DB.failures;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-domains"
+       ~doc:
+         "Run the scheme x structure matrix on real Domain.spawn workers \
+          across a thread sweep (clamped to the hardware) with correctness \
+          census, single-domain overhead and scalability-ratio gates; \
+          writes BENCH_domains.json")
+    Term.(
+      const run $ out_arg $ gate_arg $ quick_arg $ threads_arg $ scheme_arg
+      $ ds_arg $ ops_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hunt: schedule/fault exploration with shrinking counterexamples.    *)
@@ -1258,6 +1541,7 @@ let main =
       hunt_cmd;
       analyze_cmd;
       bench_reclaim_cmd;
+      bench_domains_cmd;
       table_cmd "table1" W.Figures.table1;
       table_cmd "table2" W.Figures.table2;
     ]

@@ -56,6 +56,23 @@ dune exec bin/smrbench.exe -- shards --quick --gate
 # the supervised run must replay byte-identically.
 dune exec bin/smrbench.exe -- serve --scheme RCU --faults crash-reader --compare --quick
 
+# Domains gate (DESIGN.md §14): the real-parallelism substrate.  The
+# full scheme matrix runs short ops-limited cells on Domain.spawn
+# workers (thread counts clamped to the hardware) — every cell must be
+# UAF-free with an exact allocator census, the gated reclamation
+# kernels must stay allocation-free inside a domain worker, and the
+# single-domain ns/op of the stable overhead pairs must stay within
+# 1.5x of the identical fiber-substrate cell (measured against a
+# parked-companion baseline so both sides pay real fenced atomics).
+# Scalability-ratio gates arm themselves only on >= 2 cores.
+dune exec bin/smrbench.exe -- bench-domains --quick --gate --out /tmp/BENCH_domains.ci.json
+
+# The shard-isolation discriminator again, on real domains: the victim
+# emulates the crash by parking pinned inside shard 0's critical
+# section while the writers drain, and the shared/isolated ratio must
+# still clear the (schedule-aware) domain-mode threshold.
+dune exec bin/smrbench.exe -- shards --quick --gate --mode domains
+
 # Hunt smoke gate (DESIGN.md §11): the mutation test for the checker
 # itself.  Both planted mutants (HP-BRCU!nomask, HP-BRCU!nodb) must be
 # convicted within the budget — each by whichever of the rand/pct

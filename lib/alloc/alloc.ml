@@ -181,8 +181,9 @@ module Admission = struct
     if lim = 0 || Owner.unreclaimed owner <= lim then Admitted
     else begin
       Atomic.incr waits;
-      Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Backpressure_wait owner
-        (Owner.unreclaimed owner);
+      if Hpbrcu_runtime.Trace.enabled () then
+        Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Backpressure_wait owner
+          (Owner.unreclaimed owner);
       let waited = ref 0 in
       while !waited < rounds && Owner.unreclaimed owner > lim do
         incr waited;
@@ -263,10 +264,13 @@ let retire b =
     Hpbrcu_runtime.Counter.incr unreclaimed;
     (* arg = unreclaimed count (the watermark curve), arg2 = block id (the
        retire→reclaim correlation edge).  Ids are replay-safe because
-       [reset] restarts them per cell. *)
-    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
-      (Hpbrcu_runtime.Counter.get unreclaimed)
-      (Block.id b)
+       [reset] restarts them per cell.  The [enabled] guard keeps the
+       lane fold in [Counter.get] off the tracing-off hot path: [emit2]
+       checks the flag internally, but its arguments evaluate eagerly. *)
+    if Hpbrcu_runtime.Trace.enabled () then
+      Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
+        (Hpbrcu_runtime.Counter.get unreclaimed)
+        (Block.id b)
   end
   else begin
     Atomic.incr double_retires;
@@ -281,9 +285,10 @@ let try_retire b =
   if Block.transition b ~from:Block.Live ~to_:Block.Retired then begin
     Atomic.incr retired;
     Hpbrcu_runtime.Counter.incr unreclaimed;
-    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
-      (Hpbrcu_runtime.Counter.get unreclaimed)
-      (Block.id b);
+    if Hpbrcu_runtime.Trace.enabled () then
+      Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Retire
+        (Hpbrcu_runtime.Counter.get unreclaimed)
+        (Block.id b);
     true
   end
   else false
@@ -296,9 +301,10 @@ let reclaim b =
     Atomic.incr reclaimed;
     Hpbrcu_runtime.Counter.decr unreclaimed;
     Owner.on_reclaim (Block.owner b);
-    Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Reclaim
-      (Hpbrcu_runtime.Counter.get unreclaimed)
-      (Block.id b)
+    if Hpbrcu_runtime.Trace.enabled () then
+      Hpbrcu_runtime.Trace.emit2 Hpbrcu_runtime.Trace.Reclaim
+        (Hpbrcu_runtime.Counter.get unreclaimed)
+        (Block.id b)
   end
   else begin
     Atomic.incr double_reclaims;

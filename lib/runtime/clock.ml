@@ -5,6 +5,14 @@
     monotonic clock for the microbenchmarks. *)
 let now = Unix.gettimeofday
 
+external now_ns : unit -> int = "hpbrcu_clock_monotonic_ns" [@@noalloc]
+(** [now_ns ()] — [CLOCK_MONOTONIC] in integer nanoseconds (C stub).  The
+    latency clock of the Domains backend: unlike [int_of_float (now () *.
+    1e9)] it cannot step backwards under NTP and never round-trips through
+    a float, so histogram samples are monotone and allocation-free.  The
+    epoch is arbitrary (boot time on Linux); only differences mean
+    anything. *)
+
 (** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
 let time f =
   let t0 = now () in

@@ -1,0 +1,18 @@
+/* Monotonic integer-nanosecond clock for the Domains backend.
+ *
+ * Unix.gettimeofday is wall time through a float: it steps under NTP and
+ * loses integer-ns precision past ~2^53 ns, either of which can make a
+ * latency sample negative.  CLOCK_MONOTONIC never steps.  The value fits
+ * comfortably in an OCaml 63-bit immediate (~146 years of nanoseconds),
+ * so the stub is [@@noalloc].
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value hpbrcu_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -34,7 +34,10 @@ type mode =
 (* Current-thread identity                                             *)
 (* ------------------------------------------------------------------ *)
 
-let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+(* Shared with the Domains backend: both substrates publish the logical
+   worker id through the same DLS key, so scheme code never knows which
+   substrate it runs on. *)
+let tid_key : int Domain.DLS.key = Backend.tid_key
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines                                                           *)
@@ -50,7 +53,15 @@ exception Deadline
     critical sections unwind cleanly. *)
 
 let deadline : float Atomic.t = Atomic.make infinity
-let deadline_ticker = ref 0 (* racy on purpose; only paces the clock reads *)
+
+(* Paces the [gettimeofday] reads to one in 1024 yields.  Domain-local:
+   under the Domains backend a shared pacing ref would be a cache line
+   written by every worker on every yield — the one hot line the padding
+   work removes everywhere else.  Per-domain pacing also keeps the
+   guarantee meaningful: each worker checks the wall clock at least every
+   1024 of {e its own} yields, instead of "somebody checks sometimes". *)
+let deadline_ticker : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let set_deadline t = Atomic.set deadline t
 let clear_deadline () = Atomic.set deadline infinity
@@ -134,24 +145,30 @@ let self () = Domain.DLS.get tid_key
    acknowledge a signal.  The registry is the simulator's analogue of
    [pthread_kill] returning [ESRCH]: {!Signal.send} consults it to return
    [Dead_receiver] instead of waiting forever, and the schemes use that
-   escape to quarantine the dead participant (DESIGN.md §8). *)
-let crashed = Array.make max_threads false
-let crashed_total = ref 0
+   escape to quarantine the dead participant (DESIGN.md §8).
 
-let is_crashed tid = tid >= 0 && tid < max_threads && crashed.(tid)
-let crashed_count () = !crashed_total
+   Atomics, not plain cells: [mark_crashed] is also called by domain-mode
+   harnesses that abandon a worker, and [Signal.send] reads the registry
+   from whichever worker is sending — under the Domains backend those are
+   different OS threads.  The scheduler only writes these from the single
+   driving domain, so fiber-mode behaviour is unchanged. *)
+let crashed = Array.init max_threads (fun _ -> Atomic.make false)
+let crashed_total = Atomic.make 0
+
+let is_crashed tid = tid >= 0 && tid < max_threads && Atomic.get crashed.(tid)
+let crashed_count () = Atomic.get crashed_total
 
 (** [mark_crashed ~tid] records a thread as dead without scheduler help;
     used by tests and by domain-mode harnesses that abandon a worker. *)
 let mark_crashed ~tid =
-  if tid >= 0 && tid < max_threads && not crashed.(tid) then begin
-    crashed.(tid) <- true;
-    incr crashed_total
-  end
+  if
+    tid >= 0 && tid < max_threads
+    && not (Atomic.exchange crashed.(tid) true)
+  then Atomic.incr crashed_total
 
 let reset_crashed () =
-  Array.fill crashed 0 max_threads false;
-  crashed_total := 0
+  Array.iter (fun c -> Atomic.set c false) crashed;
+  Atomic.set crashed_total 0
 
 (* ------------------------------------------------------------------ *)
 (* Controlled scheduling (lib/check)                                   *)
@@ -228,9 +245,10 @@ let check_deadline () =
         Trace.emit Trace.Deadline_abort 0;
         raise Deadline
       end;
-      incr deadline_ticker;
+      let ticker = Domain.DLS.get deadline_ticker in
+      incr ticker;
       if
-        !deadline_ticker land 1023 = 0
+        !ticker land 1023 = 0
         && Atomic.get deadline < infinity
         && Unix.gettimeofday () > Atomic.get deadline
       then begin
@@ -238,9 +256,10 @@ let check_deadline () =
         raise Deadline
       end
   | None ->
-      incr deadline_ticker;
+      let ticker = Domain.DLS.get deadline_ticker in
+      incr ticker;
       if
-        !deadline_ticker land 1023 = 0
+        !ticker land 1023 = 0
         && Unix.gettimeofday () > Atomic.get deadline
       then begin
         Trace.emit Trace.Deadline_abort 0;
@@ -408,8 +427,8 @@ let schedule_step c =
                     ignore (Sys.opaque_identity k);
                     f.state <- Done;
                     c.live <- c.live - 1;
-                    crashed.(f.ftid) <- true;
-                    incr crashed_total;
+                    Atomic.set crashed.(f.ftid) true;
+                    Atomic.incr crashed_total;
                     Trace.emit Trace.Fault_crash f.ftid)
             | _ -> None);
       }
@@ -475,18 +494,25 @@ let run_fibers ~seed ~switch_every ~nthreads body =
   | Some (_tid, e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let run_domains ~nthreads body =
-  reset_crashed ();
-  let worker i () =
-    Domain.DLS.set tid_key i;
-    Fun.protect ~finally:(fun () -> Domain.DLS.set tid_key (-1)) (fun () -> body i)
-  in
-  let domains = List.init nthreads (fun i -> Domain.spawn (worker i)) in
-  (* Join all even if one raised, then re-raise the first failure. *)
-  let results =
-    List.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
-  in
-  List.iter (function Error e -> raise e | Ok () -> ()) results
+(** [backend_of_mode mode] packages either substrate as a {!Backend.S}.
+    The Domains case wraps {!Backend.Domains} to clear the crash registry
+    first (the backend itself cannot: it sits below this module); the
+    Fibers case closes the seed and switch rate over {!run_fibers}. *)
+let backend_of_mode : mode -> (module Backend.S) = function
+  | Domains ->
+      (module struct
+        include Backend.Domains
+
+        let spawn ~nthreads body =
+          reset_crashed ();
+          Backend.Domains.spawn ~nthreads body
+      end)
+  | Fibers { seed; switch_every } ->
+      (module struct
+        let name = "fibers"
+        let deterministic = true
+        let spawn ~nthreads body = run_fibers ~seed ~switch_every ~nthreads body
+      end)
 
 (** [run mode ~nthreads body] runs [body 0 .. body (nthreads-1)] to
     completion as concurrent workers under [mode] and returns when all have
@@ -495,9 +521,8 @@ let run mode ~nthreads body =
   if nthreads < 1 || nthreads > max_threads then
     invalid_arg
       (Printf.sprintf "Sched.run: nthreads must be in [1, %d]" max_threads);
-  match mode with
-  | Domains -> run_domains ~nthreads body
-  | Fibers { seed; switch_every } -> run_fibers ~seed ~switch_every ~nthreads body
+  let (module B : Backend.S) = backend_of_mode mode in
+  B.spawn ~nthreads body
 
 (* Stats and Trace cannot depend on this module (we bump their counters),
    so we inject the identity and clock providers here, at link time. *)

@@ -303,6 +303,11 @@ let send_unrouted ~seq box ~is_out =
         else wait_fiber box ~before ~is_out
       end
       else begin
+        (* Clear any delayed-delivery floor left over from a fiber run:
+           [Sched.tick] is 0 under the Domains backend, so a stale
+           positive [not_before] would make the post undeliverable
+           forever and every send time out as [No_ack]. *)
+        Atomic.set box.not_before 0;
         Atomic.set box.posted_seq seq;
         Atomic.set box.pending true;
         wait_domain box ~before ~is_out

@@ -49,7 +49,10 @@ let[@inline] shard () =
 module Counter = struct
   type t = int Atomic.t array
 
-  let make () : t = Array.init max_shards (fun _ -> Atomic.make 0)
+  (* Shards are indexed by tid, so under the Domains backend neighbouring
+     workers bump neighbouring cells; the index stride keeps those cells
+     off each other's cache lines (see {!Layout}). *)
+  let make () : t = Layout.strided_init max_shards (fun _ -> Atomic.make 0)
 
   let[@inline] incr (t : t) = Atomic.incr t.(shard ())
   let[@inline] add (t : t) n = ignore (Atomic.fetch_and_add t.(shard ()) n)

@@ -59,6 +59,12 @@ type local = {
   status : int Atomic.t;
   box : Signal.box;
   quarantined : bool Atomic.t;  (* confirmed crashed; no longer blocks *)
+  _pad : int array;
+      (* live spacer: [epoch]/[status] are stored by their owner on every
+         critical-section entry and read by every flusher — registration
+         allocates locals back-to-back, so without the spacer two
+         threads' hot cells share a cache line
+         (see {!Hpbrcu_runtime.Layout}) *)
 }
 
 type domain = {
@@ -150,6 +156,7 @@ let register d =
       status = Atomic.make st_out;
       box = Signal.make ();
       quarantined = Atomic.make false;
+      _pad = Hpbrcu_runtime.Layout.spacer ();
     }
   in
   Signal.attach ~domain:(Dom.id d.meta) l.box;

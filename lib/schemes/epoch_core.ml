@@ -40,7 +40,14 @@ module Segstack = Hpbrcu_core.Segstack
 let dummy_entry () =
   { Retired.blk = Retired.dummy_block; free = None; stamp = 0; patches = [] }
 
-type local = { pin : int Atomic.t (* -1 = unpinned *) }
+type local = {
+  pin : int Atomic.t;  (* -1 = unpinned *)
+  _pad : int array;
+      (* live spacer allocated right after [pin]: keeps one thread's
+         announcement a cache line away from the next registrant's, since
+         registration allocates locals back-to-back on the minor heap
+         (see {!Hpbrcu_runtime.Layout}) *)
+}
 
 type domain = {
   meta : Dom.t;
@@ -97,7 +104,7 @@ type handle = {
 }
 
 let register d =
-  let l = { pin = Atomic.make (-1) } in
+  let l = { pin = Atomic.make (-1); _pad = Hpbrcu_runtime.Layout.spacer () } in
   let idx = Registry.Participants.add d.participants l in
   {
     d;

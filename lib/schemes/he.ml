@@ -37,9 +37,14 @@ module Slots = struct
     free : int list Atomic.t;
   }
 
+  (* Index-strided like [Registry.Shields]: era slots are claimed in hwm
+     order, so adjacent threads own adjacent indices — the stride keeps
+     their reservation cells off each other's cache lines. *)
   let create () =
     {
-      slots = Array.init max_slots (fun _ -> Atomic.make (-1));
+      slots =
+        Hpbrcu_runtime.Layout.strided_init max_slots (fun _ ->
+            Atomic.make (-1));
       hwm = Atomic.make 0;
       free = Atomic.make [];
     }

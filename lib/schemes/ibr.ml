@@ -106,7 +106,8 @@ module Impl : Smr_intf.SCHEME = struct
 
   type local = {
     lower : int Atomic.t;
-    upper : int Atomic.t; (* -1 = inactive *)
+    upper : int Atomic.t;  (* -1 = inactive *)
+    _pad : int array;  (* live inter-record spacer; see Hpbrcu_runtime.Layout *)
   }
 
   type domain = {
@@ -155,7 +156,13 @@ module Impl : Smr_intf.SCHEME = struct
 
   let register d =
     Dom.on_register d.meta;
-    let l = { lower = Atomic.make (-1); upper = Atomic.make (-1) } in
+    let l =
+      {
+        lower = Atomic.make (-1);
+        upper = Atomic.make (-1);
+        _pad = Hpbrcu_runtime.Layout.spacer ();
+      }
+    in
     let idx = Registry.Participants.add d.participants l in
     let sc =
       {

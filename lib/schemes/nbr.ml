@@ -59,7 +59,11 @@ module Impl : Smr_intf.SCHEME = struct
           Some (nthreads * ((cfg.Config.batch * 2) + 64) * 2));
     }
 
-  type local = { status : int Atomic.t; box : Signal.box }
+  type local = {
+    status : int Atomic.t;
+    box : Signal.box;
+    _pad : int array;  (* live inter-record spacer; see Hpbrcu_runtime.Layout *)
+  }
 
   let st_out = 0
   let st_incs = 1
@@ -110,7 +114,13 @@ module Impl : Smr_intf.SCHEME = struct
 
   let register d =
     Dom.on_register d.meta;
-    let l = { status = Atomic.make st_out; box = Signal.make () } in
+    let l =
+      {
+        status = Atomic.make st_out;
+        box = Signal.make ();
+        _pad = Hpbrcu_runtime.Layout.spacer ();
+      }
+    in
     Signal.attach ~domain:(Dom.id d.meta) l.box;
     let idx = Registry.Participants.add d.participants l in
     { d; l; idx; hph = Core.register d.hp; pending = Retired.create () }

@@ -55,7 +55,11 @@ module Impl : Smr_intf.SCHEME = struct
 
   exception Restart
 
-  type local = { pin : int Atomic.t; box : Signal.box }
+  type local = {
+    pin : int Atomic.t;
+    box : Signal.box;
+    _pad : int array;  (* live inter-record spacer; see Hpbrcu_runtime.Layout *)
+  }
 
   type domain = {
     meta : Dom.t;
@@ -122,7 +126,13 @@ module Impl : Smr_intf.SCHEME = struct
 
   let register d =
     Dom.on_register d.meta;
-    let l = { pin = Atomic.make (-1); box = Signal.make () } in
+    let l =
+      {
+        pin = Atomic.make (-1);
+        box = Signal.make ();
+        _pad = Hpbrcu_runtime.Layout.spacer ();
+      }
+    in
     Signal.attach ~domain:(Dom.id d.meta) l.box;
     let idx = Registry.Participants.add d.participants l in
     {

@@ -32,9 +32,20 @@ module Shields = struct
 
   let max_shields = 1 lsl 14
 
+  (* Slots are handed out in index order (hwm bump), so under the Domains
+     backend thread [k] and thread [k+1] own adjacent indices — with a
+     plainly-initialised array their hot [Atomic.t] cells are also
+     adjacent in memory and false-share a cache line on every protect.
+     [strided_init] transposes the allocation order so index-neighbours
+     land ~a cache line apart (the OCaml analogue of the CLPAD padding in
+     C++ hazard-pointer tables); the scanner's sequential read of the
+     whole table degrades into a few interleaved streams, which prefetch
+     fine. *)
   let create () =
     {
-      slots = Array.init max_shields (fun _ -> Atomic.make None);
+      slots =
+        Hpbrcu_runtime.Layout.strided_init max_shields (fun _ ->
+            Atomic.make None);
       hwm = Atomic.make 0;
       free = Atomic.make [];
     }
@@ -120,9 +131,15 @@ module Participants = struct
 
   let capacity = Hpbrcu_runtime.Sched.max_threads * 2
 
+  (* Same index-stride trick as [Shields.create]: participant slots are
+     claimed in hwm order, one per registering thread, and the epoch
+     reclaimers write through them on every pin — neighbours must not
+     share a cache line. *)
   let create () =
     {
-      slots = Array.init capacity (fun _ -> Atomic.make None);
+      slots =
+        Hpbrcu_runtime.Layout.strided_init capacity (fun _ ->
+            Atomic.make None);
       hwm = Atomic.make 0;
       free = Atomic.make [];
     }

@@ -42,7 +42,7 @@ module Make (L : Hpbrcu_ds.Ds_intf.MAP) = struct
     let now =
       match c.mode with
       | Spec.Fibers _ -> Sched.tick
-      | Spec.Domains -> fun () -> int_of_float (Clock.now () *. 1e9)
+      | Spec.Domains -> Clock.now_ns
     in
     {
       now;

@@ -30,7 +30,10 @@ let quick =
     label = "quick";
     duration = 0.3;
     threads = [ 1; 2; 4; 8 ];
-    mode = Spec.Domains;
+    (* Fibers by default: figures regenerated on an arbitrary box must not
+       depend on its core count.  [with_mode] rebases a profile on real
+       domains when the caller passes [--mode domains]. *)
+    mode = Spec.Fibers 7;
     longrun_mode = Spec.Fibers 7;
     small_range = 1024;
     large_range = 8192;
@@ -62,6 +65,33 @@ let sim =
     duration = 0.2;
     seed = 1077;
   }
+
+(** [with_mode p m] rebases profile [p] on substrate [m] — the [--mode]
+    flag of the figure commands.  [`Fibers] is the recorded default of
+    each profile; [`Domains] switches the thread sweeps to real
+    [Domain.spawn] workers and clamps the thread list to what the
+    hardware can actually run in parallel (oversubscribed domains
+    measure the OS scheduler, not the reclamation scheme).  The
+    long-running experiments follow the same switch — on one timeshared
+    core their figures are qualitative at best (see the [longrun_mode]
+    field), but on real multicore hardware the wall-clock numbers are
+    the point.  Only the *traced* longrun path stays fiber-only: the
+    spooled trace needs the deterministic tick clock
+    ({!Longrun.run_traced} rejects domain mode). *)
+let with_mode p = function
+  | `Fibers -> p
+  | `Domains ->
+      let hw = max 1 (Hpbrcu_runtime.Backend.hardware_threads ()) in
+      let threads =
+        List.sort_uniq compare (List.map (fun t -> min t hw) p.threads)
+      in
+      {
+        p with
+        mode = Spec.Domains;
+        threads;
+        longrun_mode = Spec.Domains;
+        longrun_threads = min p.longrun_threads hw;
+      }
 
 let fig1_schemes = [ "NR"; "RCU"; "HP"; "NBR"; "HP-RCU"; "HP-BRCU" ]
 

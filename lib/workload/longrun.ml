@@ -65,7 +65,7 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
     let now_lat =
       match c.mode with
       | Spec.Fibers _ -> Sched.tick
-      | Spec.Domains -> fun () -> int_of_float (Clock.now () *. 1e9)
+      | Spec.Domains -> Clock.now_ns
     in
     let lat_readers = Stats.Histogram.make () in
     let lat_writers = Stats.Histogram.make () in

@@ -1,0 +1,146 @@
+(* Domain-backend smoke suite (the Domains substrate of DESIGN.md §14).
+
+   Every scheme runs a short real-[Domain.spawn] workload — two domains
+   when the hardware has them, one otherwise — and must come out with
+   uaf = 0 and a clean allocator census.  Typed lifecycle errors
+   ([Registry.Exhausted], [Dom.Destroyed]) must behave identically on
+   both substrates, and the fiber substrate must stay deterministic
+   through the backend dispatch: the same traced cell run twice yields
+   byte-identical event logs. *)
+
+module W = Hpbrcu_workload
+module Sched = Hpbrcu_runtime.Sched
+module Backend = Hpbrcu_runtime.Backend
+module Trace = Hpbrcu_runtime.Trace
+module Alloc = Hpbrcu_alloc.Alloc
+module Caps = Hpbrcu_core.Caps
+module Config = Hpbrcu_core.Config
+module SI = Hpbrcu_core.Smr_intf
+module Registry = Hpbrcu_schemes.Registry
+module Schemes = Hpbrcu_schemes.Schemes
+
+(* Two domains when the box can actually run two; the harness must not
+   oversubscribe a single core and call it a parallelism test. *)
+let threads = if Backend.hardware_threads () >= 2 then 2 else 1
+
+(* ------------------------------------------------------------------ *)
+(* Per-scheme smoke: a short Domains-mode cell, census-clean           *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheme_smoke scheme () =
+  let rec try_ds = function
+    | [] -> Alcotest.fail ("no supported structure for " ^ scheme)
+    | ds :: rest -> (
+        match
+          W.Domains_bench.run_one ~scheme ~ds ~threads ~mode:W.Spec.Domains
+            ~ops_per_thread:300 ~seed:9
+        with
+        | None -> try_ds rest
+        | Some r ->
+            Alcotest.(check int) "uaf" 0 r.W.Spec.uaf;
+            let ok, msg = W.Domains_bench.census () in
+            Alcotest.(check string) "census" "" msg;
+            Alcotest.(check bool) "census ok" true ok)
+  in
+  try_ds W.Domains_bench.default_dss
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors: identical on both substrates                          *)
+(* ------------------------------------------------------------------ *)
+
+let on_fibers body =
+  Sched.run (Sched.Fibers { seed = 1; switch_every = 4 }) ~nthreads:1 body
+
+let on_domains body = Sched.run Sched.Domains ~nthreads:1 body
+
+(* Raises unless exhaustion surfaces as the typed [Registry.Exhausted]
+   (for both the shield table and the participants table). *)
+let exhaust_check _tid =
+  let t = Registry.Shields.create () in
+  let shields =
+    Array.init Registry.Shields.max_shields (fun _ ->
+        Registry.Shields.alloc t)
+  in
+  (match Registry.Shields.alloc t with
+  | exception Registry.Exhausted _ -> ()
+  | _ -> failwith "expected typed Exhausted from Shields.alloc");
+  Array.iter Registry.Shields.release shields;
+  let pt = Registry.Participants.create () in
+  for i = 1 to Registry.Participants.capacity do
+    ignore (Registry.Participants.add pt i : int)
+  done;
+  match Registry.Participants.add pt 0 with
+  | exception Registry.Exhausted _ -> ()
+  | _ -> failwith "expected typed Exhausted from Participants.add"
+
+let test_exhausted_parity () =
+  on_fibers exhaust_check;
+  on_domains exhaust_check
+
+(* Raises unless a destroyed domain rejects registration and a second
+   destroy with the typed [Dom.Destroyed]. *)
+let destroyed_check _tid =
+  let (module X : SI.SCHEME) =
+    match Schemes.find_impl "RCU" with
+    | Some i -> i
+    | None -> failwith "RCU impl missing"
+  in
+  let d = X.create ~label:"test-destroyed" Config.default in
+  X.destroy d;
+  (match X.register d with
+  | exception SI.Dom.Destroyed _ -> ()
+  | _ -> failwith "expected Destroyed from register");
+  match X.destroy d with
+  | exception SI.Dom.Destroyed _ -> ()
+  | _ -> failwith "expected Destroyed from double destroy"
+
+let test_destroyed_parity () =
+  on_fibers destroyed_check;
+  on_domains destroyed_check
+
+(* ------------------------------------------------------------------ *)
+(* Fiber determinism through the backend dispatch                      *)
+(* ------------------------------------------------------------------ *)
+
+let traced_cell () =
+  Schemes.reset_all ();
+  Alloc.reset ();
+  Trace.enable ~sink:Trace.Spool ();
+  let r =
+    W.Domains_bench.run_one ~scheme:"HP-BRCU" ~ds:Caps.HHSList ~threads:3
+      ~mode:(W.Spec.Fibers 5) ~ops_per_thread:150 ~seed:5
+  in
+  let log = Trace.dump () in
+  Trace.disable ();
+  (match r with
+  | Some _ -> ()
+  | None -> Alcotest.fail "HP-BRCU must support HHSList");
+  List.map Trace.record_to_string log
+
+let test_fiber_determinism () =
+  let a = traced_cell () in
+  let b = traced_cell () in
+  Alcotest.(check bool) "trace non-empty" true (a <> []);
+  Alcotest.(check int) "event count" (List.length a) (List.length b);
+  Alcotest.(check bool) "byte-identical replay" true (a = b)
+
+let () =
+  let scheme_cases =
+    List.map
+      (fun s -> Alcotest.test_case s `Quick (test_scheme_smoke s))
+      W.Domains_bench.all_scheme_names
+  in
+  Alcotest.run "domains"
+    [
+      ("scheme-smoke", scheme_cases);
+      ( "typed-errors",
+        [
+          Alcotest.test_case "exhausted parity" `Quick test_exhausted_parity;
+          Alcotest.test_case "destroyed parity" `Quick test_destroyed_parity;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fiber trace byte-identical" `Quick
+            test_fiber_determinism;
+        ] );
+    ]
