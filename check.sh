@@ -67,6 +67,18 @@ dune exec bin/smrbench.exe -- serve --scheme RCU --faults crash-reader --compare
 # Scalability-ratio gates arm themselves only on >= 2 cores.
 dune exec bin/smrbench.exe -- bench-domains --quick --gate --out /tmp/BENCH_domains.ci.json
 
+# Flight-recorder smoke gate (DESIGN.md §15): a domains-mode service
+# run with the trace armed must produce a merged ns trace that the
+# analyzer can turn into a well-formed Perfetto timeline with per-domain
+# worker tracks AND the Runtime_events GC track, with a nonzero event
+# count.  The census identity (merged + dropped = emitted) is asserted
+# inside the run itself; --require-gc-track makes the exporter validate
+# the JSON it wrote.
+dune exec bin/smrbench.exe -- serve --mode domains --quick --trace-out /tmp/smrbench.ci.flight.trace
+dune exec bin/smrbench.exe -- analyze --outdir /tmp/smrbench.ci.flight.results \
+  --perfetto /tmp/smrbench.ci.flight.perfetto.json --require-gc-track \
+  /tmp/smrbench.ci.flight.trace
+
 # The shard-isolation discriminator again, on real domains: the victim
 # emulates the crash by parking pinned inside shard 0's critical
 # section while the writers drain, and the shared/isolated ratio must

@@ -88,8 +88,13 @@ module Domains : S = struct
   let spawn ~nthreads body =
     let worker i () =
       Domain.DLS.set tid_key i;
+      (* Mirror the slot into the C thread-local the armed flight emit
+         reads fused with its tick stamp (Clock.ticks_and_slot). *)
+      Clock.flight_set_slot (i + 1);
       Fun.protect
-        ~finally:(fun () -> Domain.DLS.set tid_key (-1))
+        ~finally:(fun () ->
+          Clock.flight_set_slot 0;
+          Domain.DLS.set tid_key (-1))
         (fun () -> body i)
     in
     let domains = List.init nthreads (fun i -> Domain.spawn (worker i)) in

@@ -13,6 +13,35 @@ external now_ns : unit -> int = "hpbrcu_clock_monotonic_ns" [@@noalloc]
     epoch is arbitrary (boot time on Linux); only differences mean
     anything. *)
 
+external raw_ticks : unit -> int = "hpbrcu_clock_raw_ticks" [@@noalloc]
+(** [raw_ticks ()] — the hardware cycle counter (TSC / CNTVCT_EL0), in
+    unscaled ticks of an arbitrary constant rate; falls back to
+    {!now_ns} on ISAs without one.  Reads in ~5–15 ns where {!now_ns}
+    costs ~35 ns, which is what keeps an armed flight-recorder emit under
+    its per-event gate.  Only useful through a calibration against
+    {!now_ns} (see {!Flight}): the epoch and the unit are both
+    meaningless on their own. *)
+
+external flight_set_slot : int -> unit = "hpbrcu_flight_set_slot" [@@noalloc]
+(** [flight_set_slot s] mirrors the caller's worker slot (tid + 1; 0 =
+    outside any worker) into a C thread-local so {!ticks_and_slot} can
+    return it without a [Domain.DLS] lookup.  Set by the Domains backend
+    at worker start/end; fibers never need it (the flight recorder is a
+    Domains-only sink). *)
+
+external flight_rebase : int -> unit = "hpbrcu_flight_rebase" [@@noalloc]
+(** [flight_rebase mask] captures the current tick counter as the zero
+    of {!ticks_and_slot}'s rebased timebase and stores [mask] (the
+    flight-ring capacity minus one) for the fused C emit.  Call once at
+    arm time, before workers spawn: the rebased ticks must fit in 54
+    bits so the packed representation never overflows. *)
+
+external ticks_and_slot : unit -> int = "hpbrcu_flight_ticks_slot"
+  [@@noalloc]
+(** [ticks_and_slot ()] — one fused call for the armed emit hot path:
+    [(ticks_since_rebase lsl 9) lor slot].  Decode with [asr 9] /
+    [land 511]. *)
+
 (** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
 let time f =
   let t0 = now () in

@@ -7,6 +7,7 @@
  * so the stub is [@@noalloc].
  */
 #include <caml/mlvalues.h>
+#include <stdint.h>
 #include <time.h>
 
 CAMLprim value hpbrcu_clock_monotonic_ns(value unit)
@@ -16,3 +17,119 @@ CAMLprim value hpbrcu_clock_monotonic_ns(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
 }
+
+/* Raw hardware tick counter for the flight recorder's hot path.
+ *
+ * clock_gettime costs ~35 ns per call on this class of machine — more
+ * than the whole per-event budget of an armed trace ring.  The cycle
+ * counter (TSC on x86-64, CNTVCT_EL0 on aarch64) reads in ~5-15 ns, is
+ * monotone per core on every post-2010 part (invariant/constant TSC),
+ * and is the same counter the kernel's CLOCK_MONOTONIC vDSO path is
+ * built on, so a two-point calibration against hpbrcu_clock_monotonic_ns
+ * converts ticks to the CLOCK_MONOTONIC ns timebase exactly enough to
+ * correlate with Runtime_events timestamps (which are CLOCK_MONOTONIC ns
+ * via caml_time_counter).  Unknown ISAs fall back to clock_gettime: the
+ * recorder stays correct, only the per-event gate headroom shrinks.
+ */
+static intnat hpbrcu_ticks(void)
+{
+#if defined(__x86_64__) || defined(__i386__)
+  return (intnat)__builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  uint64_t v;
+  __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+  return (intnat)v;
+#else
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec;
+#endif
+}
+
+CAMLprim value hpbrcu_clock_raw_ticks(value unit)
+{
+  (void)unit;
+  return Val_long(hpbrcu_ticks());
+}
+
+/* The armed flight emit needs the caller's worker slot (tid + 1) and the
+ * tick counter; fetching the slot from Domain.DLS costs ~6 ns per event
+ * against a 25 ns budget, so the Domains backend mirrors it into a C
+ * thread-local at worker start and one fused call returns both, packed
+ * as (rebased_ticks << 9) | slot.  Nine bits cover slot 0..511 (the
+ * runtime caps logical tids at 256); rebasing against a base captured at
+ * arm time keeps the shifted ticks far inside OCaml's 63-bit immediate
+ * range (raw TSC << 9 would overflow after ~7 weeks of uptime).  The
+ * base is written before workers spawn and only read concurrently.
+ */
+/* initial-exec TLS model: the stubs are linked into the executable, so
+ * the slot read is one %fs-relative load instead of the ~7 ns
+ * __tls_get_addr call the default (PIC general-dynamic) model emits.
+ */
+static __thread intnat hpbrcu_flight_slot
+    __attribute__((tls_model("initial-exec"))) = 0;
+static intnat hpbrcu_tick_base = 0;
+static intnat hpbrcu_flight_mask = 0;
+
+CAMLprim value hpbrcu_flight_set_slot(value slot)
+{
+  hpbrcu_flight_slot = Long_val(slot) & 511;
+  return Val_unit;
+}
+
+/* Capture the tick base and the ring index mask together at arm time.
+ * Keeping the mask C-side spares the emit one OCaml ref load and one
+ * argument — small, but the whole emit budget is 25 ns.  Both are
+ * written before workers spawn and only read concurrently.
+ */
+CAMLprim value hpbrcu_flight_rebase(value mask)
+{
+  hpbrcu_tick_base = hpbrcu_ticks();
+  hpbrcu_flight_mask = Long_val(mask);
+  return Val_unit;
+}
+
+CAMLprim value hpbrcu_flight_ticks_slot(value unit)
+{
+  (void)unit;
+  return Val_long(((hpbrcu_ticks() - hpbrcu_tick_base) << 9)
+                  | hpbrcu_flight_slot);
+}
+
+/* The whole armed emit in one call: slot from the thread-local, tick
+ * stamp, four stores into the owner's ring, count bump.  Splitting this
+ * across OCaml (ring lookup, index arithmetic, stores) and C (tick
+ * read) costs ~10 ns in call dispatch and the register spills the C
+ * call forces around the OCaml-side live values — over a third of the
+ * 25 ns/event budget.  Everything stored is an immediate (tagged ints
+ * into an int array, a tagged-int field update), so no GC write
+ * barrier is needed and the stub stays [@@noalloc].
+ *
+ * [rings] is the slot-indexed array of ring records { buf; n; _pad };
+ * None is the immediate 0, so Is_block doubles as the "ring allocated"
+ * test.  Returns Val_false when the caller's slot has no ring yet (or
+ * is out of range) so the OCaml side can take its allocating slow
+ * path; both bounds checks are one header-word compare each.
+ */
+CAMLprim value hpbrcu_flight_emit(value rings, value code, value arg,
+                                  value arg2)
+{
+  intnat slot = hpbrcu_flight_slot;
+  value r, buf;
+  intnat n, at;
+  if (slot >= (intnat)Wosize_val(rings)) return Val_false;
+  r = Field(rings, slot);
+  if (!Is_block(r)) return Val_false; /* None: not armed for this slot */
+  r = Field(r, 0);                    /* unwrap [Some ring] */
+  buf = Field(r, 0);
+  n = Long_val(Field(r, 1));
+  at = (n & hpbrcu_flight_mask) * 4;
+  if ((uintnat)(at + 3) >= Wosize_val(buf)) return Val_false;
+  Field(buf, at) = Val_long(hpbrcu_ticks() - hpbrcu_tick_base);
+  Field(buf, at + 1) = code;
+  Field(buf, at + 2) = arg;
+  Field(buf, at + 3) = arg2;
+  Field(r, 1) = Val_long(n + 1);
+  return Val_true;
+}
+

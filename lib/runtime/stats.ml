@@ -299,6 +299,12 @@ type snapshot = {
   backpressure_rejects : int;
       (** admissions that exhausted their bounded retry rounds and were
           returned to the caller as a typed [Backpressure] outcome *)
+  trace_dropped : int;
+      (** trace events lost to flight-ring wraparound (domains-mode
+          recorder, DESIGN.md §15), folded from the per-domain [dropped]
+          lanes after the workers join; 0 whenever the recorder is off or
+          nothing wrapped.  Part of the census identity
+          [merged + trace_dropped = emitted] asserted per cell *)
 }
 
 let empty =
@@ -332,6 +338,7 @@ let empty =
     watchdog_recycles = 0;
     backpressure_waits = 0;
     backpressure_rejects = 0;
+    trace_dropped = 0;
   }
 
 (** Pointwise merge; composite schemes combine their halves with this
@@ -372,6 +379,7 @@ let add a b =
     watchdog_recycles = a.watchdog_recycles + b.watchdog_recycles;
     backpressure_waits = a.backpressure_waits + b.backpressure_waits;
     backpressure_rejects = a.backpressure_rejects + b.backpressure_rejects;
+    trace_dropped = a.trace_dropped + b.trace_dropped;
   }
 
 (** The serializer boundary: the one place a snapshot becomes string-keyed
@@ -409,6 +417,7 @@ let to_fields ?(keep_zeros = false) s =
       ("watchdog_recycles", s.watchdog_recycles);
       ("backpressure_waits", s.backpressure_waits);
       ("backpressure_rejects", s.backpressure_rejects);
+      ("trace_dropped", s.trace_dropped);
     ]
   in
   if keep_zeros then all else List.filter (fun (_, v) -> v <> 0) all

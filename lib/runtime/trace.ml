@@ -86,6 +86,11 @@ type event =
       (** arg = owning domain id, arg2 = unreclaimed blocks at admission *)
   | Backpressure_reject
       (** arg = owning domain id, arg2 = bounded retry rounds exhausted *)
+  | Gc_begin
+      (** arg = collection kind (0 minor, 1 major slice), arg2 = runtime
+          domain id; merged into domains-mode traces from [Runtime_events]
+          on the {!gc_tid} pseudo-track, never emitted by schemes *)
+  | Gc_end  (** arg/arg2 as [Gc_begin]; closes the matching slice *)
 
 let event_code = function
   | Epoch_advance -> 0
@@ -118,6 +123,18 @@ let event_code = function
   | Watchdog_recycle -> 27
   | Backpressure_wait -> 28
   | Backpressure_reject -> 29
+  | Gc_begin -> 30
+  | Gc_end -> 31
+
+(* The code table above is the identity on the runtime representation:
+   every [event] constructor is constant, so its immediate value is its
+   declaration index — which is exactly the code the table assigns.  The
+   armed flight emit uses the representation directly, saving the
+   jump-table dispatch of [event_code] (~2 ns of a 25 ns/event budget);
+   the explicit table stays as the readable on-disk spec and the
+   [all_events] roundtrip test asserts the two agree for every
+   constructor, so a reordered declaration fails loudly. *)
+let[@inline] event_code_unsafe (ev : event) : int = Obj.magic ev
 
 let event_of_code = function
   | 0 -> Epoch_advance
@@ -150,11 +167,13 @@ let event_of_code = function
   | 27 -> Watchdog_recycle
   | 28 -> Backpressure_wait
   | 29 -> Backpressure_reject
+  | 30 -> Gc_begin
+  | 31 -> Gc_end
   | _ -> invalid_arg "Trace.event_of_code"
 
 (** Number of event codes; codes are contiguous in [0, n_event_codes).
     The roundtrip test iterates this range against {!all_events}. *)
-let n_event_codes = 30
+let n_event_codes = 32
 
 (** Every constructor, in code order. *)
 let all_events =
@@ -189,6 +208,8 @@ let all_events =
     Watchdog_recycle;
     Backpressure_wait;
     Backpressure_reject;
+    Gc_begin;
+    Gc_end;
   ]
 
 let event_name = function
@@ -222,6 +243,8 @@ let event_name = function
   | Watchdog_recycle -> "watchdog-recycle"
   | Backpressure_wait -> "backpressure-wait"
   | Backpressure_reject -> "backpressure-reject"
+  | Gc_begin -> "gc-begin"
+  | Gc_end -> "gc-end"
 
 (* ------------------------------------------------------------------ *)
 (* Providers (installed by Sched at init)                              *)
@@ -237,7 +260,13 @@ let set_tid_provider f = tid_provider := f
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type sink = Ring | Spool
+(* The third sink is the domains-mode flight recorder ({!Flight},
+   DESIGN.md §15): per-domain SPSC rings stamped in calibrated
+   CLOCK_MONOTONIC ns instead of virtual ticks.  The dispatch lives here,
+   inside [emit_enabled], so every scheme call site stays substrate-
+   agnostic and the fiber sinks' code paths (and therefore their byte-
+   deterministic traces) are untouched when the flight sink is armed. *)
+type sink = Ring | Spool | Flight
 
 (* Each record is four ints: tick, event code, arg, arg2. *)
 let rec_ints = 4
@@ -270,6 +299,23 @@ let spool_limit = ref spool_default_limit
 let sink_mode = ref Ring
 let on = ref false
 
+(* [true] iff enabled with the {!Flight} sink on the hardware timebase.
+   Checked first in {!emit}/{!emit2} so the domains-mode hot path is one
+   ref load, one branch and the fused C stub — no sink match, no extra
+   call frame — because the flight-emit kernel gates the whole chain at
+   25 ns/event and on this class of machine the tick read alone costs
+   ~17 of them.  A test-scripted tick source clears the flag (hook
+   below), dropping those emits to the [emit_enabled] path that honours
+   [Flight.tick_source]. *)
+let flight_on = ref false
+
+let () =
+  Flight.tick_source_override_hook := fun () -> flight_on := false
+
+(* Bound once: a cross-module [Flight.rings] access is two dependent
+   loads (module block, then field) on every event. *)
+let flight_rings = Flight.rings
+
 let enabled () = !on
 let sink () = !sink_mode
 
@@ -277,29 +323,44 @@ let clear () =
   Array.fill rings 0 max_rings None;
   Array.fill spools 0 max_rings None
 
-(** [enable ?capacity ?sink ()] clears previous traces and starts
-    recording.  With the (default) {!Ring} sink, [capacity] is the
+(** [enable ?capacity ?sink ?ndomains ?gc ()] clears previous traces and
+    starts recording.  With the (default) {!Ring} sink, [capacity] is the
     per-thread ring size in events (default 4096, lossy under wraparound);
     with {!Spool}, it is the per-thread record bound (default
-    {!spool_default_limit}, non-lossy below it). *)
-let enable ?capacity:cap ?(sink = Ring) () =
+    {!spool_default_limit}, non-lossy below it); with {!Flight}, it is the
+    per-domain flight-ring size and [ndomains]/[gc] are forwarded to
+    {!Flight.arm} (rings preallocated per announced worker, GC track on by
+    default). *)
+let enable ?capacity:cap ?(sink = Ring) ?(ndomains = 0) ?(gc = true) () =
   clear ();
   sink_mode := sink;
   (match sink with
   | Ring -> capacity := max 1 (Option.value cap ~default:4096)
-  | Spool -> spool_limit := max 1 (Option.value cap ~default:spool_default_limit));
+  | Spool -> spool_limit := max 1 (Option.value cap ~default:spool_default_limit)
+  | Flight -> Flight.arm ?capacity:cap ~ndomains ~gc ());
+  flight_on := sink = Flight;
   on := true
 
-let disable () = on := false
+let disable () =
+  if !on && !sink_mode = Flight then Flight.disarm ();
+  flight_on := false;
+  on := false
 
 (* Enabled-path body, out of line so the disabled path in emit/emit2 is a
    ref read and a branch with no call. *)
 let emit_enabled ev arg arg2 =
-  let i = !tid_provider () + 1 in
-  if i >= 0 && i < max_rings then begin
-    let t = !clock () and code = event_code ev in
-    match !sink_mode with
-    | Ring ->
+  match !sink_mode with
+  | Flight ->
+      (* Flight stamps its own calibrated hardware-tick clock (the
+         injected [clock] is the fiber simulator's virtual tick, which
+         reads 0 under the Domains backend) and resolves the caller's
+         slot from the fused C thread-local, not [tid_provider] — the
+         DLS lookup is too slow for the 25 ns/event gate. *)
+      Flight.emit_self ~code:(event_code ev) ~arg ~arg2
+  | Ring ->
+      let i = !tid_provider () + 1 in
+      if i >= 0 && i < max_rings then begin
+        let t = !clock () and code = event_code ev in
         let r =
           match rings.(i) with
           | Some r -> r
@@ -314,7 +375,11 @@ let emit_enabled ev arg arg2 =
         r.buf.(slot + 2) <- arg;
         r.buf.(slot + 3) <- arg2;
         r.n <- r.n + 1
-    | Spool ->
+      end
+  | Spool ->
+      let i = !tid_provider () + 1 in
+      if i >= 0 && i < max_rings then begin
+        let t = !clock () and code = event_code ev in
         let s =
           match spools.(i) with
           | Some s -> s
@@ -345,15 +410,25 @@ let emit_enabled ev arg arg2 =
           s.fill <- s.fill + rec_ints
         end;
         s.sn <- s.sn + 1
-  end
+      end
 
 (** Record one event.  Zero-allocation no-op when disabled; when enabled,
     four int stores into the calling thread's sink. *)
-let emit ev arg = if !on then emit_enabled ev arg 0
+let emit ev arg =
+  if !flight_on then begin
+    if not (Flight.emit_stub flight_rings (event_code_unsafe ev) arg 0) then
+      Flight.emit_grow ~code:(event_code_unsafe ev) ~arg ~arg2:0
+  end
+  else if !on then emit_enabled ev arg 0
 
 (** Like {!emit} with a correlation argument (block id, send-sequence id,
     preempted tid, …). *)
-let emit2 ev arg arg2 = if !on then emit_enabled ev arg arg2
+let emit2 ev arg arg2 =
+  if !flight_on then begin
+    if not (Flight.emit_stub flight_rings (event_code_unsafe ev) arg arg2)
+    then Flight.emit_grow ~code:(event_code_unsafe ev) ~arg ~arg2
+  end
+  else if !on then emit_enabled ev arg arg2
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -372,6 +447,7 @@ type record = {
     summed over threads. *)
 let dropped () =
   match !sink_mode with
+  | Flight -> Flight.dropped ()
   | Ring ->
       Array.fold_left
         (fun acc r ->
@@ -399,13 +475,60 @@ let chronological acc =
 let spool_chunks s =
   List.rev ((s.cur, s.fill) :: List.map (fun c -> (c, Array.length c)) s.full)
 
+(** Pseudo thread id carrying the merged GC track of a flight trace.
+    Outside the real tid range (rings cover tids -1..max_rings-2), so it
+    can never collide with a worker; the Perfetto export names it "gc". *)
+let gc_tid = 4096
+
+(* Decode the flight recorder: per-domain rings (calibrated ns
+   timestamps) plus the Runtime_events GC slice edges on {!gc_tid}, all
+   rebased so the earliest record sits at t = 0 — absolute
+   CLOCK_MONOTONIC values are boot-relative noise nobody wants in a
+   trace file.  The shared {!chronological} sort is the merge: stable on
+   (tick, tid, seq), so equal-ns records across domains order
+   deterministically by tid and a domain's own records never reorder. *)
+let dump_flight () : record list =
+  let acc = ref [] in
+  Flight.iter_kept (fun slot seq ns code arg arg2 ->
+      acc :=
+        { tick = ns; tid = slot - 1; seq; event = event_of_code code; arg; arg2 }
+        :: !acc);
+  let gc_seq = ref 0 in
+  List.iter
+    (fun (ns, kind, is_begin, dom) ->
+      acc :=
+        {
+          tick = ns;
+          tid = gc_tid;
+          seq = !gc_seq;
+          event = (if is_begin then Gc_begin else Gc_end);
+          arg = kind;
+          arg2 = dom;
+        }
+        :: !acc;
+      incr gc_seq)
+    (Flight.gc_collected ());
+  let records = !acc in
+  let base =
+    List.fold_left (fun m r -> min m r.tick) max_int records
+  in
+  let records =
+    if base = max_int then []
+    else List.map (fun r -> { r with tick = r.tick - base }) records
+  in
+  chronological records
+
 (** [dump ()] decodes the active sink into a single chronological log,
     ordered by (tick, tid, per-thread sequence).  Deterministic in fiber
-    mode. *)
+    mode; in flight mode, tick is calibrated CLOCK_MONOTONIC ns rebased
+    to the first record. *)
 let dump () : record list =
+  if !sink_mode = Flight then dump_flight ()
+  else begin
   let acc = ref [] in
   for i = max_rings - 1 downto 0 do
     match !sink_mode with
+    | Flight -> ()
     | Ring -> (
         match rings.(i) with
         | None -> ()
@@ -455,6 +578,27 @@ let dump () : record list =
             acc := List.rev_append !here !acc)
   done;
   chronological !acc
+  end
+
+(** Census identity of the flight recorder (asserted after every
+    domains-mode cell): the merged stream's non-GC record count plus the
+    counted drops must equal the events ever emitted.  Catches
+    decode/merge bugs and lane-fold races alike.  Returns [(ok, msg)]
+    with a diagnostic message on failure, ["" ] otherwise. *)
+let flight_census () =
+  let merged =
+    List.length (List.filter (fun r -> r.tid <> gc_tid) (dump_flight ()))
+  in
+  let emitted = Flight.emitted ()
+  and kept = Flight.kept ()
+  and dropped = Flight.dropped () in
+  if merged = kept && kept + dropped = emitted then (true, "")
+  else
+    ( false,
+      Printf.sprintf
+        "flight census: merged=%d kept=%d dropped=%d emitted=%d (want \
+         merged=kept and kept+dropped=emitted)"
+        merged kept dropped emitted )
 
 let pp_record ppf r =
   Fmt.pf ppf "%8d  t%-3d  %-16s %d %d" r.tick r.tid (event_name r.event) r.arg
@@ -474,21 +618,55 @@ let record_to_string r =
    never reflow old lines. *)
 let file_magic = "# smrbench-trace v2: tick tid seq code arg arg2"
 
-let write_channel oc records =
+(* Flight traces tag their timebase with an extra header comment so the
+   analyzer can label percentiles in ns instead of ticks.  Fiber traces
+   write no tag (and [read_unit] defaults to "tick"), keeping their
+   on-disk bytes identical to the pre-flight format. *)
+let unit_header u = "# unit: " ^ u
+
+let write_channel ?(unit_ = "tick") oc records =
   output_string oc file_magic;
   output_char oc '\n';
+  if unit_ <> "tick" then begin
+    output_string oc (unit_header unit_);
+    output_char oc '\n'
+  end;
   List.iter
     (fun r ->
       Printf.fprintf oc "%d %d %d %d %d %d\n" r.tick r.tid r.seq
         (event_code r.event) r.arg r.arg2)
     records
 
-(** [to_file path records] writes a chronological log (usually {!dump}'s
-    result) in the line format {!read_file} parses. *)
-let to_file path records =
+(** [to_file ?unit_ path records] writes a chronological log (usually
+    {!dump}'s result) in the line format {!read_file} parses, tagged with
+    the timestamp unit when it is not the default virtual tick. *)
+let to_file ?unit_ path records =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      write_channel oc records)
+      write_channel ?unit_ oc records)
+
+(** Timestamp unit recorded in a trace file's header: ["ns"] for merged
+    flight traces, ["tick"] otherwise. *)
+let read_unit path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let u = ref "tick" in
+      (try
+         let continue = ref true in
+         while !continue do
+           let line = input_line ic in
+           if line = "" || line.[0] = '#' then begin
+             let prefix = "# unit: " in
+             let pl = String.length prefix in
+             if String.length line > pl && String.sub line 0 pl = prefix then begin
+               u := String.sub line pl (String.length line - pl);
+               continue := false
+             end
+           end
+           else continue := false
+         done
+       with End_of_file -> ());
+      !u)
 
 (** [read_file path] parses a file written by {!to_file}.  Raises
     [Failure] on malformed input. *)
@@ -530,6 +708,8 @@ let phase_of = function
   | Flush_end -> E
   | Op_begin -> B "op"
   | Op_end -> E
+  | Gc_begin -> B "gc"
+  | Gc_end -> E
   | ev -> I (event_name ev)
 
 (** [export_perfetto oc records] writes Chrome trace-event JSON (loadable
@@ -546,7 +726,11 @@ let export_perfetto oc records =
   List.iter (fun r -> Hashtbl.replace tids r.tid ()) records;
   Hashtbl.iter
     (fun tid () ->
-      let name = if tid < 0 then "main" else Printf.sprintf "worker-%d" tid in
+      let name =
+        if tid < 0 then "main"
+        else if tid = gc_tid then "gc"
+        else Printf.sprintf "worker-%d" tid
+      in
       Printf.fprintf oc
         ",\n\
          {\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
@@ -557,6 +741,12 @@ let export_perfetto oc records =
       let tid = r.tid + 1 in
       match phase_of r.event with
       | B name ->
+          (* The GC span's display name carries the collection kind. *)
+          let name =
+            match r.event with
+            | Gc_begin -> if r.arg = 1 then "major-gc" else "minor-gc"
+            | _ -> name
+          in
           Printf.fprintf oc
             ",\n\
              {\"ph\":\"B\",\"name\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"arg\":%d,\"arg2\":%d}}"

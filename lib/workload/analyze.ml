@@ -46,6 +46,10 @@ type domain_summary = {
 
 type summary = {
   source : string;
+  unit_ : string;
+      (** timestamp unit of every latency figure below: ["tick"] for fiber
+          traces, ["ns"] for merged domains-mode flight traces (read from
+          the trace file's [# unit: ns] header) *)
   events : int;
   ttr : Histogram.summary;  (** time-to-reclaim, ticks *)
   never_reclaimed : int;  (** retired in-trace, not reclaimed in-trace *)
@@ -109,7 +113,8 @@ let len_bucket len =
 
 let len_bucket_floor k = if k = 0 then 0 else 1 lsl (k - 1)
 
-let of_records ?(source = "trace") (records : Trace.record list) : summary =
+let of_records ?(source = "trace") ?(unit_ = "tick")
+    (records : Trace.record list) : summary =
   let events = List.length records in
   (* --- retire→reclaim and the watermark curve --- *)
   let ttr_h = Histogram.make () in
@@ -267,6 +272,7 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
   in
   {
     source;
+    unit_;
     events;
     ttr = Histogram.summary ttr_h;
     never_reclaimed = Hashtbl.length retired_at;
@@ -286,7 +292,7 @@ let of_records ?(source = "trace") (records : Trace.record list) : summary =
 let of_file path =
   of_records
     ~source:(Filename.remove_extension (Filename.basename path))
-    (Trace.read_file path)
+    ~unit_:(Trace.read_unit path) (Trace.read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -297,11 +303,22 @@ let hsum (s : Histogram.summary) =
 
 (** Render the cross-source comparison tables to [sinks] and the
     per-source curves (watermark, abort-vs-length) as CSVs under
-    [Report.outdir]. *)
+    [Report.outdir].  Table titles carry the timestamp unit of the
+    analyzed traces: "ticks" for fiber spools, "ns" for merged
+    domains-mode flight traces, "mixed" when the sources disagree. *)
 let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
+  let unit_label =
+    match summaries with
+    | [] -> "ticks"
+    | s :: rest ->
+        if List.for_all (fun x -> x.unit_ = s.unit_) rest then
+          match s.unit_ with "ns" -> "ns" | _ -> "ticks"
+        else "mixed"
+  in
+  let titled fmt = Printf.sprintf fmt unit_label in
   Report.emit ~sinks
     {
-      Report.title = "analyze: reclamation latency (ticks)";
+      Report.title = titled "analyze: reclamation latency (%s)";
       header =
         [
           "source"; "events"; "ttr_n"; "ttr_p50"; "ttr_p90"; "ttr_p99";
@@ -318,7 +335,7 @@ let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
     };
   Report.emit ~sinks
     {
-      Report.title = "analyze: signal -> rollback (ticks)";
+      Report.title = titled "analyze: signal -> rollback (%s)";
       header =
         [
           "source"; "sent"; "dropped"; "unmatched"; "rb_n"; "rb_p50";
@@ -336,7 +353,7 @@ let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
     };
   Report.emit ~sinks
     {
-      Report.title = "analyze: critical sections (ticks)";
+      Report.title = titled "analyze: critical sections (%s)";
       header =
         [
           "source"; "cs_n"; "cs_p50"; "cs_p90"; "cs_p99"; "cs_max";
@@ -359,7 +376,7 @@ let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
   if List.exists (fun s -> s.by_domain <> []) summaries then
     Report.emit ~sinks
       {
-        Report.title = "analyze: per-domain reclamation (ticks)";
+        Report.title = titled "analyze: per-domain reclamation (%s)";
         header =
           [
             "source"; "domain"; "retired"; "ttr_n"; "ttr_p50"; "ttr_p90";
@@ -418,3 +435,182 @@ let report ?(sinks = [ Report.Table ]) (summaries : summary list) =
               s.abort_by_len;
         })
     summaries
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export validation (the check.sh domains-trace gate)        *)
+(* ------------------------------------------------------------------ *)
+
+(** Structural validation of an exported Chrome trace-event JSON file:
+    parse it with a real (if minimal) JSON reader — so truncation or an
+    unbalanced brace fails loudly — then recover the thread tracks from
+    the [thread_name] metadata and count the non-metadata events.  The
+    domains-trace smoke gate requires the per-domain worker tracks plus
+    the [Runtime_events]-fed "gc" track and a nonzero event count. *)
+module Perfetto_check = struct
+  type json =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  (* Recursive-descent parser over the whole file; covers the JSON we
+     emit (and any well-formed document without \u escapes). *)
+  let parse (s : string) : json =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "perfetto json: %s at byte %d" msg !pos) in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | '\000' -> fail "unterminated string"
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while num_char (peek ()) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | '"' -> Str (string_lit ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> Num (number ())
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  type t = {
+    pf_events : int;  (** non-metadata trace events *)
+    pf_tracks : string list;  (** thread_name metadata, document order *)
+  }
+
+  let field k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  (** [validate path] — parse the export and return its event count and
+      thread tracks; raises [Failure] on malformed JSON or a document
+      that is not a trace-event file. *)
+  let validate path : t =
+    let ic = open_in_bin path in
+    let raw =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let doc = parse raw in
+    match field "traceEvents" doc with
+    | Some (Arr events) ->
+        let pf_events = ref 0 and tracks = ref [] in
+        List.iter
+          (fun ev ->
+            match field "ph" ev with
+            | Some (Str "M") -> (
+                match (field "name" ev, field "args" ev) with
+                | Some (Str "thread_name"), Some args -> (
+                    match field "name" args with
+                    | Some (Str track) -> tracks := track :: !tracks
+                    | _ -> ())
+                | _ -> ())
+            | Some (Str _) -> incr pf_events
+            | _ -> failwith "perfetto json: event without ph")
+          events;
+        { pf_events = !pf_events; pf_tracks = List.rev !tracks }
+    | _ -> failwith "perfetto json: no traceEvents array"
+end

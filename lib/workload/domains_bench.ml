@@ -34,6 +34,7 @@
 module Caps = Hpbrcu_core.Caps
 module Alloc = Hpbrcu_alloc.Alloc
 module Backend = Hpbrcu_runtime.Backend
+module Trace = Hpbrcu_runtime.Trace
 module Json = Report.Json
 
 let overhead_limit = 1.5
@@ -259,11 +260,100 @@ let sweep ?(schemes = all_scheme_names) ?(dss = default_dss)
     schemes;
   { failures = List.rev !failures; cells = List.rev !cells }
 
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder whole-cell delta                                    *)
+(* ------------------------------------------------------------------ *)
+
+type flight_delta = {
+  fd_scheme : string;
+  fd_ds : Caps.ds_id;
+  fd_threads : int;
+  off_ns : float;  (** ns/op, recorder disarmed (the baseline cells) *)
+  on_ns : float;  (** ns/op, flight recorder armed on the same cell *)
+  overhead_pct : float;  (** (on - off) / off * 100 *)
+  fd_kept : int;  (** merged records of the armed run *)
+  fd_dropped : int;  (** ring-wraparound drops of the armed run *)
+}
+
+(** [flight_delta ()] — what arming the recorder costs a whole cell, as
+    opposed to the per-event price the [flight-emit] kernel gates: one
+    representative cell (every op emits begin/end plus the scheme's
+    retire/reclaim/checkpoint events) run disarmed then armed,
+    best-of-two each way.  The armed run also exercises the census
+    identity end-to-end via {!Cell_runner}.  Recorded beside the
+    baseline matrix in BENCH_domains.json; advisory, not gated — the
+    honest number to quote when someone asks what tracing costs. *)
+let flight_delta ?(scheme = "HP-BRCU") ?(ds = Caps.HHSList)
+    ?(ops_per_thread = 4000) ?(seed = 42) () : flight_delta option =
+  let threads = min 2 (max 1 (Backend.hardware_threads ())) in
+  let cell () =
+    run_one ~scheme ~ds ~threads ~mode:Spec.Domains ~ops_per_thread ~seed
+  in
+  let best f =
+    match (f (), f ()) with
+    | Some a, Some b -> Some (Float.min (ns_per_op a) (ns_per_op b))
+    | Some a, None | None, Some a -> Some (ns_per_op a)
+    | None, None -> None
+  in
+  let armed () =
+    Trace.enable ~sink:Trace.Flight ~ndomains:threads ();
+    let r = cell () in
+    let kept = List.length (Trace.dump ()) and dropped = Trace.dropped () in
+    Trace.disable ();
+    Option.map (fun r -> (ns_per_op r, kept, dropped)) r
+  in
+  match best cell with
+  | None -> None
+  | Some off_ns -> (
+      match (armed (), armed ()) with
+      | Some (a, ka, da), Some (b, kb, db) ->
+          let on_ns, fd_kept, fd_dropped =
+            if a <= b then (a, ka, da) else (b, kb, db)
+          in
+          Some
+            {
+              fd_scheme = scheme;
+              fd_ds = ds;
+              fd_threads = threads;
+              off_ns;
+              on_ns;
+              overhead_pct = (on_ns -. off_ns) /. Float.max 1e-9 off_ns *. 100.;
+              fd_kept;
+              fd_dropped;
+            }
+      | Some (on_ns, fd_kept, fd_dropped), None
+      | None, Some (on_ns, fd_kept, fd_dropped) ->
+          Some
+            {
+              fd_scheme = scheme;
+              fd_ds = ds;
+              fd_threads = threads;
+              off_ns;
+              on_ns;
+              overhead_pct = (on_ns -. off_ns) /. Float.max 1e-9 off_ns *. 100.;
+              fd_kept;
+              fd_dropped;
+            }
+      | None, None -> None)
+
+let json_of_flight_delta (f : flight_delta) =
+  Json.Obj
+    [
+      ("scheme", Json.Str f.fd_scheme);
+      ("ds", Json.Str (Caps.ds_name f.fd_ds));
+      ("threads", Json.Int f.fd_threads);
+      ("off_ns_per_op", Json.Float f.off_ns);
+      ("on_ns_per_op", Json.Float f.on_ns);
+      ("overhead_pct", Json.Float f.overhead_pct);
+      ("kept_events", Json.Int f.fd_kept);
+      ("dropped_events", Json.Int f.fd_dropped);
+    ]
+
 (** [write_json path v ~kernel_rows] — the BENCH_domains.json document:
     environment header, matrix cells, optional kernel-parity section
-    (filled in by [smrbench], which owns the microkernels), and the gate
-    verdict. *)
-let write_json path (v : verdict) ~(kernel_rows : Json.value list) =
+    (filled in by [smrbench], which owns the microkernels), the
+    flight-recorder on/off delta, and the gate verdict. *)
+let write_json ?flight path (v : verdict) ~(kernel_rows : Json.value list) =
   Json.to_file path
     (Json.Obj
        [
@@ -273,5 +363,9 @@ let write_json path (v : verdict) ~(kernel_rows : Json.value list) =
            Json.Bool (Backend.hardware_threads () >= 2) );
          ("cells", Json.List (List.map json_of_cell v.cells));
          ("kernels", Json.List kernel_rows);
+         ( "flight_recorder_delta",
+           match flight with
+           | None -> Json.Null
+           | Some f -> json_of_flight_delta f );
          ("gate_failures", Json.List (List.map (fun f -> Json.Str f) v.failures));
        ])

@@ -618,6 +618,15 @@ let run_one ?(scheme = "RCU") ?(plan = "none") ?(substrate = `Fibers)
         backpressure_rejects = Alloc.Admission.reject_count ();
       }
   in
+  (* Flight-recorder drop lanes + census identity, as in Cell_runner. *)
+  let snap =
+    match substrate with
+    | `Domains when Trace.enabled () && Trace.sink () = Trace.Flight ->
+        let ok, msg = Trace.flight_census () in
+        if not ok then failwith ("Kvservice: " ^ msg);
+        { snap with Stats.trace_dropped = Trace.dropped () }
+    | _ -> snap
+  in
   Array.iter (fun sh -> sh.sh_gen.g_destroy ()) shards;
   Alloc.Admission.clear_all ();
   let expected_crashes =
@@ -672,16 +681,24 @@ let run_one ?(scheme = "RCU") ?(plan = "none") ?(substrate = `Fibers)
 (* Traced runs and the replay probe                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_traced ?scheme ?plan (p : params) : result * Trace.record list =
-  Trace.enable ~sink:Trace.Spool ();
-  let r = run_one ?scheme ?plan p in
+let run_traced ?scheme ?plan ?(substrate = `Fibers) (p : params) :
+    result * Trace.record list =
+  (match substrate with
+  | `Fibers -> Trace.enable ~sink:Trace.Spool ()
+  | `Domains ->
+      (* Clients + watchdog worker; the flight recorder merges their rings
+         (and the Runtime_events GC track) in calibrated ns at dump. *)
+      Trace.enable ~sink:Trace.Flight ~ndomains:(p.clients + 1) ());
+  let r = run_one ?scheme ?plan ~substrate p in
   let records = Trace.dump () in
   Trace.disable ();
   (r, records)
 
-let run_traced_to_file ?scheme ?plan ~path (p : params) : result =
-  let r, records = run_traced ?scheme ?plan p in
-  Trace.to_file path records;
+let run_traced_to_file ?scheme ?plan ?(substrate = `Fibers) ~path (p : params) :
+    result =
+  let r, records = run_traced ?scheme ?plan ~substrate p in
+  let unit_ = match substrate with `Fibers -> None | `Domains -> Some "ns" in
+  Trace.to_file ?unit_ path records;
   r
 
 (** Seed-determinism probe: two traced runs of the same cell must produce

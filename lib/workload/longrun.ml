@@ -123,12 +123,22 @@ module Run (L : Hpbrcu_ds.Ds_intf.MAP) = struct
     let elapsed = Clock.now () -. t0 in
     let sum a b = Array.fold_left ( + ) 0 (Array.sub ops a b) in
     let st = Alloc.stats () in
+    let scheme =
+      (* Same flight-recorder census + drop-lane fold as Cell_runner. *)
+      let snap = scheme_stats () in
+      match c.mode with
+      | Spec.Domains when Trace.enabled () && Trace.sink () = Trace.Flight ->
+          let ok, msg = Trace.flight_census () in
+          if not ok then failwith ("Longrun: " ^ msg);
+          { snap with Stats.trace_dropped = Trace.dropped () }
+      | _ -> snap
+    in
     {
       reader_tput = float_of_int (sum 0 c.readers) /. elapsed /. 1e6;
       writer_tput = float_of_int (sum c.readers c.writers) /. elapsed /. 1e6;
       peak_unreclaimed = st.Alloc.peak_unreclaimed;
       uaf = st.Alloc.uaf;
-      scheme = scheme_stats ();
+      scheme;
       latency_unit =
         (match c.mode with Spec.Fibers _ -> "tick" | Spec.Domains -> "ns");
       reader_latency = Stats.Histogram.summary lat_readers;
@@ -152,23 +162,29 @@ let run ~scheme (c : config) : outcome option =
   else None
 
 (** [run_traced ~scheme ~out c] — one long-running-read cell with the
-    tracer spooling non-lossily, written to [out] on completion (the
-    input format of [smrbench analyze]).  Requires fiber mode: the spooled
-    trace is timestamped by the virtual tick clock and is a pure function
-    of the seed, so analyze output is reproducible. *)
+    tracer recording, written to [out] on completion (the input format of
+    [smrbench analyze]).  In fiber mode the tracer spools non-lossily and
+    the trace is a pure function of the seed; in domain mode the
+    flight recorder (DESIGN.md §15) records lossily-but-counted per-domain
+    rings merged into calibrated CLOCK_MONOTONIC ns, with the GC track
+    riding along, and the file is tagged ["# unit: ns"]. *)
 let run_traced ~scheme ~out (c : config) : outcome option =
-  (match c.mode with
-  | Spec.Fibers _ -> ()
-  | Spec.Domains ->
-      invalid_arg "Longrun.run_traced: fiber mode required (--profile quick/sim)");
   (* Reset BEFORE arming the tracer: draining a previous cell's leftovers
      emits Reclaim events that depend on what ran before (same rule as the
      chaos replay probes). *)
   Schemes.reset_all ();
   Alloc.reset ();
-  Trace.enable ~sink:Trace.Spool ();
+  let unit_ =
+    match c.mode with
+    | Spec.Fibers _ ->
+        Trace.enable ~sink:Trace.Spool ();
+        None
+    | Spec.Domains ->
+        Trace.enable ~sink:Trace.Flight ~ndomains:(c.readers + c.writers) ();
+        Some "ns"
+  in
   let r = run ~scheme c in
   let log = Trace.dump () in
   Trace.disable ();
-  if r <> None then Trace.to_file out log;
+  if r <> None then Trace.to_file ?unit_ out log;
   r

@@ -23,6 +23,7 @@
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
 module Rng = Hpbrcu_runtime.Rng
+module Trace = Hpbrcu_runtime.Trace
 module Fault = Hpbrcu_runtime.Fault
 module Config = Hpbrcu_core.Config
 module Dom = Hpbrcu_core.Smr_intf.Dom
@@ -221,6 +222,13 @@ let run_build (module X : Hpbrcu_core.Smr_intf.SCHEME) ~(p : params) ~shared
       Sched.run (Sched.Fibers { seed = p.seed; switch_every = 4 }) ~nthreads
         worker
   | `Domains -> Sched.run Sched.Domains ~nthreads worker);
+  (* Flight-recorder census (same identity Cell_runner asserts): even
+     with a crashed reader, every emitted record is either merged or
+     counted dropped. *)
+  (if p.substrate = `Domains && Trace.enabled () && Trace.sink () = Trace.Flight
+   then
+     let ok, msg = Trace.flight_census () in
+     if not ok then failwith ("Shards: " ^ msg));
   let crashes = Sched.crashed_count () in
   Fault.clear ();
   (* Read the per-domain peaks before destroy releases the slots.  Under

@@ -99,6 +99,106 @@ let test_destroyed_parity () =
   on_domains destroyed_check
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder: merge order, drop census, file roundtrip           *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Hpbrcu_runtime.Flight
+
+(* The armed emit ships the constructor's runtime representation as the
+   on-disk code (Trace.event_code_unsafe); this pins it to the explicit
+   table so a reordered declaration fails here, not in a decoded
+   trace. *)
+let test_event_code_identity () =
+  List.iter
+    (fun ev ->
+      Alcotest.(check int) "code = runtime representation"
+        (Trace.event_code ev)
+        (Trace.event_code_unsafe ev))
+    Trace.all_events
+
+(* Adversarial cross-domain stamps — out-of-order between domains and
+   exactly equal across them — must merge into one monotone stream,
+   with equal-ns ties broken by tid and per-domain emission order
+   preserved.  The scripted tick source makes the "timestamps" exact. *)
+let test_flight_merge_adversarial () =
+  Trace.enable ~sink:Trace.Flight ~ndomains:2 ~gc:false ();
+  let t = ref 0 in
+  Flight.set_tick_source_for_tests (fun () -> !t);
+  let retire = Trace.event_code Trace.Retire in
+  (* slot = tid + 1; each domain's own stamps are monotone, the
+     interleaving across domains is not. *)
+  t := 100;
+  Flight.emit ~slot:1 ~code:retire ~arg:1 ~arg2:0;
+  t := 300;
+  Flight.emit ~slot:2 ~code:retire ~arg:2 ~arg2:0;
+  t := 500;
+  Flight.emit ~slot:1 ~code:retire ~arg:3 ~arg2:0;
+  Flight.emit ~slot:1 ~code:retire ~arg:4 ~arg2:0;
+  Flight.emit ~slot:2 ~code:retire ~arg:5 ~arg2:0;
+  let merged = Trace.dump () in
+  Trace.disable ();
+  Alcotest.(check int) "all records merged" 5 (List.length merged);
+  let ticks = List.map (fun r -> r.Trace.tick) merged in
+  Alcotest.(check bool) "ns monotone" true
+    (List.for_all2 ( <= ) ticks (List.tl ticks @ [ max_int ]));
+  (* Rebased to the earliest stamp; equal-ns group (tick 400) orders
+     t0 before t1, and t0's two records keep their emission order. *)
+  Alcotest.(check (list int)) "merge order (args)" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun r -> r.Trace.arg) merged);
+  Alcotest.(check (list int)) "merge order (tids)" [ 0; 1; 0; 0; 1 ]
+    (List.map (fun r -> r.Trace.tid) merged);
+  Alcotest.(check (list int)) "rebased ticks" [ 0; 200; 400; 400; 400 ] ticks
+
+(* Wraparound keeps the LAST capacity events and counts the rest:
+   kept + dropped = emitted exactly, and the first survivor's seq equals
+   the drop count. *)
+let test_flight_drop_census () =
+  Trace.enable ~capacity:8 ~sink:Trace.Flight ~ndomains:1 ~gc:false ();
+  let t = ref 0 in
+  Flight.set_tick_source_for_tests (fun () -> !t);
+  let retire = Trace.event_code Trace.Retire in
+  for k = 1 to 20 do
+    t := k * 10;
+    Flight.emit ~slot:1 ~code:retire ~arg:k ~arg2:0
+  done;
+  let merged = Trace.dump () in
+  let ok, msg = Trace.flight_census () in
+  Alcotest.(check int) "kept = capacity" 8 (List.length merged);
+  Alcotest.(check int) "dropped" 12 (Trace.dropped ());
+  Alcotest.(check string) "census msg" "" msg;
+  Alcotest.(check bool) "census identity" true ok;
+  (match merged with
+  | first :: _ ->
+      Alcotest.(check int) "first survivor seq = dropped" 12 first.Trace.seq;
+      Alcotest.(check int) "last 8 events survive" 13 first.Trace.arg
+  | [] -> Alcotest.fail "empty merge");
+  Trace.disable ()
+
+(* A merged ns trace written with the ns unit tag must roundtrip through
+   the on-disk format record-for-record, unit included. *)
+let test_flight_file_roundtrip () =
+  Trace.enable ~sink:Trace.Flight ~ndomains:2 ~gc:false ();
+  let t = ref 0 in
+  Flight.set_tick_source_for_tests (fun () -> !t);
+  let retire = Trace.event_code Trace.Retire in
+  for k = 1 to 6 do
+    t := k * 7;
+    Flight.emit ~slot:(1 + (k mod 2)) ~code:retire ~arg:k ~arg2:(k * k)
+  done;
+  let merged = Trace.dump () in
+  Trace.disable ();
+  let path = Filename.temp_file "flight" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.to_file ~unit_:"ns" path merged;
+      Alcotest.(check string) "unit header" "ns" (Trace.read_unit path);
+      let back = Trace.read_file path in
+      Alcotest.(check int) "record count" (List.length merged)
+        (List.length back);
+      Alcotest.(check bool) "records identical" true (merged = back))
+
+(* ------------------------------------------------------------------ *)
 (* Fiber determinism through the backend dispatch                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -137,6 +237,17 @@ let () =
         [
           Alcotest.test_case "exhausted parity" `Quick test_exhausted_parity;
           Alcotest.test_case "destroyed parity" `Quick test_destroyed_parity;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "event codes = representation" `Quick
+            test_event_code_identity;
+          Alcotest.test_case "adversarial ns merge monotone" `Quick
+            test_flight_merge_adversarial;
+          Alcotest.test_case "wraparound drop census" `Quick
+            test_flight_drop_census;
+          Alcotest.test_case "merged file roundtrip" `Quick
+            test_flight_file_roundtrip;
         ] );
       ( "determinism",
         [
