@@ -338,8 +338,39 @@ let chaos_cmd =
       value & flag
       & info [ "no-replay" ] ~doc:"Skip the traced determinism probes.")
   in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Domains mode only: restrict the grid to the RCU / HP-BRCU \
+             schemes under the baseline and crash-reader plans (the CI \
+             hardware gate).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ]
+          ~doc:
+            "Domains mode only: minimum RCU / HP-BRCU crashed-reader peak \
+             ratio for the hardware discriminator gate (default 4; armed \
+             only on >= 2 hardware threads).")
+  in
+  let baseline_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-out" ] ~docv:"FILE"
+          ~doc:
+            "Domains mode only: append the grid's cells and discriminator \
+             ratios as a chaos-domains JSON document to $(docv) (advisory \
+             baseline, e.g. BENCH_domains.json).")
+  in
   let split s = String.split_on_char ',' s |> List.map String.trim in
-  let run seeds full quick scheme plan no_replay trace_out =
+  let run mode seeds full quick scheme plan no_replay smoke threshold
+      baseline_out trace_out =
+    let substrate = mode_of_string mode in
     let p = if full && not quick then W.Chaos.full else W.Chaos.quick in
     let schemes =
       match scheme with None -> W.Chaos.all_schemes | Some s -> split s
@@ -349,6 +380,39 @@ let chaos_cmd =
       | None -> W.Chaos.all_plans
       | Some s -> List.map W.Chaos.plan_of_name (split s)
     in
+    match substrate with
+    | `Domains -> (
+        (match trace_out with
+        | Some _ ->
+            Printf.eprintf "%s\n"
+              (W.Spec.fiber_only_msg ~who:"smrbench chaos" ~what:"--trace-out"
+                 ~alternative:
+                   "use serve --mode domains --trace-out (flight-recorder \
+                    trace) or drop --mode domains");
+            exit 1
+        | None -> ());
+        let schemes, plans =
+          if smoke then (W.Chaos.smoke_schemes, W.Chaos.smoke_plans)
+          else (schemes, plans)
+        in
+        let threshold =
+          match threshold with
+          | Some t -> t
+          | None -> W.Chaos.default_hw_threshold
+        in
+        let seeds = List.init (max 1 seeds) (fun i -> i + 1) in
+        let r =
+          W.Chaos.run_domains_grid ~schemes ~plans ~seeds ~threshold
+            ~verbose:true p
+        in
+        Fmt.pr "%a" W.Chaos.pp_domains_report r;
+        (match baseline_out with
+        | None -> ()
+        | Some path ->
+            W.Chaos.write_domains_json path r;
+            Fmt.pr "wrote %s@." path);
+        if W.Chaos.domains_report_ok r then 0 else 1)
+    | `Fibers -> (
     match trace_out with
     | Some out ->
         (* One traced cell instead of the grid: first scheme/plan/seed of
@@ -368,17 +432,22 @@ let chaos_cmd =
             ~verbose:true p
         in
         Fmt.pr "%a" W.Chaos.pp_report r;
-        if W.Chaos.report_ok r then 0 else 1
+        if W.Chaos.report_ok r then 0 else 1)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run the scheme matrix under deterministic fault-injection plans \
+         "Run the scheme matrix under fault-injection plans \
           (crashed/stalled readers, lost signals, pool exhaustion) and check \
-          the termination, safety and boundedness invariants")
+          the termination, safety and boundedness invariants.  Under \
+          --mode fibers the plans are deterministic and byte-replayable; \
+          under --mode domains they inject on real worker domains and the \
+          invariants are statistical (UAF = 0, exact census, caps, and the \
+          RCU vs HP-BRCU crashed-reader discriminator).")
     Term.(
-      const run $ seeds_arg $ full_arg $ quick_arg $ scheme_arg $ plan_arg
-      $ no_replay_arg $ trace_out_arg)
+      const run $ mode_arg $ seeds_arg $ full_arg $ quick_arg $ scheme_arg
+      $ plan_arg $ no_replay_arg $ smoke_arg $ threshold_arg
+      $ baseline_out_arg $ trace_out_arg)
 
 let shards_cmd =
   let scheme_arg =
@@ -540,9 +609,14 @@ let serve_cmd =
   in
   let ratio_arg =
     Arg.(
-      value & opt float K.default_off_ratio
+      value
+      & opt (some float) None
       & info [ "ratio" ]
-          ~doc:"Minimum watchdog-off / watchdog-on peak ratio (--compare).")
+          ~doc:
+            "Minimum watchdog-off / watchdog-on peak ratio (--compare; \
+             default 5 under fibers, 3 under domains — real scheduling \
+             reclaims opportunistically between crash and supervisor \
+             round).")
   in
   let trace_out_arg =
     Arg.(
@@ -555,18 +629,10 @@ let serve_cmd =
       budget slo_p99 slo_p999 seed quick compare ratio trace_out =
     setup outdir stats_json;
     let substrate = mode_of_string mode in
-    (match substrate with
-    | `Fibers -> ()
-    | `Domains ->
-        let reject what why =
-          Printf.eprintf "smrbench serve: %s requires the fiber substrate \
-                          (%s); drop --mode domains\n" what why;
-          exit 1
-        in
-        if compare then
-          reject "--compare" "the payoff cell injects faults and replays traces";
-        if faults <> "none" then
-          reject ("--faults " ^ faults) "faults inject at simulator yield points");
+    (* Both substrates take the full flag set now (ISSUE 10): under
+       --mode domains the fault plans inject at real worker domains'
+       yield points and --compare gates on the statistical off/on peak
+       ratio instead of byte-replay. *)
     let p =
       {
         K.default_params with
@@ -590,7 +656,7 @@ let serve_cmd =
     let p = if quick then K.quick p else p in
     let code =
       if compare then begin
-        let c = K.run_compare ~ratio ~scheme ~plan:faults p in
+        let c = K.run_compare ?ratio ~scheme ~plan:faults ~substrate p in
         Fmt.pr "%a@." K.pp_compare c;
         K.record c.K.on_run;
         K.record c.K.off_run;

@@ -85,6 +85,41 @@ dune exec bin/smrbench.exe -- analyze --outdir /tmp/smrbench.ci.flight.results \
 # still clear the (schedule-aware) domain-mode threshold.
 dune exec bin/smrbench.exe -- shards --quick --gate --mode domains
 
+# Chaos on real cores (DESIGN.md §16): the RCU / HP-BRCU smoke corner of
+# the fault matrix on Domain.spawn workers — a crashed reader is a real
+# domain parked forever inside its critical section.  Every cell must
+# finish inside its wall budget with zero UAFs, an exact post-join
+# census, per-scheme caps honoured, and exactly the planned number of
+# crashes.  The RCU-vs-HP-BRCU crashed-reader peak-ratio discriminator
+# arms itself on >= 2 hardware threads; on one core it is reported but
+# not gated (never faked).
+dune exec bin/smrbench.exe -- chaos --mode domains --smoke --seeds 1
+
+# Self-healing on real cores (DESIGN.md §16): the watchdog payoff cell
+# on the Domains backend.  The gate needs real parallelism for the
+# off-run to balloon convincingly (the full request budget, not --quick:
+# the post-crash window must dominate), so it runs only on >= 2 cores —
+# skipped, not faked, on one.
+cores="$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null | head -n1 )"
+if [ "${cores:-1}" -ge 2 ]; then
+  dune exec bin/smrbench.exe -- serve --mode domains --scheme RCU \
+    --faults crash-reader --compare
+else
+  echo "check.sh: 1 hardware thread; skipping serve --mode domains --compare gate"
+fi
+
+# Atomics audit gate (DESIGN.md §16): the fault/watchdog/chaos/service
+# crash paths run on real domains now, so their modules must not grow
+# new top-level 'ref' cells — cross-domain state is Atomic.t (or
+# single-writer arrays documented as such).  sched.ml keeps its
+# fiber-internal profiling refs and is deliberately out of scope.
+if grep -nE '^let [a-z_0-9]+( *: *[^=]*)? *= *ref ' \
+  lib/runtime/fault.ml lib/runtime/signal.ml lib/runtime/watchdog.ml \
+  lib/workload/chaos.ml lib/workload/kvservice.ml ; then
+  echo "check.sh: top-level ref in a domains-crossed module (use Atomic.t)" >&2
+  exit 1
+fi
+
 # Hunt smoke gate (DESIGN.md §11): the mutation test for the checker
 # itself.  Both planted mutants (HP-BRCU!nomask, HP-BRCU!nodb) must be
 # convicted within the budget — each by whichever of the rand/pct

@@ -6,10 +6,10 @@
     deliveries that are lost or arrive late.  This module turns those
     adversaries into {e data}: a {!plan} is a list of {!rule}s, each of
     which fires a fault {!action} at deterministic occurrence counts of an
-    instrumented {!site}.  No wall clock and no extra RNG are involved —
-    the n-th yield of thread 3 is the n-th yield of thread 3 under any
-    replay of the same simulator seed — so a chaos run is exactly as
-    reproducible as a fault-free one.
+    instrumented {!site}.  In fiber mode no wall clock and no extra RNG
+    are involved — the n-th yield of thread 3 is the n-th yield of
+    thread 3 under any replay of the same simulator seed — so a chaos run
+    is exactly as reproducible as a fault-free one.
 
     Sites and who consults them:
 
@@ -21,16 +21,33 @@
 
     Layering: this module sits below {!Sched} (which consults {!on_yield})
     and must therefore not depend on it; it reports through {!Trace} and
-    its own occurrence counters only.  Faults are meaningful in fiber mode
-    only — callers gate on [Sched.fiber_mode] — because a real domain
-    cannot be crashed from the outside. *)
+    its own occurrence counters only.
+
+    Both substrates consult the same rules at the same sites.  On the
+    deterministic fiber simulator an occurrence count is a schedule
+    position and durations are virtual ticks.  On the Domains backend the
+    same plan injects against real parallelism: occurrence counters
+    advance per worker domain (so "thread 0's 800th yield" still means
+    thread 0's own 800th yield, just no longer at a reproducible schedule
+    point), a [Stall n] becomes a timed park of [n * tick_ns] wall-clock
+    nanoseconds ({!ns_of_ticks}), a [Delay_signal n] becomes a
+    deliverable-after floor on the {!Clock.now_ns} axis, and a [Crash] is
+    a worker domain that parks {e forever} — pinned in whatever critical
+    section it occupied — via {!crash_park}, releasing only once every
+    surviving worker has finished (the {!set_crash_release} latch, armed
+    by the Domains backend) so join-time census stays exact.  Domains-mode
+    invariants are therefore statistical, never byte-replay. *)
 
 type action =
-  | Stall of int  (** suspend the fiber for [n] virtual ticks *)
+  | Stall of int
+      (** suspend the thread for [n] virtual ticks (fibers) or
+          [n * tick_ns] wall-clock ns (domains) *)
   | Crash
-      (** the fiber never runs again; no unwinding, so whatever it
+      (** the thread never runs again; no unwinding, so whatever it
           published (pinned epoch, in-CS status, protected shields) stays
-          frozen — the simulator's model of a seg-faulted thread *)
+          frozen — the model of a seg-faulted thread.  Fibers: the
+          continuation is abandoned.  Domains: the worker parks in
+          {!crash_park} until the release latch opens at join time. *)
   | Drop_signal  (** the pending flag is never posted *)
   | Delay_signal of int
       (** the pending flag is posted but not deliverable for [n] ticks *)
@@ -64,9 +81,15 @@ let no_faults = { label = "none"; rules = [] }
    firing pattern is schedule-independent given the seed. *)
 let counter_width = 257 (* tids -1..255, same layout as Stats shards *)
 
-let plan_ref = ref no_faults
-let counters : int array array ref = ref [||]
-let on = ref false
+(* All of this state is read from worker domains in domains mode, so none
+   of it may live in a bare ref: the plan and the on-flag are published by
+   [install] on the spawning domain, and the occurrence counters are
+   advanced concurrently by every worker (each in its own tid slot, so
+   the RMW below never contends in practice — it exists for the tid=-1
+   "any" rules and for the memory model). *)
+let plan_ref = Atomic.make no_faults
+let counters : int Atomic.t array array Atomic.t = Atomic.make [||]
+let on = Atomic.make false
 
 (* Injected-fault tallies, reset by [install]. *)
 let n_stalls = Atomic.make 0
@@ -96,30 +119,96 @@ let total_injected () =
   let i = injected () in
   i.stalls + i.crashes + i.drops + i.delays + i.pool_misses
 
-(** [active ()] — cheap gate for the hot paths: one ref read. *)
-let[@inline] active () = !on
+(** [active ()] — cheap gate for the hot paths: one atomic load. *)
+let[@inline] active () = Atomic.get on
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock fault clock (Domains backend)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rule durations (stall lengths, delay floors) are authored in simulator
+   ticks so the same plan text drives both substrates; [tick_ns] is the
+   exchange rate.  The default makes one virtual tick one microsecond,
+   matching [Sched.stall]'s domains-mode fallback. *)
+let tick_ns_v = Atomic.make 1_000
+
+let set_tick_ns n = Atomic.set tick_ns_v (max 1 n)
+let tick_ns () = Atomic.get tick_ns_v
+
+(** [ns_of_ticks n] — a tick-denominated duration on the wall-clock axis. *)
+let[@inline] ns_of_ticks n = n * Atomic.get tick_ns_v
+
+(* ------------------------------------------------------------------ *)
+(* Crash parking (Domains backend)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A fiber crash abandons the continuation; a domain cannot be killed
+   from the outside, so a domains-mode crash is a worker that marks
+   itself crashed and then parks here — still registered, still pinned —
+   until the release predicate says every surviving worker has finished.
+   The predicate is installed by the Domains backend wrapper in [Sched]
+   (this module sits below [Sched] and [Backend], so it can only hold the
+   closure, not compute it).  The park is capped so a mis-armed latch
+   degrades to a slow test, never a hung one. *)
+let crash_release : (unit -> bool) Atomic.t = Atomic.make (fun () -> true)
+let n_parked = Atomic.make 0
+
+let set_crash_release f = Atomic.set crash_release f
+let clear_crash_release () = Atomic.set crash_release (fun () -> true)
+
+(** [parked_count ()] — workers that have crash-parked since [install];
+    cumulative, never decremented, so "victim is pinned" handshakes can
+    wait on it without racing the release. *)
+let parked_count () = Atomic.get n_parked
+
+let park_cap_s = 60.
+
+(** [crash_park ()] — called by a domains-mode worker that just injected
+    a [Crash] on itself: park until the release latch opens (or the
+    fail-safe cap expires), keeping every published protection frozen. *)
+let crash_park () =
+  Atomic.incr n_parked;
+  let t0 = Unix.gettimeofday () in
+  while
+    (not ((Atomic.get crash_release) ()))
+    && Unix.gettimeofday () -. t0 < park_cap_s
+  do
+    Unix.sleepf 50e-6
+  done
+
+(** [crash_tids p] — the tids with a [Crash] rule (tid=-1 "any" crash
+    rules are excluded: a handshake cannot wait for an anonymous victim).
+    Chaos/service harnesses use this to hold non-victims until every
+    victim is parked, so the stranding window covers the full retirement
+    volume regardless of OS scheduling. *)
+let crash_tids p =
+  List.filter_map
+    (fun r -> if r.action = Crash && r.tid >= 0 then Some r.tid else None)
+    p.rules
 
 let install p =
-  plan_ref := p;
-  counters :=
-    Array.init (List.length p.rules) (fun _ -> Array.make counter_width 0);
+  Atomic.set plan_ref p;
+  Atomic.set counters
+    (Array.init (List.length p.rules) (fun _ ->
+         Array.init counter_width (fun _ -> Atomic.make 0)));
   Atomic.set n_stalls 0;
   Atomic.set n_crashes 0;
   Atomic.set n_drops 0;
   Atomic.set n_delays 0;
   Atomic.set n_pool 0;
-  on := p.rules <> []
+  Atomic.set n_parked 0;
+  Atomic.set on (p.rules <> [])
 
 let clear () = install no_faults
-let current () = !plan_ref
+let current () = Atomic.get plan_ref
 
 (* [fire site ~tid] — advance the occurrence counter of every rule matching
    (site, tid) and return the action of the first rule whose schedule hits
    this occurrence.  Counters advance even when no rule fires, so a rule's
    [start] indexes real site occurrences, not previous faults. *)
 let fire site ~tid =
-  let rules = !plan_ref.rules in
-  let cnts = !counters in
+  let rules = (Atomic.get plan_ref).rules in
+  let cnts = Atomic.get counters in
   let slot = tid + 1 in
   let slot = if slot < 0 || slot >= counter_width then 0 else slot in
   let result = ref None in
@@ -127,8 +216,7 @@ let fire site ~tid =
     (fun i r ->
       if r.site = site && (r.tid = -1 || r.tid = tid) then begin
         let row = cnts.(i) in
-        let c = row.(slot) in
-        row.(slot) <- c + 1;
+        let c = Atomic.fetch_and_add row.(slot) 1 in
         if !result = None then begin
           let hit =
             if c < r.start then false
@@ -145,10 +233,10 @@ let fire site ~tid =
 (* Site hooks                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Consulted by {!Sched.yield} for the current fiber.  Returns the stall
-    or crash to inject, if any. *)
+(** Consulted by {!Sched.yield} for the current worker (fiber or domain).
+    Returns the stall or crash to inject, if any. *)
 let on_yield ~tid =
-  if not !on then None
+  if not (Atomic.get on) then None
   else
     match fire Yield ~tid with
     | Some (Stall n) when n > 0 ->
@@ -163,7 +251,7 @@ let on_yield ~tid =
 
 (** Consulted by {!Signal.send}; [tid] is the {e receiver}. *)
 let on_send ~tid =
-  if not !on then None
+  if not (Atomic.get on) then None
   else
     match fire Signal_send ~tid with
     | Some Drop_signal ->
@@ -178,7 +266,7 @@ let on_send ~tid =
 
 (** Consulted by {!Pool.acquire}; [true] = pretend the pool is empty. *)
 let on_pool_acquire ~tid =
-  !on
+  Atomic.get on
   &&
   match fire Pool_acquire ~tid with
   | Some Exhaust_pool ->

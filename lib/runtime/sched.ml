@@ -227,6 +227,16 @@ type _ Effect.t += Crash : unit Effect.t
     status, protected shields) stays frozen forever — a seg-faulted
     thread, not a cleanly exiting one. *)
 
+exception Crashed
+(** Domains-mode analogue of the {!Crash} effect.  A real domain has no
+    continuation to abandon, so an injected crash parks the worker in
+    {!Fault.crash_park} — published state frozen, still registered —
+    until every surviving worker has finished, then unwinds by raising
+    this.  The Domains wrapper in {!backend_of_mode} swallows it (and any
+    exception a crashed worker's unwind provokes, e.g. a typed
+    [Destroyed] from cleanup against a recycled domain), so the join sees
+    the crash as a silent early exit, exactly like an abandoned fiber. *)
+
 let fiber_mode () = !ctx_ref <> None
 
 (** Virtual time in fiber mode (one tick per scheduling decision); [0] in
@@ -287,7 +297,23 @@ let yield () =
       end;
       if c.switch_every <= 1 || Rng.int c.rng c.switch_every = 0 then
         Effect.perform Yield
-  | None -> Domain.cpu_relax ()
+  | None ->
+      (* Domains: the same fault consult at the same site.  A stall is a
+         timed park on the wall clock; a crash marks the worker dead,
+         parks it pinned until the release latch opens, then unwinds via
+         [Crashed] (swallowed by the backend wrapper below). *)
+      if Fault.active () then begin
+        let tid = Domain.DLS.get tid_key in
+        match Fault.on_yield ~tid with
+        | Some (`Stall n) -> Clock.sleep_ns (Fault.ns_of_ticks n)
+        | Some `Crash ->
+            mark_crashed ~tid;
+            Trace.emit Trace.Fault_crash tid;
+            Fault.crash_park ();
+            raise Crashed
+        | None -> ()
+      end;
+      Domain.cpu_relax ()
 
 (** Unconditional switch point (fiber mode); used by spin loops so that the
     thread being waited on is guaranteed to run. *)
@@ -495,9 +521,10 @@ let run_fibers ~seed ~switch_every ~nthreads body =
   | None -> ()
 
 (** [backend_of_mode mode] packages either substrate as a {!Backend.S}.
-    The Domains case wraps {!Backend.Domains} to clear the crash registry
-    first (the backend itself cannot: it sits below this module); the
-    Fibers case closes the seed and switch rate over {!run_fibers}. *)
+    The Domains case wraps {!Backend.Domains} to clear the crash registry,
+    arm the crash-release latch, and absorb crashed workers' unwinds (the
+    backend itself cannot: it sits below this module); the Fibers case
+    closes the seed and switch rate over {!run_fibers}. *)
 let backend_of_mode : mode -> (module Backend.S) = function
   | Domains ->
       (module struct
@@ -505,7 +532,26 @@ let backend_of_mode : mode -> (module Backend.S) = function
 
         let spawn ~nthreads body =
           reset_crashed ();
-          Backend.Domains.spawn ~nthreads body
+          (* Crash-release latch: a crashed worker parks pinned in
+             [Fault.crash_park] until every non-crashed worker has
+             finished, so the stranding window spans the whole run and
+             the join-time census is exact.  [finished] counts every
+             worker exit (normal, failed, or crashed — the [Fun.protect]
+             below guarantees it), so the latch cannot deadlock even if
+             a sibling dies on a real bug. *)
+          let finished = Atomic.make 0 in
+          Fault.set_crash_release (fun () ->
+              Atomic.get finished >= nthreads - Atomic.get crashed_total);
+          Fun.protect
+            ~finally:(fun () -> Fault.clear_crash_release ())
+            (fun () ->
+              Backend.Domains.spawn ~nthreads (fun i ->
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.incr finished)
+                    (fun () ->
+                      try body i with
+                      | Crashed -> ()
+                      | _ when is_crashed i -> ())))
       end)
   | Fibers { seed; switch_every } ->
       (module struct

@@ -180,20 +180,30 @@ let set_send_cost n = Atomic.set send_cost (max 0 n)
 let sent box = Atomic.get box.sent
 let delivered box = Atomic.get box.acks
 
-(* Sink for the synthetic busy-work loop so it cannot be optimized away. *)
-let burn_sink = ref 0
+(* Sink for the synthetic busy-work loop so it cannot be optimized away.
+   Atomic because domains-mode senders run on distinct OS threads (a bare
+   ref here would be a data race, not just an inaccuracy). *)
+let burn_sink = Atomic.make 0
 
 let burn n =
-  let acc = ref !burn_sink in
+  let acc = ref (Atomic.get burn_sink) in
   for i = 1 to n do
     acc := (!acc * 25214903917) + i
   done;
-  burn_sink := !acc
+  Atomic.set burn_sink !acc
 
-(* A pending delivery is visible to the receiver only once the virtual
-   clock passes [not_before] (delayed-delivery fault; 0 in normal runs). *)
+(* A pending delivery is visible to the receiver only once the clock
+   passes [not_before] (delayed-delivery fault; 0 = no floor, the normal
+   case, short-circuited so fault-free polls never read a clock).  The
+   floor lives on the substrate's own axis: virtual ticks under the fiber
+   scheduler, [Clock.now_ns] under the Domains backend — whoever set it
+   used the same axis, so the comparison is well-typed either way. *)
 let[@inline] deliverable box =
-  Atomic.get box.pending && Sched.tick () >= Atomic.get box.not_before
+  Atomic.get box.pending
+  &&
+  let nb = Atomic.get box.not_before in
+  nb <= 0
+  || (if Sched.fiber_mode () then Sched.tick () else Clock.now_ns ()) >= nb
 
 (* Bounded-wait budgets.  Fiber mode counts virtual ticks, so the bound is
    deterministic; a live receiver polls within a handful of scheduling
@@ -303,14 +313,41 @@ let send_unrouted ~seq box ~is_out =
         else wait_fiber box ~before ~is_out
       end
       else begin
-        (* Clear any delayed-delivery floor left over from a fiber run:
-           [Sched.tick] is 0 under the Domains backend, so a stale
-           positive [not_before] would make the post undeliverable
-           forever and every send time out as [No_ack]. *)
-        Atomic.set box.not_before 0;
-        Atomic.set box.posted_seq seq;
-        Atomic.set box.pending true;
-        wait_domain box ~before ~is_out
+        (* Domains: the same fault rules consulted at the same site.  A
+           drop never posts (and resolves immediately — the receiver will
+           never ack, so a bounded wait would just burn the full budget);
+           a delay posts with a deliverable-after floor on the
+           [Clock.now_ns] axis.  The fault-free path clears any floor
+           left over from a fiber run: a stale positive tick floor would
+           otherwise make the post undeliverable forever and every send
+           time out as [No_ack]. *)
+        let posted =
+          if Fault.active () then begin
+            match Fault.on_send ~tid:box.owner_tid with
+            | Some `Drop ->
+                Trace.emit2 Trace.Signal_dropped box.owner_tid seq;
+                false
+            | Some (`Delay n) ->
+                Atomic.set box.not_before (Clock.now_ns () + Fault.ns_of_ticks n);
+                Atomic.set box.posted_seq seq;
+                Atomic.set box.pending true;
+                true
+            | None ->
+                Atomic.set box.not_before 0;
+                Atomic.set box.posted_seq seq;
+                Atomic.set box.pending true;
+                true
+          end
+          else begin
+            Atomic.set box.not_before 0;
+            Atomic.set box.posted_seq seq;
+            Atomic.set box.pending true;
+            true
+          end
+        in
+        if posted then wait_domain box ~before ~is_out
+        else if is_out () then Delivered
+        else No_ack
       end
     end
   in

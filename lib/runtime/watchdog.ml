@@ -31,7 +31,18 @@
     seeded scheduler; probes are paced in scheduler yields, backoff delays
     are measured in probe rounds, and jitter comes from a {!Rng} seeded by
     the caller.  Two runs with the same seed therefore walk byte-identical
-    ladders (asserted by the kvservice replay probe). *)
+    ladders (asserted by the kvservice replay probe).
+
+    {b Domains mode.}  The same engine supervises real worker domains: the
+    ladder, the streak deadlines and the seeded backoff are unchanged
+    (they are denominated in probe {e rounds}), but a round now fires
+    every {!config.poll_ns} wall-clock nanoseconds of {!Clock.now_ns}
+    instead of every {!config.poll_every} scheduler yields — the
+    lat_unit-aware dual of the probe pacing.  Rung deadlines thereby
+    become real-time deadlines ([nudge_deadline * poll_ns] ns at rung
+    one, and so on), and the walk is statistical, not byte-replayable:
+    what is asserted is the outcome (recycle observed, watermark back
+    under budget), never the step sequence. *)
 
 (* ------------------------------------------------------------------ *)
 (* Subjects                                                            *)
@@ -64,7 +75,10 @@ type subject = {
 (* ------------------------------------------------------------------ *)
 
 type config = {
-  poll_every : int;  (** scheduler yields between probe rounds *)
+  poll_every : int;  (** scheduler yields between probe rounds (fibers) *)
+  poll_ns : int;
+      (** wall-clock ns between probe rounds under the Domains backend —
+          the {!poll_every} dual on the {!Clock.now_ns} axis *)
   unreclaimed_threshold : int;
       (** probe is "laggard" when [unreclaimed] exceeds this (typically a
           fraction of the watermark budget / [Caps.bound]) *)
@@ -84,6 +98,7 @@ type config = {
 let default_config ~threshold =
   {
     poll_every = 16;
+    poll_ns = 200_000;
     unreclaimed_threshold = threshold;
     lag_threshold = 0;
     no_ack_streak = 2;
@@ -294,17 +309,30 @@ let step t =
   t.rounds <- t.rounds + 1;
   Array.iter (fun st -> step_subject t st) t.states
 
-(** Supervisor fiber body: probe every [poll_every] yields until [until]
-    says the workers are done (or the tick deadline fires).  Run it as an
-    extra fiber under {!Sched.run}; it performs no blocking waits of its
-    own, so it can never deadlock the scheduler. *)
+(** Supervisor body: probe every [poll_every] yields (fiber substrate) or
+    every [poll_ns] wall-clock ns (Domains backend) until [until] says the
+    workers are done (or the deadline fires).  Run it as an extra fiber
+    under {!Sched.run}, or as an extra worker domain; it performs no
+    blocking waits of its own, so it can never deadlock either
+    substrate. *)
 let run t ~until =
   let live = ref true in
   while !live && not (until ()) do
     (try
-       for _ = 1 to max 1 t.cfg.poll_every do
-         Sched.yield_now ()
-       done
+       if Sched.fiber_mode () then
+         for _ = 1 to max 1 t.cfg.poll_every do
+           Sched.yield_now ()
+         done
+       else begin
+         (* Wall pacing, in short naps so [until] (worker completion,
+            crashed-count latch) is re-read well inside one period and
+            the supervisor domain never oversleeps the join. *)
+         let stop = Clock.now_ns () + max 1 t.cfg.poll_ns in
+         while Clock.now_ns () < stop && not (until ()) do
+           Sched.check_deadline ();
+           Clock.sleep_ns 20_000
+         done
+       end
      with Sched.Deadline -> live := false);
     if !live && not (until ()) then
       (* A nudge/resend flushes through the scheme and can itself trip the

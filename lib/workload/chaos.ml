@@ -19,7 +19,18 @@
     Faults are counter-indexed, not clock-indexed, so a chaos cell is a
     pure function of [(scheme, plan, seed)]: the harness can (and does)
     re-run cells with the tracer on and require byte-identical event
-    logs. *)
+    logs.
+
+    {b Domains mode} ({!run_domains_grid}) runs the same plans against
+    real [Domain.spawn] workers — a crashed reader is a worker domain
+    parked forever while pinned ({!Hpbrcu_runtime.Fault.crash_park}), a
+    stall is a timed park, signal faults intercept at [Signal.send] on
+    the [Clock.now_ns] axis.  The invariants become statistical instead
+    of byte-replay: UAF = 0, exact post-join allocator census
+    ([unreclaimed = retired - reclaimed]), declared bounds never
+    overshot, every planned crash observed, and the RCU-vs-HP-BRCU
+    crashed-reader watermark discriminator reproduced on hardware
+    (ratio gate self-armed on >= 2 cores, like the shards gate). *)
 
 module Alloc = Hpbrcu_alloc.Alloc
 module Sched = Hpbrcu_runtime.Sched
@@ -27,9 +38,12 @@ module Rng = Hpbrcu_runtime.Rng
 module Stats = Hpbrcu_runtime.Stats
 module Trace = Hpbrcu_runtime.Trace
 module Fault = Hpbrcu_runtime.Fault
+module Backend = Hpbrcu_runtime.Backend
+module Clock = Hpbrcu_runtime.Clock
 module Schemes = Hpbrcu_schemes.Schemes
 module Caps = Hpbrcu_core.Caps
 module Ds = Hpbrcu_ds
+module Json = Report.Json
 
 (* ------------------------------------------------------------------ *)
 (* Parameters                                                          *)
@@ -198,6 +212,7 @@ type cell = {
   seed : int;
   terminated : bool;  (** finished without hitting the tick budget *)
   ticks : int;  (** last virtual tick observed by a finishing worker *)
+  wall_ns : int;  (** elapsed wall time (domains cells; 0 on fibers) *)
   total_ops : int;
   peak : int;  (** peak unreclaimed blocks over the measured window *)
   final_unreclaimed : int;
@@ -261,6 +276,7 @@ module Runner (L : Ds.Ds_intf.MAP) = struct
       seed;
       terminated = not !deadline_hit;
       ticks = !end_tick;
+      wall_ns = 0;
       total_ops = Array.fold_left ( + ) 0 ops;
       peak = st.Alloc.peak_unreclaimed;
       final_unreclaimed = st.Alloc.unreclaimed;
@@ -486,3 +502,308 @@ let pp_report ppf (r : report) =
     (List.length r.violations)
     (List.length replay_probes)
     (if report_ok r then " — all invariants hold" else " — FAILED")
+
+(* ------------------------------------------------------------------ *)
+(* Domains mode: the same plans on real cores                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The tick budget's lat_unit-aware dual: virtual ticks converted through
+   the fault clock's exchange rate, floored at 10 s so a slow container
+   never turns an honest cell into a termination violation.  quick's 8M
+   ticks at the default 1 us/tick is a 10 s ceiling, full's 24M is 24 s. *)
+let wall_budget_s (p : params) =
+  Float.max 10. (float_of_int p.tick_budget *. float_of_int (Fault.tick_ns ()) *. 1e-9)
+
+module Druner (L : Ds.Ds_intf.MAP) = struct
+  let go ~(p : params) ~(pl : Fault.plan) ~seed ~scheme_stats ~bound :
+      string * string * int -> cell =
+   fun (scheme, plan, _) ->
+    let t = L.create () in
+    (* Prefill single-threaded, before any fault is armed, as in fiber
+       mode: occurrence counters must index the workload proper. *)
+    let s = L.session t in
+    let rng = Rng.create ~seed:(seed lxor 0xfeed) in
+    let inserted = ref 0 in
+    while !inserted < p.key_range / 2 do
+      if L.insert t s (Rng.int rng p.key_range) 0 then incr inserted
+    done;
+    L.close_session s;
+    Alloc.reset_peak ();
+    let nthreads = p.readers + p.writers in
+    let ops = Array.init nthreads (fun _ -> Atomic.make 0) in
+    let deadline_hit = Atomic.make false in
+    let victims = Fault.crash_tids pl in
+    let nvictims = List.length victims in
+    Fault.install pl;
+    Sched.set_deadline (Unix.gettimeofday () +. wall_budget_s p);
+    let t0 = Clock.now_ns () in
+    let worker tid =
+      let s = L.session t in
+      let rng = Rng.create ~seed:(seed + (tid * 104729)) in
+      let reader = tid < p.readers in
+      let victim = List.mem tid victims in
+      let one_op () =
+        if reader then ignore (L.get t s (Rng.int rng p.key_range) : bool)
+        else begin
+          let k = Rng.int rng p.hot_width in
+          if Rng.bool rng then ignore (L.insert t s k 0 : bool)
+          else ignore (L.remove t s k : bool)
+        end;
+        Atomic.incr ops.(tid)
+      in
+      try
+        if victim then
+          (* Op-loop until the crash rule fires: the rule is indexed on
+             this worker's own yield count, so looping guarantees the
+             occurrence is reached no matter how the OS schedules us.
+             Exits via [Sched.Crashed] (absorbed by the backend) or the
+             wall deadline. *)
+          while true do
+            one_op ()
+          done
+        else begin
+          (* Crash plans: hold until every victim is parked pinned, so
+             the stranding window covers the full retirement volume
+             regardless of OS scheduling — the hardware analogue of the
+             fiber plans' early crash index. *)
+          if nvictims > 0 then
+            Sched.wait_until (fun () -> Fault.parked_count () >= nvictims);
+          let budget = if reader then p.reader_ops else p.writer_ops in
+          for _ = 1 to budget do
+            one_op ()
+          done;
+          L.close_session s
+        end
+      with Sched.Deadline -> Atomic.set deadline_hit true
+    in
+    Sched.run Sched.Domains ~nthreads worker;
+    let wall_ns = Clock.now_ns () - t0 in
+    Sched.clear_deadline ();
+    let injected = Fault.injected () in
+    let crashes = Sched.crashed_count () in
+    Fault.clear ();
+    let st = Alloc.stats () in
+    {
+      scheme;
+      plan;
+      seed;
+      terminated = not (Atomic.get deadline_hit);
+      ticks = 0;
+      wall_ns;
+      total_ops = Array.fold_left (fun a o -> a + Atomic.get o) 0 ops;
+      peak = st.Alloc.peak_unreclaimed;
+      final_unreclaimed = st.Alloc.unreclaimed;
+      uaf = st.Alloc.uaf;
+      bound;
+      crashes;
+      injected;
+      snap = scheme_stats ();
+    }
+end
+
+(** [run_domains_one ~scheme ~plan_id ~seed p] — one chaos cell on real
+    domains, plus the post-join allocator census verdict. *)
+let run_domains_one ~scheme ~plan_id ~seed (p : params) : cell * (bool * string)
+    =
+  let (module S : Matrix.SCHEME) =
+    try Matrix.find_scheme ~tuning:`Small scheme
+    with Invalid_argument _ -> Matrix.find_scheme scheme
+  in
+  let p = effective_params p plan_id in
+  let pl = plan_of p plan_id in
+  let nthreads = p.readers + p.writers in
+  let bound = S.caps.Caps.bound ~nthreads in
+  Schemes.reset_all ();
+  Alloc.reset ();
+  Alloc.set_strict false;
+  let cell =
+    let key = (scheme, plan_name plan_id, seed) in
+    if scheme = "HP" then
+      let module L = Ds.Hm_list.Make (S) in
+      let module R = Druner (L) in
+      R.go ~p ~pl ~seed ~scheme_stats:S.stats ~bound key
+    else if Matrix.supports (module S) Caps.HHSList then
+      let module L = Ds.Harris_list.Make_hhs (S) in
+      let module R = Druner (L) in
+      R.go ~p ~pl ~seed ~scheme_stats:S.stats ~bound key
+    else
+      let module L = Ds.Hm_list.Make (S) in
+      let module R = Druner (L) in
+      R.go ~p ~pl ~seed ~scheme_stats:S.stats ~bound key
+  in
+  (cell, Domains_bench.census ())
+
+(* Expected crash count of a plan: the tid-indexed Crash rules (the ones
+   the handshake can wait for). *)
+let expected_crashes (p : params) plan_id =
+  List.length (Fault.crash_tids (plan_of p plan_id))
+
+(** Domains-cell invariants: the fiber checks minus tick determinism,
+    plus the exact census identity and "every planned crash observed". *)
+let check_domains_cell ~expected ((c, (census_ok, census_msg)) : cell * (bool * string)) :
+    string list =
+  let v = ref [] in
+  if not c.terminated then
+    v := "did not terminate within the wall budget" :: !v;
+  if c.uaf > 0 then v := Printf.sprintf "use-after-free detected: %d" c.uaf :: !v;
+  (match c.bound with
+  | Some b when c.peak > b ->
+      v :=
+        Printf.sprintf "peak unreclaimed %d exceeds declared bound %d" c.peak b
+        :: !v
+  | _ -> ());
+  if not census_ok then v := Printf.sprintf "census: %s" census_msg :: !v;
+  if c.crashes <> expected then
+    v :=
+      Printf.sprintf "crashed %d of %d planned workers" c.crashes expected :: !v;
+  List.rev !v
+
+(** The hardware crashed-reader discriminator: under a crashed reader on
+    real cores, RCU's epoch is pinned forever while HP-BRCU neutralizes
+    the victim, so RCU's peak watermark must exceed HP-BRCU's by the
+    threshold.  Statistical, so the verdict only arms on >= 2 cores
+    ([None] = reported, not gated), matching the shards convention. *)
+let default_hw_threshold = 4.
+
+let hw_discriminator ?(threshold = default_hw_threshold) ~armed
+    (cells : cell list) : (int * float * bool option) list =
+  let find scheme seed =
+    List.find_opt
+      (fun c -> c.scheme = scheme && c.plan = "crash-reader" && c.seed = seed)
+      cells
+  in
+  let seeds =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun c -> if c.plan = "crash-reader" then Some c.seed else None)
+         cells)
+  in
+  List.filter_map
+    (fun seed ->
+      match (find "RCU" seed, find "HP-BRCU" seed) with
+      | Some rcu, Some hpb ->
+          let ratio = float_of_int rcu.peak /. float_of_int (max 1 hpb.peak) in
+          Some (seed, ratio, if armed then Some (ratio >= threshold) else None)
+      | _ -> None)
+    seeds
+
+type domains_report = {
+  d_cells : (cell * (bool * string)) list;  (** cell + its census verdict *)
+  d_violations : (cell * string) list;
+  d_ratios : (int * float * bool option) list;
+      (** RCU / HP-BRCU crashed-reader watermark; verdict None = unarmed *)
+  d_armed : bool;  (** ratio gate armed (>= 2 hardware cores) *)
+  d_threshold : float;
+}
+
+(* The smoke subset: the two discriminator schemes under the plans the
+   hardware gate needs.  check.sh runs exactly this. *)
+let smoke_schemes = [ "RCU"; "HP-BRCU" ]
+let smoke_plans = [ Baseline; Crash_reader ]
+
+(** [run_domains_grid p] — the chaos matrix on real domains. *)
+let run_domains_grid ?(schemes = all_schemes) ?(plans = all_plans)
+    ?(seeds = [ 1 ]) ?(threshold = default_hw_threshold) ?(verbose = false)
+    (p : params) : domains_report =
+  let cells = ref [] in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun scheme ->
+          List.iter
+            (fun plan_id ->
+              let (c, census) = run_domains_one ~scheme ~plan_id ~seed p in
+              if verbose then Fmt.pr "%a@." pp_cell c;
+              cells := ((c, census), expected_crashes p plan_id) :: !cells)
+            plans)
+        schemes)
+    seeds;
+  let cells = List.rev !cells in
+  let d_cells = List.map fst cells in
+  let d_violations =
+    List.concat_map
+      (fun ((c, _) as cc, expected) ->
+        List.map (fun v -> (c, v)) (check_domains_cell ~expected cc))
+      cells
+  in
+  let armed = Backend.hardware_threads () >= 2 in
+  let d_ratios =
+    if List.mem Crash_reader plans then
+      hw_discriminator ~threshold ~armed (List.map fst d_cells)
+    else []
+  in
+  { d_cells; d_violations; d_ratios; d_armed = armed; d_threshold = threshold }
+
+let domains_report_ok (r : domains_report) =
+  r.d_violations = []
+  && List.for_all
+       (fun (_, _, verdict) -> match verdict with Some ok -> ok | None -> true)
+       r.d_ratios
+
+let pp_domains_report ppf (r : domains_report) =
+  List.iter
+    (fun (c, v) ->
+      Fmt.pf ppf "VIOLATION %s/%s seed=%d: %s@." c.scheme c.plan c.seed v)
+    r.d_violations;
+  List.iter
+    (fun (seed, ratio, verdict) ->
+      Fmt.pf ppf
+        "hw discriminator seed=%d: RCU/HP-BRCU crashed-reader peak ratio \
+         %.1fx %s@."
+        seed ratio
+        (match verdict with
+        | Some true -> Printf.sprintf "(>= %.1fx, gate passed)" r.d_threshold
+        | Some false -> Printf.sprintf "BELOW %.1fx GATE" r.d_threshold
+        | None -> "(1 core: ratio gate skipped, reported only)"))
+    r.d_ratios;
+  Fmt.pf ppf "chaos[domains]: %d cells, %d violations, ratio gate %s%s@."
+    (List.length r.d_cells)
+    (List.length r.d_violations)
+    (if r.d_armed then "armed" else "skipped (1 core)")
+    (if domains_report_ok r then " — all invariants hold" else " — FAILED")
+
+(* Advisory baseline rows for BENCH_domains.json: peaks only, no gates —
+   the wall-clock numbers are whatever this box produced. *)
+let json_of_domains_report (r : domains_report) =
+  let row ((c : cell), (census_ok, _)) =
+    Json.Obj
+      [
+        ("scheme", Json.Str c.scheme);
+        ("plan", Json.Str c.plan);
+        ("seed", Json.Int c.seed);
+        ("total_ops", Json.Int c.total_ops);
+        ("peak_unreclaimed", Json.Int c.peak);
+        ("final_unreclaimed", Json.Int c.final_unreclaimed);
+        ("crashes", Json.Int c.crashes);
+        ("uaf", Json.Int c.uaf);
+        ("census_ok", Json.Bool census_ok);
+        ("wall_ns", Json.Int c.wall_ns);
+        ( "bound",
+          match c.bound with None -> Json.Null | Some b -> Json.Int b );
+      ]
+  in
+  Json.Obj
+    [
+      ("benchmark", Json.Str "chaos-domains");
+      ("hardware_threads", Json.Int (Backend.hardware_threads ()));
+      ("ratio_gates_active", Json.Bool r.d_armed);
+      ("threshold", Json.Float r.d_threshold);
+      ("cells", Json.List (List.map row r.d_cells));
+      ( "hw_discriminator",
+        Json.List
+          (List.map
+             (fun (seed, ratio, verdict) ->
+               Json.Obj
+                 [
+                   ("seed", Json.Int seed);
+                   ("rcu_over_hpbrcu_peak", Json.Float ratio);
+                   ( "gated_ok",
+                     match verdict with
+                     | Some ok -> Json.Bool ok
+                     | None -> Json.Null );
+                 ])
+             r.d_ratios) );
+    ]
+
+let write_domains_json path (r : domains_report) =
+  Json.to_file path (json_of_domains_report r)

@@ -224,6 +224,45 @@ let test_fiber_determinism () =
   Alcotest.(check int) "event count" (List.length a) (List.length b);
   Alcotest.(check bool) "byte-identical replay" true (a = b)
 
+(* ------------------------------------------------------------------ *)
+(* Chaos on real cores (DESIGN.md §16)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One crashed-reader chaos cell on the Domains backend: a real worker
+   domain parks forever inside its critical section.  The invariants
+   are the statistical ones — exactly the planned crash count, zero
+   UAFs, an exact post-join census, wall-clock termination. *)
+let test_chaos_domains_crash_cell () =
+  let c, (census_ok, census_msg) =
+    W.Chaos.run_domains_one ~scheme:"HP-BRCU" ~plan_id:W.Chaos.Crash_reader
+      ~seed:1 W.Chaos.quick
+  in
+  Alcotest.(check string) "census" "" census_msg;
+  Alcotest.(check bool) "census ok" true census_ok;
+  Alcotest.(check int) "uaf" 0 c.W.Chaos.uaf;
+  Alcotest.(check int) "one crash" 1 c.W.Chaos.crashes;
+  Alcotest.(check bool) "survivors made progress" true (c.W.Chaos.total_ops > 0);
+  Alcotest.(check bool) "terminated inside the wall budget" true c.W.Chaos.terminated;
+  Alcotest.(check bool) "wall clock measured" true (c.W.Chaos.wall_ns > 0);
+  (match c.W.Chaos.bound with
+  | None -> Alcotest.fail "HP-BRCU must declare a bound"
+  | Some b ->
+      Alcotest.(check bool) "bound never overshot" true (c.W.Chaos.peak <= b))
+
+(* The fiber-only rejection contract: one consistent message naming the
+   flag, the mode, and the alternative — pinned byte for byte so every
+   CLI rejection stays in the same format. *)
+let test_fiber_only_msg () =
+  Alcotest.(check string) "message format"
+    "smrbench chaos: --trace-out is fiber-only (--mode domains given); \
+     use serve --mode domains --trace-out"
+    (W.Spec.fiber_only_msg ~who:"smrbench chaos" ~what:"--trace-out"
+       ~alternative:"use serve --mode domains --trace-out");
+  W.Spec.require_fibers ~who:"x" ~what:"y" ~alternative:"z" `Fibers;
+  Alcotest.check_raises "require_fibers raises under domains"
+    (Invalid_argument "x: y is fiber-only (--mode domains given); z")
+    (fun () -> W.Spec.require_fibers ~who:"x" ~what:"y" ~alternative:"z" `Domains)
+
 let () =
   let scheme_cases =
     List.map
@@ -248,6 +287,13 @@ let () =
             test_flight_drop_census;
           Alcotest.test_case "merged file roundtrip" `Quick
             test_flight_file_roundtrip;
+        ] );
+      ( "chaos-domains",
+        [
+          Alcotest.test_case "crashed-reader cell" `Quick
+            test_chaos_domains_crash_cell;
+          Alcotest.test_case "fiber-only rejection format" `Quick
+            test_fiber_only_msg;
         ] );
       ( "determinism",
         [

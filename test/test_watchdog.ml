@@ -47,6 +47,7 @@ let scripted ?(recycle_ok = true) ?(with_recycle = true) ~probe log =
 let tight_cfg =
   {
     W.poll_every = 1;
+    poll_ns = 50_000;
     unreclaimed_threshold = 10;
     lag_threshold = 0;
     no_ack_streak = 0;
@@ -284,6 +285,109 @@ let test_kv_crash_heals () =
   Alcotest.(check bool) "watermark within budget" true
     (r.K.peak <= small.K.budget)
 
+(* ------------------------------------------------------------------ *)
+(* The ladder on the Domains backend (DESIGN.md §16): rounds pace on   *)
+(* real Clock ns (poll_ns), not simulator ticks                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Same walk as test_ladder_order, but the supervisor runs inside a real
+   domain via [W.run]: deadlines expire on wall-clock rounds.  The probe
+   counts rounds so [until] can stop the walk at exactly seven. *)
+let test_domains_ladder_walk () =
+  let log = ref [] in
+  let rounds = Atomic.make 0 in
+  let probe () =
+    Atomic.incr rounds;
+    always_laggard ()
+  in
+  let t = W.create ~seed:1 tight_cfg [ scripted ~probe log ] in
+  Sched.run Sched.Domains ~nthreads:1 (fun _ ->
+      W.run t ~until:(fun () -> Atomic.get rounds >= 7));
+  Alcotest.(check (list string))
+    "wall-paced ladder walk" [ "N"; "N"; "R"; "R"; "Q"; "C"; "N" ]
+    (List.rev !log);
+  Alcotest.(check int) "recycles" 1 (W.counts t).W.recycles
+
+let test_domains_deescalate () =
+  let log = ref [] in
+  let sick = Atomic.make true in
+  let rounds = Atomic.make 0 in
+  let probe () =
+    Atomic.incr rounds;
+    {
+      W.unreclaimed = (if Atomic.get sick then 100 else 0);
+      lag = 0;
+      no_acks = 0;
+    }
+  in
+  let t = W.create ~seed:1 tight_cfg [ scripted ~probe log ] in
+  Sched.run Sched.Domains ~nthreads:1 (fun _ ->
+      W.run t ~until:(fun () ->
+          (* Recover the subject after the third wall round. *)
+          if Atomic.get rounds >= 3 then Atomic.set sick false;
+          Atomic.get rounds >= 8));
+  Alcotest.(check (list string))
+    "escalated then silent after recovery" [ "N"; "N"; "R" ]
+    (List.rev !log);
+  Alcotest.(check string) "worst rung remembered" "resend"
+    (W.level_name (W.worst_level t))
+
+(* A recycle must be deferred while a live domain still holds a session
+   (the kvservice g_opens race): the supervisor keeps retrying every
+   round and only wins once the holder releases. *)
+let test_domains_recycle_waits_for_holder () =
+  let held = Atomic.make true in
+  let deferred = Atomic.make 0 in
+  let recycled = Atomic.make 0 in
+  let sub =
+    {
+      W.label = "held";
+      id = 1;
+      probe = always_laggard;
+      nudge = ignore;
+      resend = (fun () -> false);
+      quarantine = (fun () -> 0);
+      recycle =
+        Some
+          (fun () ->
+            if Atomic.get held then (
+              Atomic.incr deferred;
+              false)
+            else (
+              Atomic.incr recycled;
+              true));
+    }
+  in
+  let t = W.create ~seed:1 tight_cfg [ sub ] in
+  Sched.run Sched.Domains ~nthreads:2 (fun i ->
+      if i = 0 then W.run t ~until:(fun () -> Atomic.get recycled >= 1)
+      else begin
+        (* The holder: sits in its "session" until the supervisor has
+           been forced to defer at least once, then releases it. *)
+        while Atomic.get deferred < 1 do
+          Hpbrcu_runtime.Clock.sleep_ns 20_000
+        done;
+        Atomic.set held false
+      end);
+  Alcotest.(check bool) "deferred at least once" true (Atomic.get deferred >= 1);
+  Alcotest.(check int) "recycled once released" 1 (Atomic.get recycled);
+  Alcotest.(check int) "deferred recycles not counted" 1 (W.counts t).W.recycles
+
+(* The service cell end to end on real domains: a worker domain parked
+   forever inside its critical section, healed by a wall-paced recycle.
+   The verdicts are statistical (no byte-replay): exactly one crash,
+   zero UAFs, at least one recycle, inside the wall budget. *)
+let test_kv_domains_crash_heals () =
+  reset ();
+  let p = { small with K.requests = 3000 } in
+  let r = K.run_one ~scheme:"RCU" ~plan:"crash-reader" ~substrate:`Domains p in
+  Alcotest.(check int) "one crash" 1 r.K.crashes;
+  Alcotest.(check int) "no UAF" 0 r.K.uaf;
+  Alcotest.(check bool) "inside the wall budget" false r.K.deadline_hit;
+  Alcotest.(check bool) "requests served" true (r.K.served > 0);
+  Alcotest.(check bool) "healed by recycle" true (r.K.recycles >= 1);
+  Alcotest.(check string) "latencies in ns" "ns" r.K.lat_unit
+
 let () =
   Alcotest.run "watchdog"
     [
@@ -309,5 +413,15 @@ let () =
           Alcotest.test_case "smoke" `Quick test_kv_smoke;
           Alcotest.test_case "deterministic" `Quick test_kv_deterministic;
           Alcotest.test_case "crash-heals" `Quick test_kv_crash_heals;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "wall-paced ladder" `Quick test_domains_ladder_walk;
+          Alcotest.test_case "de-escalate on recovery" `Quick
+            test_domains_deescalate;
+          Alcotest.test_case "recycle waits for holder" `Quick
+            test_domains_recycle_waits_for_holder;
+          Alcotest.test_case "kv crash-heals on domains" `Quick
+            test_kv_domains_crash_heals;
         ] );
     ]
